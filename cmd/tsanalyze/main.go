@@ -1,0 +1,113 @@
+// Command tsanalyze runs the paper's analyses over a trace file and
+// prints figure tables.
+//
+// Usage:
+//
+//	tsanalyze -in trace.bin [-format binary|text] [-figures 1,3,11]
+//	          [-replay] [-csv]
+//
+// Without -replay the trace is analyzed as-is (cache columns require a
+// trace that already carries cache verdicts); with -replay it is first
+// pushed through the CDN simulator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"trafficscope/internal/core"
+	"trafficscope/internal/report"
+	"trafficscope/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tsanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in      = flag.String("in", "-", "input trace path (.bin/.txt/.jsonl, optional .gz), or - for text on stdin")
+		format  = flag.String("format", "", "override log format: binary, text or json")
+		figures = flag.String("figures", "", "comma-separated figure numbers (default: all)")
+		replay  = flag.Bool("replay", false, "replay through the CDN simulator before analyzing")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		scale   = flag.Float64("scale", 0.01, "scale hint for CDN cache sizing when -replay is set")
+		workers = flag.Int("workers", 0, "analysis parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	var r trace.Reader
+	if *in == "-" {
+		r = trace.NewTextReader(os.Stdin)
+	} else {
+		var f trace.Format
+		if *format != "" {
+			var err error
+			f, err = trace.ParseFormat(*format)
+			if err != nil {
+				return err
+			}
+		}
+		fr, err := trace.OpenFile(*in, f)
+		if err != nil {
+			return err
+		}
+		defer fr.Close()
+		r = fr
+	}
+
+	study, err := core.NewStudy(core.Config{Scale: *scale, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	var results *core.Results
+	if *replay {
+		results, err = study.RunOn(r)
+	} else {
+		results, err = study.AnalyzeOnly(r)
+	}
+	if err != nil {
+		return err
+	}
+
+	want := map[int]bool{}
+	if *figures != "" {
+		for _, tok := range strings.Split(*figures, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return fmt.Errorf("bad figure number %q", tok)
+			}
+			want[n] = true
+		}
+	}
+	for _, tab := range results.AllFigureTables() {
+		if len(want) > 0 && !tableWanted(tab, want) {
+			continue
+		}
+		if *csv {
+			fmt.Print(tab.CSV())
+		} else {
+			fmt.Println(tab)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tsanalyze: %d records analyzed\n", results.Records)
+	return nil
+}
+
+// tableWanted matches a rendered table title against requested figure
+// numbers ("Fig 3: ...").
+func tableWanted(tab *report.Table, want map[int]bool) bool {
+	title := tab.String()
+	for n := range want {
+		if strings.Contains(title, fmt.Sprintf("Fig %d:", n)) {
+			return true
+		}
+	}
+	return false
+}

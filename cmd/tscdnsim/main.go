@@ -1,0 +1,151 @@
+// Command tscdnsim replays a trace through the CDN simulator under one
+// or more cache configurations and reports hit ratios and origin/egress
+// traffic — the tool behind the paper's §V cache-optimization
+// discussion.
+//
+// Usage:
+//
+//	tscdnsim -in trace.bin [-policies lru,lfu,fifo,slru,split]
+//	         [-capacity 1073741824] [-chunk 2097152] [-out replayed.bin]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"trafficscope/internal/cdn"
+	"trafficscope/internal/report"
+	"trafficscope/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tscdnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in       = flag.String("in", "", "input trace path (required)")
+		format   = flag.String("format", "", "override log format: binary, text or json")
+		policies = flag.String("policies", "lru,lfu,fifo,slru,gdsf,2q,split", "comma-separated cache policies to compare")
+		capacity = flag.Int64("capacity", 1<<30, "per-datacenter cache capacity in bytes")
+		chunk    = flag.Int64("chunk", 2<<20, "video chunk size in bytes (negative disables chunking)")
+		out      = flag.String("out", "", "optionally write the replayed trace (last policy) here")
+	)
+	flag.Parse()
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	recs, err := loadTrace(*in, *format)
+	if err != nil {
+		return err
+	}
+
+	tab := report.NewTable("CDN cache policy comparison",
+		"policy", "requests", "hit ratio", "origin traffic", "egress traffic")
+	var lastReplay []*trace.Record
+	for _, name := range strings.Split(*policies, ",") {
+		name = strings.TrimSpace(name)
+		factory, err := cacheFactory(name, *capacity)
+		if err != nil {
+			return err
+		}
+		network := cdn.New(cdn.Config{NewCache: factory, ChunkBytes: *chunk})
+		// Warm-up pass models the steady-state CDN, then measure.
+		replayed, err := network.WarmedReplay(recs)
+		if err != nil {
+			return err
+		}
+		stats := network.TotalStats()
+		tab.AddRow(name, stats.Requests, report.Percent(stats.HitRatio()),
+			report.Bytes(stats.OriginBytes), report.Bytes(stats.EgressBytes))
+		lastReplay = replayed
+	}
+	fmt.Println(tab)
+
+	if *out != "" && lastReplay != nil {
+		fw, err := trace.CreateFile(*out, 0)
+		if err != nil {
+			return err
+		}
+		for _, r := range lastReplay {
+			if err := fw.Write(r); err != nil {
+				fw.Close()
+				return err
+			}
+		}
+		if err := fw.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tscdnsim: wrote replayed trace to %s\n", *out)
+	}
+	return nil
+}
+
+func loadTrace(path, format string) ([]*trace.Record, error) {
+	var f trace.Format
+	if format != "" {
+		var err error
+		f, err = trace.ParseFormat(format)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fr, err := trace.OpenFile(path, f)
+	if err != nil {
+		return nil, err
+	}
+	defer fr.Close()
+	recs, err := trace.ReadAll(fr)
+	if err != nil {
+		return nil, err
+	}
+	trace.SortByTime(recs)
+	return recs, nil
+}
+
+func cacheFactory(name string, capacity int64) (func() cdn.Cache, error) {
+	switch name {
+	case "lru":
+		return func() cdn.Cache { return cdn.NewLRU(capacity) }, nil
+	case "lfu":
+		return func() cdn.Cache { return cdn.NewLFU(capacity) }, nil
+	case "fifo":
+		return func() cdn.Cache { return cdn.NewFIFO(capacity) }, nil
+	case "slru":
+		return func() cdn.Cache {
+			c, err := cdn.NewSLRU(capacity, 0.8)
+			if err != nil {
+				panic(err) // static parameters
+			}
+			return c
+		}, nil
+	case "gdsf":
+		return func() cdn.Cache { return cdn.NewGDSF(capacity) }, nil
+	case "2q":
+		return func() cdn.Cache {
+			c, err := cdn.NewTwoQ(capacity, 0.25, 4096)
+			if err != nil {
+				panic(err) // static parameters
+			}
+			return c
+		}, nil
+	case "split":
+		return func() cdn.Cache {
+			small := cdn.NewLRU(capacity / 12)
+			large := cdn.NewLRU(capacity - capacity/12)
+			c, err := cdn.NewSplitCache(small, large, 1<<20)
+			if err != nil {
+				panic(err) // static parameters
+			}
+			return c
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want lru, lfu, fifo, slru, gdsf, 2q or split)", name)
+	}
+}

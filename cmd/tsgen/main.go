@@ -1,0 +1,216 @@
+// Command tsgen generates a synthetic week-long CDN access log
+// calibrated to the paper's five study sites.
+//
+// Usage:
+//
+//	tsgen -out trace.bin [-format binary|text|json] [-scale 0.01]
+//	      [-seed 42] [-sites V-1,P-2] [-salt s] [-profiles custom.json]
+//	      [-dump-profiles profiles.json]
+//
+// Output format defaults to the file extension (.bin/.txt/.jsonl, with
+// an optional .gz suffix for compression); "-" writes text to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"trafficscope/internal/synth"
+	"trafficscope/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out          = flag.String("out", "-", "output path (extension selects format; .gz compresses), or - for text on stdout")
+		format       = flag.String("format", "", "override log format: binary, text or json")
+		scale        = flag.Float64("scale", 0.01, "fraction of paper-reported object/request counts")
+		seed         = flag.Int64("seed", 42, "random seed (identical seeds reproduce identical traces)")
+		sites        = flag.String("sites", "", "comma-separated site subset (default: all five)")
+		salt         = flag.String("salt", "", "anonymization salt")
+		profilesPath = flag.String("profiles", "", "load site profiles from a JSON file instead of the built-ins")
+		dumpProfiles = flag.String("dump-profiles", "", "write the built-in site profiles to this JSON file and exit")
+		stream       = flag.Bool("stream", false, "stream generation through an external sort (bounded memory; for large -scale runs)")
+		sortMem      = flag.Int("sort-mem", 1_000_000, "records held in RAM during the external sort (with -stream)")
+	)
+	flag.Parse()
+
+	if *dumpProfiles != "" {
+		if err := synth.SaveProfiles(*dumpProfiles, synth.DefaultProfiles()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tsgen: wrote built-in profiles to %s\n", *dumpProfiles)
+		return nil
+	}
+
+	cfg := synth.Config{Seed: *seed, Scale: *scale, Salt: *salt}
+	if *profilesPath != "" {
+		profiles, err := synth.LoadProfiles(*profilesPath)
+		if err != nil {
+			return err
+		}
+		cfg.Sites = profiles
+	}
+	if *sites != "" {
+		source := cfg.Sites
+		if source == nil {
+			source = synth.DefaultProfiles()
+		}
+		var picked []synth.SiteProfile
+		for _, name := range strings.Split(*sites, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, p := range source {
+				if p.Name == name {
+					picked = append(picked, p)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("unknown site %q", name)
+			}
+		}
+		cfg.Sites = picked
+	}
+	gen, err := synth.NewGenerator(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *stream {
+		if *out == "-" {
+			return fmt.Errorf("-stream requires a file output")
+		}
+		return streamGenerate(gen, *out, *format, *sortMem)
+	}
+
+	recs, err := gen.Generate()
+	if err != nil {
+		return err
+	}
+
+	if *out == "-" {
+		tw := trace.NewTextWriter(os.Stdout)
+		for _, r := range recs {
+			if err := tw.Write(r); err != nil {
+				return err
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	} else {
+		var f trace.Format
+		if *format != "" {
+			f, err = trace.ParseFormat(*format)
+			if err != nil {
+				return err
+			}
+		}
+		fw, err := trace.CreateFile(*out, f)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			if err := fw.Write(r); err != nil {
+				fw.Close()
+				return err
+			}
+		}
+		if err := fw.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tsgen: wrote %d records (%d sites, scale %g, seed %d)\n",
+		len(recs), len(gen.Populations()), *scale, *seed)
+	return nil
+}
+
+// streamGenerate writes the trace without ever holding it in memory:
+// records stream from the generator into spill files and are k-way
+// merged into timestamp order on the way to the output. This is the path
+// for paper-scale (-scale 1) runs.
+func streamGenerate(gen *synth.Generator, out, format string, sortMem int) error {
+	var f trace.Format
+	if format != "" {
+		var err error
+		f, err = trace.ParseFormat(format)
+		if err != nil {
+			return err
+		}
+	}
+	fw, err := trace.CreateFile(out, f)
+	if err != nil {
+		return err
+	}
+	var n int64
+	// The generator's stream is unsorted across sites; pipe it through
+	// the external sorter.
+	gr := newGeneratorReader(gen)
+	countingSink := writerFunc(func(r *trace.Record) error {
+		n++
+		return fw.Write(r)
+	})
+	if err := trace.ExternalSort(gr, countingSink, trace.ExternalSortOptions{MaxInMemory: sortMem}); err != nil {
+		fw.Close()
+		return err
+	}
+	if err := fw.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tsgen: streamed %d records to %s\n", n, out)
+	return nil
+}
+
+// writerFunc adapts a function to trace.Writer.
+type writerFunc func(*trace.Record) error
+
+func (f writerFunc) Write(r *trace.Record) error { return f(r) }
+
+// generatorReader adapts GenerateTo's push model to the pull-based
+// trace.Reader using a goroutine and a channel.
+type generatorReader struct {
+	ch   chan *trace.Record
+	errc chan error
+	done bool
+}
+
+func newGeneratorReader(gen *synth.Generator) *generatorReader {
+	gr := &generatorReader{
+		ch:   make(chan *trace.Record, 1024),
+		errc: make(chan error, 1),
+	}
+	go func() {
+		defer close(gr.ch)
+		gr.errc <- gen.GenerateTo(func(r *trace.Record) error {
+			gr.ch <- r
+			return nil
+		})
+	}()
+	return gr
+}
+
+func (gr *generatorReader) Read() (*trace.Record, error) {
+	if gr.done {
+		return nil, io.EOF
+	}
+	rec, ok := <-gr.ch
+	if ok {
+		return rec, nil
+	}
+	gr.done = true
+	if err := <-gr.errc; err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}

@@ -1,0 +1,106 @@
+// Command tsreport runs the full reproduction end to end — generate the
+// calibrated trace, replay it through the CDN simulator, run every
+// analysis — and prints one table per paper figure.
+//
+// Usage:
+//
+//	tsreport [-scale 0.02] [-seed 42] [-csv] [-summary]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"trafficscope/internal/core"
+	"trafficscope/internal/report"
+	"trafficscope/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tsreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scale   = flag.Float64("scale", 0.02, "fraction of paper-reported object/request counts")
+		seed    = flag.Int64("seed", 42, "random seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		summary = flag.Bool("summary", false, "print only the run summary")
+		workers = flag.Int("workers", 0, "analysis parallelism (0 = GOMAXPROCS)")
+		extras  = flag.Bool("extras", true, "include forecasting and crawler-baseline tables")
+		verify  = flag.Bool("verify", false, "append the calibration-verification table; exit 1 if any check fails")
+		outDir  = flag.String("outdir", "", "also write every table as a CSV file into this directory")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	study, err := core.NewStudy(core.Config{Seed: *seed, Scale: *scale, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	recs, err := study.Generator().Generate()
+	if err != nil {
+		return err
+	}
+	results, err := study.RunOn(trace.NewSliceReader(recs))
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	tables := results.AllFigureTables()
+	if *extras {
+		if ft, err := results.ForecastTable(24); err == nil {
+			tables = append(tables, ft)
+		}
+		if bt, err := results.CrawlerBaselineTable(recs, 24*time.Hour, 200); err == nil {
+			tables = append(tables, bt)
+		}
+	}
+	allPass := true
+	if *verify {
+		vt, ok := results.VerifyTable()
+		tables = append(tables, vt)
+		allPass = ok
+	}
+	if !*summary {
+		for _, tab := range tables {
+			if *csv {
+				fmt.Print(tab.CSV())
+			} else {
+				fmt.Println(tab)
+			}
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		for i, tab := range tables {
+			path := filepath.Join(*outDir, fmt.Sprintf("table-%02d.csv", i+1))
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "tsreport: wrote %d CSV tables to %s\n", len(tables), *outDir)
+	}
+	sum := report.NewTable("run summary", "metric", "value")
+	sum.AddRow("records", results.Records)
+	sum.AddRow("sites", len(results.SiteNames()))
+	sum.AddRow("cdn requests", results.CDNStats.Requests)
+	sum.AddRow("cdn hit ratio", report.Percent(results.CDNStats.HitRatio()))
+	sum.AddRow("origin traffic", report.Bytes(results.CDNStats.OriginBytes))
+	sum.AddRow("egress traffic", report.Bytes(results.CDNStats.EgressBytes))
+	sum.AddRow("elapsed", elapsed.Round(time.Millisecond).String())
+	fmt.Println(sum)
+	if !allPass {
+		return fmt.Errorf("calibration verification failed (see table above)")
+	}
+	return nil
+}

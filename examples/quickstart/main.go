@@ -1,0 +1,33 @@
+// Quickstart: run the full reproduction at a small scale and print the
+// headline figures. This is the 30-line tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trafficscope"
+)
+
+func main() {
+	// A Study wires the calibrated trace generator, the CDN simulator
+	// and every analysis of the paper together. Scale 0.01 is ~1% of the
+	// paper's request volume and runs in well under a second.
+	study, err := trafficscope.NewStudy(trafficscope.Config{
+		Seed:  42,
+		Scale: 0.01,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := study.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("analyzed %d requests across %v\n\n", results.Records, results.SiteNames())
+	fmt.Println(results.Fig01ContentComposition())
+	fmt.Println(results.Fig02aRequestCount())
+	fmt.Println(results.Fig03HourlyVolume())
+	fmt.Println(results.Fig15HitRatio())
+}

@@ -1,0 +1,3 @@
+module trafficscope
+
+go 1.22

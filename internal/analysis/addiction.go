@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"sort"
+
+	"trafficscope/internal/stats"
+	"trafficscope/internal/trace"
+)
+
+// Addiction accumulates Figs. 13 and 14: repeated per-user access to the
+// same object. Fig. 13 scatters per-object total requests against
+// distinct users; Fig. 14 is the CDF of requests per (user, object) pair,
+// which separates "viral" objects (many users, few repeats) from
+// "addictive" ones (few users, many repeats).
+type Addiction struct {
+	sites map[string]map[trace.Category]map[pairKey]int64
+}
+
+type pairKey struct {
+	obj  uint64
+	user uint64
+}
+
+// NewAddiction creates an empty accumulator.
+func NewAddiction() *Addiction {
+	return &Addiction{sites: map[string]map[trace.Category]map[pairKey]int64{}}
+}
+
+// Add folds one record.
+func (a *Addiction) Add(r *trace.Record) {
+	site, ok := a.sites[r.Publisher]
+	if !ok {
+		site = map[trace.Category]map[pairKey]int64{}
+		a.sites[r.Publisher] = site
+	}
+	cat := r.Category()
+	pairs, ok := site[cat]
+	if !ok {
+		pairs = map[pairKey]int64{}
+		site[cat] = pairs
+	}
+	pairs[pairKey{obj: r.ObjectID, user: r.UserID}]++
+}
+
+// Merge folds another accumulator in.
+func (a *Addiction) Merge(o *Addiction) {
+	for site, cats := range o.sites {
+		mine, ok := a.sites[site]
+		if !ok {
+			mine = map[trace.Category]map[pairKey]int64{}
+			a.sites[site] = mine
+		}
+		for cat, pairs := range cats {
+			m, ok := mine[cat]
+			if !ok {
+				m = map[pairKey]int64{}
+				mine[cat] = m
+			}
+			for k, n := range pairs {
+				m[k] += n
+			}
+		}
+	}
+}
+
+// Sites returns the analyzed site names, sorted.
+func (a *Addiction) Sites() []string {
+	out := make([]string, 0, len(a.sites))
+	for s := range a.sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ObjectPoint is one object in the Fig. 13 scatter.
+type ObjectPoint struct {
+	Object   uint64
+	Requests int64
+	Users    int64
+}
+
+// Scatter returns (requests, users) per object for the site and category.
+func (a *Addiction) Scatter(site string, cat trace.Category) []ObjectPoint {
+	site2, ok := a.sites[site]
+	if !ok {
+		return nil
+	}
+	agg := map[uint64]*ObjectPoint{}
+	for k, n := range site2[cat] {
+		p, ok := agg[k.obj]
+		if !ok {
+			p = &ObjectPoint{Object: k.obj}
+			agg[k.obj] = p
+		}
+		p.Requests += n
+		p.Users++
+	}
+	out := make([]ObjectPoint, 0, len(agg))
+	for _, p := range agg {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Requests > out[j].Requests })
+	return out
+}
+
+// MaxRequestsPerUser returns, per object, the maximum number of requests
+// any single user issued for it.
+func (a *Addiction) MaxRequestsPerUser(site string, cat trace.Category) map[uint64]int64 {
+	site2, ok := a.sites[site]
+	if !ok {
+		return nil
+	}
+	out := map[uint64]int64{}
+	for k, n := range site2[cat] {
+		if n > out[k.obj] {
+			out[k.obj] = n
+		}
+	}
+	return out
+}
+
+// PerUserCDF returns the ECDF of per-object *maximum* requests per unique
+// user, the Fig. 14 presentation ("at least 10% of video objects have
+// more than 10 requests per unique user").
+func (a *Addiction) PerUserCDF(site string, cat trace.Category) *stats.ECDF {
+	maxes := a.MaxRequestsPerUser(site, cat)
+	if len(maxes) == 0 {
+		return nil
+	}
+	sample := make([]float64, 0, len(maxes))
+	for _, n := range maxes {
+		sample = append(sample, float64(n))
+	}
+	return stats.MustECDF(sample)
+}
+
+// FracObjectsAbove returns the fraction of objects whose per-user repeat
+// maximum exceeds the threshold.
+func (a *Addiction) FracObjectsAbove(site string, cat trace.Category, threshold int64) float64 {
+	maxes := a.MaxRequestsPerUser(site, cat)
+	if len(maxes) == 0 {
+		return 0
+	}
+	var above int
+	for _, n := range maxes {
+		if n > threshold {
+			above++
+		}
+	}
+	return float64(above) / float64(len(maxes))
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"sort"
+
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// Aging accumulates Fig. 7: the fraction of a site's objects requested at
+// each content age. An object's age-1 day is the day of its first
+// observed request ("content injection"); the curve reports, for each age
+// d, the fraction of objects that received at least one request on day
+// first+d-1, among objects whose age-d day falls inside the trace.
+type Aging struct {
+	week  timeutil.Week
+	sites map[string]map[uint64]*[7]bool // site -> object -> requested-on-day
+}
+
+// NewAging creates an accumulator over the given trace week.
+func NewAging(week timeutil.Week) *Aging {
+	return &Aging{week: week, sites: map[string]map[uint64]*[7]bool{}}
+}
+
+// Add folds one record; records outside the week are ignored.
+func (a *Aging) Add(r *trace.Record) {
+	day := a.week.DayIndex(r.Timestamp)
+	if day < 0 {
+		return
+	}
+	site, ok := a.sites[r.Publisher]
+	if !ok {
+		site = map[uint64]*[7]bool{}
+		a.sites[r.Publisher] = site
+	}
+	days, ok := site[r.ObjectID]
+	if !ok {
+		days = &[7]bool{}
+		site[r.ObjectID] = days
+	}
+	days[day] = true
+}
+
+// Merge folds another accumulator in.
+func (a *Aging) Merge(o *Aging) {
+	for site, objs := range o.sites {
+		mine, ok := a.sites[site]
+		if !ok {
+			mine = map[uint64]*[7]bool{}
+			a.sites[site] = mine
+		}
+		for id, days := range objs {
+			m, ok := mine[id]
+			if !ok {
+				m = &[7]bool{}
+				mine[id] = m
+			}
+			for d, hit := range days {
+				if hit {
+					m[d] = true
+				}
+			}
+		}
+	}
+}
+
+// Sites returns the analyzed site names, sorted.
+func (a *Aging) Sites() []string {
+	out := make([]string, 0, len(a.sites))
+	for s := range a.sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Curve returns, for ages 1..7, the fraction of the site's objects
+// requested at that age. Index 0 is age 1 (always 1.0 by construction:
+// every object is requested on its first-seen day).
+func (a *Aging) Curve(site string) [7]float64 {
+	var curve [7]float64
+	objs, ok := a.sites[site]
+	if !ok {
+		return curve
+	}
+	var requested, observable [7]int64
+	for _, days := range objs {
+		first := -1
+		for d, hit := range days {
+			if hit {
+				first = d
+				break
+			}
+		}
+		if first < 0 {
+			continue
+		}
+		for age := 0; age < 7; age++ {
+			day := first + age
+			if day >= 7 {
+				break // age not observable within the trace
+			}
+			observable[age]++
+			if days[day] {
+				requested[age]++
+			}
+		}
+	}
+	for age := 0; age < 7; age++ {
+		if observable[age] > 0 {
+			curve[age] = float64(requested[age]) / float64(observable[age])
+		}
+	}
+	return curve
+}
+
+// FracAliveAllWeek returns the fraction of the site's requested objects
+// that received requests on every day of the week ("only about 10% of
+// objects are requested throughout the trace duration of one week").
+func (a *Aging) FracAliveAllWeek(site string) float64 {
+	objs, ok := a.sites[site]
+	if !ok || len(objs) == 0 {
+		return 0
+	}
+	var alive int64
+	for _, days := range objs {
+		all := true
+		for _, hit := range days {
+			if !hit {
+				all = false
+				break
+			}
+		}
+		if all {
+			alive++
+		}
+	}
+	return float64(alive) / float64(len(objs))
+}
+
+// FracSilentAfterDay returns the fraction of the site's objects with no
+// request after the given day index (0-based; the paper reports "about
+// 20% of objects are not requested after 3 days").
+func (a *Aging) FracSilentAfterDay(site string, day int) float64 {
+	objs, ok := a.sites[site]
+	if !ok || len(objs) == 0 {
+		return 0
+	}
+	var silent int64
+	for _, days := range objs {
+		s := true
+		for d := day + 1; d < 7; d++ {
+			if days[d] {
+				s = false
+				break
+			}
+		}
+		if s {
+			silent++
+		}
+	}
+	return float64(silent) / float64(len(objs))
+}

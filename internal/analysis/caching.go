@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"sort"
+
+	"trafficscope/internal/stats"
+	"trafficscope/internal/trace"
+)
+
+// Caching accumulates Figs. 15 and 16 from a CDN-replayed trace: per-
+// object cache hit ratios and HTTP response-code counts per category.
+type Caching struct {
+	sites map[string]*cachingSite
+}
+
+type cachingSite struct {
+	// per object: lookups and hits (only records with a cache verdict)
+	lookups map[uint64]int64
+	hits    map[uint64]int64
+	objCat  map[uint64]trace.Category
+	// response code counts per category
+	codes map[trace.Category]map[int]int64
+}
+
+func newCachingSite() *cachingSite {
+	return &cachingSite{
+		lookups: map[uint64]int64{},
+		hits:    map[uint64]int64{},
+		objCat:  map[uint64]trace.Category{},
+		codes:   map[trace.Category]map[int]int64{},
+	}
+}
+
+// NewCaching creates an empty accumulator.
+func NewCaching() *Caching {
+	return &Caching{sites: map[string]*cachingSite{}}
+}
+
+// Add folds one record.
+func (c *Caching) Add(r *trace.Record) {
+	s, ok := c.sites[r.Publisher]
+	if !ok {
+		s = newCachingSite()
+		c.sites[r.Publisher] = s
+	}
+	cat := r.Category()
+	codes, ok := s.codes[cat]
+	if !ok {
+		codes = map[int]int64{}
+		s.codes[cat] = codes
+	}
+	codes[r.StatusCode]++
+	if r.Cache == trace.CacheUnknown {
+		return
+	}
+	s.lookups[r.ObjectID]++
+	if r.Cache == trace.CacheHit {
+		s.hits[r.ObjectID]++
+	}
+	if _, seen := s.objCat[r.ObjectID]; !seen {
+		s.objCat[r.ObjectID] = cat
+	}
+}
+
+// Merge folds another accumulator in.
+func (c *Caching) Merge(o *Caching) {
+	for site, os := range o.sites {
+		s, ok := c.sites[site]
+		if !ok {
+			s = newCachingSite()
+			c.sites[site] = s
+		}
+		for id, n := range os.lookups {
+			s.lookups[id] += n
+		}
+		for id, n := range os.hits {
+			s.hits[id] += n
+		}
+		for id, cat := range os.objCat {
+			if _, seen := s.objCat[id]; !seen {
+				s.objCat[id] = cat
+			}
+		}
+		for cat, codes := range os.codes {
+			mine, ok := s.codes[cat]
+			if !ok {
+				mine = map[int]int64{}
+				s.codes[cat] = mine
+			}
+			for code, n := range codes {
+				mine[code] += n
+			}
+		}
+	}
+}
+
+// Sites returns the analyzed site names, sorted.
+func (c *Caching) Sites() []string {
+	out := make([]string, 0, len(c.sites))
+	for s := range c.sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HitRatioCDF returns the ECDF of per-object hit ratios for the site and
+// category (Fig. 15). Objects without cache-annotated requests are
+// excluded.
+func (c *Caching) HitRatioCDF(site string, cat trace.Category) *stats.ECDF {
+	s, ok := c.sites[site]
+	if !ok {
+		return nil
+	}
+	var sample []float64
+	for id, lookups := range s.lookups {
+		if s.objCat[id] != cat || lookups == 0 {
+			continue
+		}
+		sample = append(sample, float64(s.hits[id])/float64(lookups))
+	}
+	if len(sample) == 0 {
+		return nil
+	}
+	return stats.MustECDF(sample)
+}
+
+// WeightedHitRatio returns the site's request-weighted hit ratio across
+// all categories ("overall CDN cache hit ratios range between 80-90%").
+func (c *Caching) WeightedHitRatio(site string) float64 {
+	s, ok := c.sites[site]
+	if !ok {
+		return 0
+	}
+	var hits, lookups int64
+	for id, n := range s.lookups {
+		lookups += n
+		hits += s.hits[id]
+	}
+	if lookups == 0 {
+		return 0
+	}
+	return float64(hits) / float64(lookups)
+}
+
+// PopularityHitCorrelation returns the Spearman correlation between
+// per-object request counts and hit ratios ("popular objects tend to have
+// higher hit ratios (more than 0.9 correlation coefficient)"). Rank
+// correlation is used because popularity is heavy-tailed.
+func (c *Caching) PopularityHitCorrelation(site string) float64 {
+	s, ok := c.sites[site]
+	if !ok {
+		return 0
+	}
+	var pops, ratios []float64
+	for id, lookups := range s.lookups {
+		if lookups == 0 {
+			continue
+		}
+		pops = append(pops, float64(lookups))
+		ratios = append(ratios, float64(s.hits[id])/float64(lookups))
+	}
+	return stats.Spearman(pops, ratios)
+}
+
+// HitRatioByPopularityDecile buckets the site's objects into popularity
+// deciles (decile 0 = least requested tenth) and returns the mean hit
+// ratio per decile — the mechanism behind the paper's >0.9 popularity-
+// hit correlation claim, shown as a curve rather than one coefficient.
+func (c *Caching) HitRatioByPopularityDecile(site string) []float64 {
+	s, ok := c.sites[site]
+	if !ok || len(s.lookups) == 0 {
+		return nil
+	}
+	type obj struct {
+		lookups int64
+		ratio   float64
+	}
+	objs := make([]obj, 0, len(s.lookups))
+	for id, lookups := range s.lookups {
+		if lookups == 0 {
+			continue
+		}
+		objs = append(objs, obj{lookups: lookups, ratio: float64(s.hits[id]) / float64(lookups)})
+	}
+	if len(objs) < 10 {
+		return nil
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].lookups < objs[j].lookups })
+	out := make([]float64, 10)
+	for d := 0; d < 10; d++ {
+		lo := d * len(objs) / 10
+		hi := (d + 1) * len(objs) / 10
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, o := range objs[lo:hi] {
+			sum += o.ratio
+		}
+		out[d] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// ResponseCodes returns the site's status-code counts for a category
+// (Fig. 16).
+func (c *Caching) ResponseCodes(site string, cat trace.Category) map[int]int64 {
+	s, ok := c.sites[site]
+	if !ok {
+		return nil
+	}
+	codes := s.codes[cat]
+	out := make(map[int]int64, len(codes))
+	for code, n := range codes {
+		out[code] = n
+	}
+	return out
+}
+
+// CodeFrac returns the fraction of the site's category requests with the
+// given status code.
+func (c *Caching) CodeFrac(site string, cat trace.Category, code int) float64 {
+	codes := c.ResponseCodes(site, cat)
+	var total, n int64
+	for code2, cnt := range codes {
+		total += cnt
+		if code2 == code {
+			n = cnt
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}

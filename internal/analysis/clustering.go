@@ -1,0 +1,356 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"trafficscope/internal/cluster"
+	"trafficscope/internal/dtw"
+	"trafficscope/internal/stats"
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// ObjectSeries accumulates per-object hour-of-week request-count time
+// series, the input to the paper's §IV-B DTW clustering (Figs. 8-10).
+type ObjectSeries struct {
+	week  timeutil.Week
+	sites map[string]map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float64
+}
+
+// NewObjectSeries creates an accumulator over the given trace week.
+func NewObjectSeries(week timeutil.Week) *ObjectSeries {
+	return &ObjectSeries{
+		week:  week,
+		sites: map[string]map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float64{},
+	}
+}
+
+// Add folds one record; records outside the week are ignored.
+func (s *ObjectSeries) Add(r *trace.Record) {
+	idx := s.week.HourIndex(r.Timestamp)
+	if idx < 0 {
+		return
+	}
+	site, ok := s.sites[r.Publisher]
+	if !ok {
+		site = map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float64{}
+		s.sites[r.Publisher] = site
+	}
+	cat := r.Category()
+	objs, ok := site[cat]
+	if !ok {
+		objs = map[uint64]*[timeutil.HoursPerWeek]float64{}
+		site[cat] = objs
+	}
+	series, ok := objs[r.ObjectID]
+	if !ok {
+		series = &[timeutil.HoursPerWeek]float64{}
+		objs[r.ObjectID] = series
+	}
+	series[idx]++
+}
+
+// Merge folds another accumulator in.
+func (s *ObjectSeries) Merge(o *ObjectSeries) {
+	for site, cats := range o.sites {
+		mine, ok := s.sites[site]
+		if !ok {
+			mine = map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float64{}
+			s.sites[site] = mine
+		}
+		for cat, objs := range cats {
+			m, ok := mine[cat]
+			if !ok {
+				m = map[uint64]*[timeutil.HoursPerWeek]float64{}
+				mine[cat] = m
+			}
+			for id, series := range objs {
+				dst, ok := m[id]
+				if !ok {
+					dst = &[timeutil.HoursPerWeek]float64{}
+					m[id] = dst
+				}
+				for h, v := range series {
+					dst[h] += v
+				}
+			}
+		}
+	}
+}
+
+// SeriesSet extracts, for one site and category, the normalized request
+// time series of objects with at least minRequests requests (cold objects
+// carry no shape information), capped at maxObjects by descending request
+// count. Series are normalized to sum 1, matching the paper's
+// "normalized request count" axes.
+func (s *ObjectSeries) SeriesSet(site string, cat trace.Category, minRequests float64, maxObjects int) (ids []uint64, series [][]float64) {
+	site2, ok := s.sites[site]
+	if !ok {
+		return nil, nil
+	}
+	type cand struct {
+		id    uint64
+		total float64
+		raw   *[timeutil.HoursPerWeek]float64
+	}
+	var cands []cand
+	for id, raw := range site2[cat] {
+		total := stats.Sum(raw[:])
+		if total >= minRequests {
+			cands = append(cands, cand{id: id, total: total, raw: raw})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].total != cands[j].total {
+			return cands[i].total > cands[j].total
+		}
+		return cands[i].id < cands[j].id
+	})
+	if maxObjects > 0 && len(cands) > maxObjects {
+		cands = cands[:maxObjects]
+	}
+	for _, c := range cands {
+		ids = append(ids, c.id)
+		series = append(series, stats.Normalize(c.raw[:]))
+	}
+	return ids, series
+}
+
+// ClusterOptions configures ClusterSeries.
+type ClusterOptions struct {
+	// MinRequests filters out cold objects; default 20.
+	MinRequests float64
+	// MaxObjects caps the clustered population (DTW is O(n^2) pairs);
+	// default 400, 0 keeps the default, negative means unlimited.
+	MaxObjects int
+	// K is the number of clusters to cut; default 5 (diurnal-A,
+	// diurnal-B, long-lived, short-lived, outliers).
+	K int
+	// BandRadius is the Sakoe-Chiba radius for DTW; default 24 hours.
+	// Negative disables the band.
+	BandRadius int
+	// Workers parallelizes the distance matrix; default GOMAXPROCS.
+	Workers int
+	// Linkage selects the agglomeration rule; default average linkage.
+	Linkage cluster.Linkage
+}
+
+func (o *ClusterOptions) withDefaults() ClusterOptions {
+	out := *o
+	if out.MinRequests == 0 {
+		out.MinRequests = 20
+	}
+	if out.MaxObjects == 0 {
+		out.MaxObjects = 400
+	}
+	if out.K == 0 {
+		out.K = 5
+	}
+	if out.BandRadius == 0 {
+		out.BandRadius = 24
+	}
+	if out.Linkage == 0 {
+		out.Linkage = cluster.LinkageAverage
+	}
+	return out
+}
+
+// ClusterResult is the outcome of the Fig. 8-10 analysis for one site and
+// category.
+type ClusterResult struct {
+	// ObjectIDs lists the clustered objects in series order.
+	ObjectIDs []uint64
+	// Series holds the normalized hour-of-week series per object.
+	Series [][]float64
+	// Labels assigns each object to a cluster.
+	Labels []int
+	// Dendrogram is the full agglomeration history.
+	Dendrogram *cluster.Dendrogram
+	// Clusters carries members and medoids per cluster, ordered by
+	// descending size.
+	Clusters []ClusterSummary
+}
+
+// ClusterSummary describes one cluster with its medoid series.
+type ClusterSummary struct {
+	// Label is the cluster's label in Labels.
+	Label int
+	// Size is the member count.
+	Size int
+	// Frac is the share of clustered objects ("11% Diurnal-A ...").
+	Frac float64
+	// MedoidID is the medoid object.
+	MedoidID uint64
+	// Medoid is the medoid's normalized series (Figs. 9-10 solid line).
+	Medoid []float64
+	// Spread is the hour-wise standard deviation of member series
+	// around the cluster mean (Figs. 9-10 shaded band).
+	Spread []float64
+}
+
+// ClusterSeries runs DTW + agglomerative hierarchical clustering over one
+// site and category and extracts cluster mixes and medoids.
+func (s *ObjectSeries) ClusterSeries(site string, cat trace.Category, opts ClusterOptions) (*ClusterResult, error) {
+	o := opts.withDefaults()
+	ids, series := s.SeriesSet(site, cat, o.MinRequests, o.MaxObjects)
+	if len(ids) < o.K {
+		return nil, fmt.Errorf("analysis: %s/%s: %d series with >= %v requests, need >= k=%d",
+			site, cat, len(ids), o.MinRequests, o.K)
+	}
+	dist, err := dtw.PairwiseDistances(series, dtw.PairwiseOptions{BandRadius: o.BandRadius, Workers: o.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s/%s: dtw: %w", site, cat, err)
+	}
+	dendro, err := cluster.Agglomerative(dist, o.Linkage)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s/%s: clustering: %w", site, cat, err)
+	}
+	labels, _, err := dendro.CutK(o.K)
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := cluster.Extract(dist, labels)
+	if err != nil {
+		return nil, err
+	}
+	res := &ClusterResult{
+		ObjectIDs:  ids,
+		Series:     series,
+		Labels:     labels,
+		Dendrogram: dendro,
+	}
+	for _, c := range clusters {
+		cs := ClusterSummary{
+			Label:    labels[c.Medoid],
+			Size:     len(c.Members),
+			Frac:     float64(len(c.Members)) / float64(len(ids)),
+			MedoidID: ids[c.Medoid],
+			Medoid:   series[c.Medoid],
+			Spread:   spread(series, c.Members),
+		}
+		res.Clusters = append(res.Clusters, cs)
+	}
+	sort.Slice(res.Clusters, func(i, j int) bool { return res.Clusters[i].Size > res.Clusters[j].Size })
+	return res, nil
+}
+
+// spread computes per-hour standard deviation of the member series.
+func spread(series [][]float64, members []int) []float64 {
+	if len(members) == 0 || len(series) == 0 {
+		return nil
+	}
+	n := len(series[members[0]])
+	out := make([]float64, n)
+	col := make([]float64, len(members))
+	for h := 0; h < n; h++ {
+		for i, m := range members {
+			col[i] = series[m][h]
+		}
+		if len(members) > 1 {
+			out[h] = stats.StdDev(col)
+		}
+	}
+	return out
+}
+
+// BestK selects the cluster count in [kMin, kMax] maximizing the mean
+// silhouette over the DTW distance matrix — a principled alternative to
+// eyeballing the dendrogram as the paper does. It returns the chosen k
+// and its silhouette score.
+func (s *ObjectSeries) BestK(site string, cat trace.Category, opts ClusterOptions, kMin, kMax int) (int, float64, error) {
+	if kMin < 2 {
+		kMin = 2
+	}
+	if kMax < kMin {
+		return 0, 0, fmt.Errorf("analysis: kMax %d < kMin %d", kMax, kMin)
+	}
+	o := opts.withDefaults()
+	_, series := s.SeriesSet(site, cat, o.MinRequests, o.MaxObjects)
+	if len(series) <= kMax {
+		return 0, 0, fmt.Errorf("analysis: %s/%s: %d series, need > kMax=%d", site, cat, len(series), kMax)
+	}
+	dist, err := dtw.PairwiseDistances(series, dtw.PairwiseOptions{BandRadius: o.BandRadius, Workers: o.Workers})
+	if err != nil {
+		return 0, 0, err
+	}
+	dendro, err := cluster.Agglomerative(dist, o.Linkage)
+	if err != nil {
+		return 0, 0, err
+	}
+	bestK, bestScore := 0, math.Inf(-1)
+	for k := kMin; k <= kMax; k++ {
+		labels, _, err := dendro.CutK(k)
+		if err != nil {
+			return 0, 0, err
+		}
+		score, err := cluster.Silhouette(dist, labels)
+		if err != nil {
+			continue // degenerate cut (e.g. all singletons merged)
+		}
+		if score > bestScore {
+			bestK, bestScore = k, score
+		}
+	}
+	if bestK == 0 {
+		return 0, 0, fmt.Errorf("analysis: %s/%s: no valid cut in [%d, %d]", site, cat, kMin, kMax)
+	}
+	return bestK, bestScore, nil
+}
+
+// ClassifyShape heuristically labels a normalized hour-of-week series as
+// one of the paper's temporal classes, used to name clusters in reports.
+func ClassifyShape(series []float64) string {
+	if len(series) == 0 {
+		return "empty"
+	}
+	total := stats.Sum(series)
+	if total == 0 {
+		return "empty"
+	}
+	// Active span and mass concentration.
+	first, last := -1, -1
+	peak, peakIdx := 0.0, 0
+	for h, v := range series {
+		if v > 0 {
+			if first < 0 {
+				first = h
+			}
+			last = h
+		}
+		if v > peak {
+			peak, peakIdx = v, h
+		}
+	}
+	span := last - first + 1
+	// Mass within 24h of the peak.
+	var nearPeak float64
+	for h := max(0, peakIdx-12); h <= min(len(series)-1, peakIdx+12); h++ {
+		nearPeak += series[h]
+	}
+	switch {
+	case span <= 36 || nearPeak/total > 0.85:
+		return "short-lived"
+	case span >= 120 && nearPeak/total < 0.35:
+		return "diurnal"
+	case nearPeak/total >= 0.35:
+		return "long-lived"
+	default:
+		return "outlier"
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

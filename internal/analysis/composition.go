@@ -1,0 +1,180 @@
+// Package analysis implements the paper's measurement pipeline: one
+// analysis per figure of the evaluation (Figs. 1-16), each expressed as a
+// streaming accumulator over trace records plus a typed result.
+//
+// Analyses are grouped per publisher (site), matching the paper's
+// per-site presentation.
+package analysis
+
+import (
+	"sort"
+
+	"trafficscope/internal/trace"
+)
+
+// CategoryBreakdown carries one site's per-category totals.
+type CategoryBreakdown struct {
+	// Objects counts distinct objects per category (Fig. 1).
+	Objects map[trace.Category]int64
+	// Requests counts requests per category (Fig. 2a).
+	Requests map[trace.Category]int64
+	// Bytes sums requested object sizes per category (Fig. 2b,
+	// "request size": the total size of objects requested).
+	Bytes map[trace.Category]int64
+}
+
+// newCategoryBreakdown allocates empty maps.
+func newCategoryBreakdown() *CategoryBreakdown {
+	return &CategoryBreakdown{
+		Objects:  map[trace.Category]int64{},
+		Requests: map[trace.Category]int64{},
+		Bytes:    map[trace.Category]int64{},
+	}
+}
+
+// TotalObjects sums distinct objects across categories.
+func (b *CategoryBreakdown) TotalObjects() int64 {
+	var n int64
+	for _, v := range b.Objects {
+		n += v
+	}
+	return n
+}
+
+// TotalRequests sums requests across categories.
+func (b *CategoryBreakdown) TotalRequests() int64 {
+	var n int64
+	for _, v := range b.Requests {
+		n += v
+	}
+	return n
+}
+
+// TotalBytes sums requested bytes across categories.
+func (b *CategoryBreakdown) TotalBytes() int64 {
+	var n int64
+	for _, v := range b.Bytes {
+		n += v
+	}
+	return n
+}
+
+// ObjectFrac returns the category's share of distinct objects.
+func (b *CategoryBreakdown) ObjectFrac(c trace.Category) float64 {
+	t := b.TotalObjects()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Objects[c]) / float64(t)
+}
+
+// RequestFrac returns the category's share of requests.
+func (b *CategoryBreakdown) RequestFrac(c trace.Category) float64 {
+	t := b.TotalRequests()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Requests[c]) / float64(t)
+}
+
+// ByteFrac returns the category's share of requested bytes.
+func (b *CategoryBreakdown) ByteFrac(c trace.Category) float64 {
+	t := b.TotalBytes()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Bytes[c]) / float64(t)
+}
+
+// compSite is the mutable per-site state of a Composition.
+type compSite struct {
+	requests map[trace.Category]int64
+	bytes    map[trace.Category]int64
+	objCat   map[uint64]trace.Category // distinct objects with their category
+}
+
+func newCompSite() *compSite {
+	return &compSite{
+		requests: map[trace.Category]int64{},
+		bytes:    map[trace.Category]int64{},
+		objCat:   map[uint64]trace.Category{},
+	}
+}
+
+// Composition accumulates Figs. 1, 2a and 2b: per-site object, request
+// and byte composition by content category. It satisfies
+// pipeline.Accumulator and merges exactly (object identity is tracked).
+type Composition struct {
+	sites map[string]*compSite
+}
+
+// NewComposition creates an empty accumulator.
+func NewComposition() *Composition {
+	return &Composition{sites: map[string]*compSite{}}
+}
+
+// Add folds one record.
+func (c *Composition) Add(r *trace.Record) {
+	s, ok := c.sites[r.Publisher]
+	if !ok {
+		s = newCompSite()
+		c.sites[r.Publisher] = s
+	}
+	cat := r.Category()
+	s.requests[cat]++
+	s.bytes[cat] += r.ObjectSize
+	if _, seen := s.objCat[r.ObjectID]; !seen {
+		s.objCat[r.ObjectID] = cat
+	}
+}
+
+// Merge folds another accumulator in.
+func (c *Composition) Merge(o *Composition) {
+	for site, os := range o.sites {
+		s, ok := c.sites[site]
+		if !ok {
+			s = newCompSite()
+			c.sites[site] = s
+		}
+		for cat, n := range os.requests {
+			s.requests[cat] += n
+		}
+		for cat, n := range os.bytes {
+			s.bytes[cat] += n
+		}
+		for id, cat := range os.objCat {
+			if _, seen := s.objCat[id]; !seen {
+				s.objCat[id] = cat
+			}
+		}
+	}
+}
+
+// Sites returns the analyzed site names, sorted.
+func (c *Composition) Sites() []string {
+	out := make([]string, 0, len(c.sites))
+	for s := range c.sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Site returns the breakdown for one site, or nil if unseen.
+func (c *Composition) Site(name string) *CategoryBreakdown {
+	s, ok := c.sites[name]
+	if !ok {
+		return nil
+	}
+	b := newCategoryBreakdown()
+	for cat, n := range s.requests {
+		b.Requests[cat] = n
+	}
+	for cat, n := range s.bytes {
+		b.Bytes[cat] = n
+	}
+	for _, cat := range s.objCat {
+		b.Objects[cat]++
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"sort"
+
+	"trafficscope/internal/trace"
+	"trafficscope/internal/useragent"
+)
+
+// DeviceMix accumulates Fig. 4: the per-site share of *users* per device
+// category (desktop, Android, iOS, misc), classified from the User-Agent
+// header.
+type DeviceMix struct {
+	sites map[string]map[useragent.Device]map[uint64]bool
+}
+
+// NewDeviceMix creates an empty accumulator.
+func NewDeviceMix() *DeviceMix {
+	return &DeviceMix{sites: map[string]map[useragent.Device]map[uint64]bool{}}
+}
+
+// Add folds one record.
+func (d *DeviceMix) Add(r *trace.Record) {
+	site, ok := d.sites[r.Publisher]
+	if !ok {
+		site = map[useragent.Device]map[uint64]bool{}
+		d.sites[r.Publisher] = site
+	}
+	dev := useragent.Parse(r.UserAgent).Device
+	users, ok := site[dev]
+	if !ok {
+		users = map[uint64]bool{}
+		site[dev] = users
+	}
+	users[r.UserID] = true
+}
+
+// Merge folds another accumulator in.
+func (d *DeviceMix) Merge(o *DeviceMix) {
+	for site, devs := range o.sites {
+		mine, ok := d.sites[site]
+		if !ok {
+			mine = map[useragent.Device]map[uint64]bool{}
+			d.sites[site] = mine
+		}
+		for dev, users := range devs {
+			m, ok := mine[dev]
+			if !ok {
+				m = map[uint64]bool{}
+				mine[dev] = m
+			}
+			for u := range users {
+				m[u] = true
+			}
+		}
+	}
+}
+
+// Sites returns the analyzed site names, sorted.
+func (d *DeviceMix) Sites() []string {
+	out := make([]string, 0, len(d.sites))
+	for s := range d.sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UserShare returns the fraction of the site's users on each device, in
+// the order of useragent.AllDevices(). A user active on several devices
+// counts toward each (rare with hashed per-device identities).
+func (d *DeviceMix) UserShare(site string) [4]float64 {
+	var out [4]float64
+	devs, ok := d.sites[site]
+	if !ok {
+		return out
+	}
+	var total float64
+	counts := make([]float64, 4)
+	for i, dev := range useragent.AllDevices() {
+		counts[i] = float64(len(devs[dev]))
+		total += counts[i]
+	}
+	if total == 0 {
+		return out
+	}
+	for i := range counts {
+		out[i] = counts[i] / total
+	}
+	return out
+}
+
+// DesktopShare is shorthand for the desktop entry of UserShare.
+func (d *DeviceMix) DesktopShare(site string) float64 { return d.UserShare(site)[0] }

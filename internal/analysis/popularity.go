@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"sort"
+
+	"trafficscope/internal/stats"
+	"trafficscope/internal/trace"
+)
+
+// Popularity accumulates Fig. 6: per-site, per-category distributions of
+// per-object request counts, plus Zipf-exponent fits.
+type Popularity struct {
+	sites map[string]map[trace.Category]map[uint64]int64
+}
+
+// NewPopularity creates an empty accumulator.
+func NewPopularity() *Popularity {
+	return &Popularity{sites: map[string]map[trace.Category]map[uint64]int64{}}
+}
+
+// Add folds one record.
+func (p *Popularity) Add(r *trace.Record) {
+	site, ok := p.sites[r.Publisher]
+	if !ok {
+		site = map[trace.Category]map[uint64]int64{}
+		p.sites[r.Publisher] = site
+	}
+	cat := r.Category()
+	objs, ok := site[cat]
+	if !ok {
+		objs = map[uint64]int64{}
+		site[cat] = objs
+	}
+	objs[r.ObjectID]++
+}
+
+// Merge folds another accumulator in.
+func (p *Popularity) Merge(o *Popularity) {
+	for site, cats := range o.sites {
+		mine, ok := p.sites[site]
+		if !ok {
+			mine = map[trace.Category]map[uint64]int64{}
+			p.sites[site] = mine
+		}
+		for cat, objs := range cats {
+			m, ok := mine[cat]
+			if !ok {
+				m = map[uint64]int64{}
+				mine[cat] = m
+			}
+			for id, n := range objs {
+				m[id] += n
+			}
+		}
+	}
+}
+
+// Sites returns the analyzed site names, sorted.
+func (p *Popularity) Sites() []string {
+	out := make([]string, 0, len(p.sites))
+	for site := range p.sites {
+		out = append(out, site)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counts returns the per-object request counts for the site and category,
+// sorted descending (rank order).
+func (p *Popularity) Counts(site string, cat trace.Category) []int64 {
+	site2, ok := p.sites[site]
+	if !ok {
+		return nil
+	}
+	objs := site2[cat]
+	out := make([]int64, 0, len(objs))
+	for _, n := range objs {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// RequestCounts returns per-object request counts keyed by object ID.
+func (p *Popularity) RequestCounts(site string, cat trace.Category) map[uint64]int64 {
+	site2, ok := p.sites[site]
+	if !ok {
+		return nil
+	}
+	objs := site2[cat]
+	out := make(map[uint64]int64, len(objs))
+	for id, n := range objs {
+		out[id] = n
+	}
+	return out
+}
+
+// CDF returns the ECDF of per-object request counts, the paper's Fig. 6
+// presentation.
+func (p *Popularity) CDF(site string, cat trace.Category) *stats.ECDF {
+	counts := p.Counts(site, cat)
+	if len(counts) == 0 {
+		return nil
+	}
+	sample := make([]float64, len(counts))
+	for i, n := range counts {
+		sample[i] = float64(n)
+	}
+	return stats.MustECDF(sample)
+}
+
+// ZipfExponent fits the popularity skew of the site's category.
+func (p *Popularity) ZipfExponent(site string, cat trace.Category) float64 {
+	return stats.FitZipf(p.Counts(site, cat))
+}
+
+// TopShare returns the fraction of requests absorbed by the most popular
+// frac of objects (e.g. TopShare(site, cat, 0.1) = share of the top 10%),
+// quantifying the long tail.
+func (p *Popularity) TopShare(site string, cat trace.Category, frac float64) float64 {
+	counts := p.Counts(site, cat)
+	if len(counts) == 0 || frac <= 0 {
+		return 0
+	}
+	k := int(float64(len(counts)) * frac)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(counts) {
+		k = len(counts)
+	}
+	var top, total int64
+	for i, n := range counts {
+		total += n
+		if i < k {
+			top += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"trafficscope/internal/stats"
+	"trafficscope/internal/trace"
+)
+
+// DefaultSessionTimeout is the session-boundary gap used by the paper
+// ("We set the timeout value for user sessions at 10 minutes based on our
+// earlier analysis of user request IAT distributions").
+const DefaultSessionTimeout = 10 * time.Minute
+
+// Sessions accumulates Figs. 11 and 12: per-site user request
+// inter-arrival time (IAT) distributions and session length
+// distributions. Session length is the span from a session's first to
+// last request, a lower bound on engagement (the paper's footnote 1).
+//
+// Sessions buffers per-user timestamps and computes on demand; it is a
+// two-pass analysis by nature (per-user ordering is required).
+type Sessions struct {
+	timeout time.Duration
+	sites   map[string]map[uint64][]time.Time
+}
+
+// NewSessions creates an accumulator with the given session timeout;
+// zero defaults to 10 minutes.
+func NewSessions(timeout time.Duration) *Sessions {
+	if timeout <= 0 {
+		timeout = DefaultSessionTimeout
+	}
+	return &Sessions{timeout: timeout, sites: map[string]map[uint64][]time.Time{}}
+}
+
+// Timeout returns the configured session timeout.
+func (s *Sessions) Timeout() time.Duration { return s.timeout }
+
+// Add folds one record.
+func (s *Sessions) Add(r *trace.Record) {
+	site, ok := s.sites[r.Publisher]
+	if !ok {
+		site = map[uint64][]time.Time{}
+		s.sites[r.Publisher] = site
+	}
+	site[r.UserID] = append(site[r.UserID], r.Timestamp)
+}
+
+// Merge folds another accumulator in.
+func (s *Sessions) Merge(o *Sessions) {
+	for site, users := range o.sites {
+		mine, ok := s.sites[site]
+		if !ok {
+			mine = map[uint64][]time.Time{}
+			s.sites[site] = mine
+		}
+		for u, ts := range users {
+			mine[u] = append(mine[u], ts...)
+		}
+	}
+}
+
+// Sites returns the analyzed site names, sorted.
+func (s *Sessions) Sites() []string {
+	out := make([]string, 0, len(s.sites))
+	for site := range s.sites {
+		out = append(out, site)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IATSeconds returns every consecutive same-user request gap for the
+// site, in seconds (Fig. 11).
+func (s *Sessions) IATSeconds(site string) []float64 {
+	users, ok := s.sites[site]
+	if !ok {
+		return nil
+	}
+	var out []float64
+	for _, ts := range users {
+		if len(ts) < 2 {
+			continue
+		}
+		sorted := sortedTimes(ts)
+		for i := 1; i < len(sorted); i++ {
+			out = append(out, sorted[i].Sub(sorted[i-1]).Seconds())
+		}
+	}
+	return out
+}
+
+// IATCDF returns the ECDF of same-user request gaps in seconds, or nil
+// when no user has two requests.
+func (s *Sessions) IATCDF(site string) *stats.ECDF {
+	iats := s.IATSeconds(site)
+	if len(iats) == 0 {
+		return nil
+	}
+	return stats.MustECDF(iats)
+}
+
+// Session is one reconstructed user session.
+type Session struct {
+	// User is the session's anonymized user.
+	User uint64
+	// Start is the first request time.
+	Start time.Time
+	// Length is the span from first to last request.
+	Length time.Duration
+	// Requests is the number of requests in the session.
+	Requests int
+}
+
+// SessionsOf reconstructs the site's sessions: consecutive same-user
+// requests within the timeout belong to one session (Fig. 12).
+func (s *Sessions) SessionsOf(site string) []Session {
+	users, ok := s.sites[site]
+	if !ok {
+		return nil
+	}
+	var out []Session
+	for u, ts := range users {
+		sorted := sortedTimes(ts)
+		start := sorted[0]
+		last := sorted[0]
+		n := 1
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i].Sub(last) > s.timeout {
+				out = append(out, Session{User: u, Start: start, Length: last.Sub(start), Requests: n})
+				start = sorted[i]
+				n = 0
+			}
+			last = sorted[i]
+			n++
+		}
+		out = append(out, Session{User: u, Start: start, Length: last.Sub(start), Requests: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].User < out[j].User // deterministic tiebreak
+	})
+	return out
+}
+
+// SessionLengthCDF returns the ECDF of session lengths in seconds.
+func (s *Sessions) SessionLengthCDF(site string) *stats.ECDF {
+	sess := s.SessionsOf(site)
+	if len(sess) == 0 {
+		return nil
+	}
+	sample := make([]float64, len(sess))
+	for i, ses := range sess {
+		sample[i] = ses.Length.Seconds()
+	}
+	return stats.MustECDF(sample)
+}
+
+// MeanRequestsPerSession returns the average session size.
+func (s *Sessions) MeanRequestsPerSession(site string) float64 {
+	sess := s.SessionsOf(site)
+	if len(sess) == 0 {
+		return 0
+	}
+	var total float64
+	for _, ses := range sess {
+		total += float64(ses.Requests)
+	}
+	return total / float64(len(sess))
+}
+
+// TimeoutKnee estimates the session-timeout knee of a site's IAT
+// distribution: the sparsest point (in log-time) between the
+// within-session mode (seconds to minutes) and the cross-session mode
+// (hours to days). The paper picks its 10-minute timeout this way ("We
+// set the timeout value for user sessions at 10 minutes based on our
+// earlier analysis of user request IAT distributions"). Returns zero
+// when the distribution has no usable gap.
+func (s *Sessions) TimeoutKnee(site string) time.Duration {
+	iats := s.IATSeconds(site)
+	if len(iats) < 20 {
+		return 0
+	}
+	// Log-spaced histogram from 1 second to 1 week.
+	const bins = 36
+	lo, hi := math.Log(1.0), math.Log(7*24*3600.0)
+	counts := make([]float64, bins)
+	for _, x := range iats {
+		if x < 1 {
+			x = 1
+		}
+		b := int((math.Log(x) - lo) / (hi - lo) * bins)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	// Peak below ~30 min and peak above; knee = sparsest bin between.
+	cut := int((math.Log(1800.0) - lo) / (hi - lo) * bins)
+	peakA, peakB := 0, cut
+	for b := 1; b < cut; b++ {
+		if counts[b] > counts[peakA] {
+			peakA = b
+		}
+	}
+	for b := cut; b < bins; b++ {
+		if counts[b] > counts[peakB] {
+			peakB = b
+		}
+	}
+	if peakB <= peakA+1 || counts[peakA] == 0 || counts[peakB] == 0 {
+		return 0
+	}
+	// Sparsest density between the modes; with ties (typically a run of
+	// empty bins) take the center of the widest minimal run, which is
+	// the most robust cut point.
+	minCount := counts[peakA+1]
+	for b := peakA + 1; b < peakB; b++ {
+		if counts[b] < minCount {
+			minCount = counts[b]
+		}
+	}
+	bestStart, bestLen := -1, 0
+	runStart := -1
+	for b := peakA + 1; b <= peakB; b++ {
+		if b < peakB && counts[b] == minCount {
+			if runStart < 0 {
+				runStart = b
+			}
+			continue
+		}
+		if runStart >= 0 {
+			if l := b - runStart; l > bestLen {
+				bestStart, bestLen = runStart, l
+			}
+			runStart = -1
+		}
+	}
+	if bestStart < 0 {
+		return 0
+	}
+	knee := float64(bestStart) + float64(bestLen)/2
+	center := math.Exp(lo + knee/bins*(hi-lo))
+	return time.Duration(center * float64(time.Second))
+}
+
+func sortedTimes(ts []time.Time) []time.Time {
+	out := make([]time.Time, len(ts))
+	copy(out, ts)
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"sort"
+
+	"trafficscope/internal/stats"
+	"trafficscope/internal/trace"
+)
+
+// SizeDistribution accumulates Fig. 5: per-site, per-category CDFs of
+// distinct-object sizes ("content sizes"). Objects are deduplicated by
+// ID, so repeated requests do not skew the distribution.
+type SizeDistribution struct {
+	sites map[string]map[trace.Category]map[uint64]int64
+}
+
+// NewSizeDistribution creates an empty accumulator.
+func NewSizeDistribution() *SizeDistribution {
+	return &SizeDistribution{sites: map[string]map[trace.Category]map[uint64]int64{}}
+}
+
+// Add folds one record.
+func (s *SizeDistribution) Add(r *trace.Record) {
+	site, ok := s.sites[r.Publisher]
+	if !ok {
+		site = map[trace.Category]map[uint64]int64{}
+		s.sites[r.Publisher] = site
+	}
+	cat := r.Category()
+	objs, ok := site[cat]
+	if !ok {
+		objs = map[uint64]int64{}
+		site[cat] = objs
+	}
+	objs[r.ObjectID] = r.ObjectSize
+}
+
+// Merge folds another accumulator in.
+func (s *SizeDistribution) Merge(o *SizeDistribution) {
+	for site, cats := range o.sites {
+		mine, ok := s.sites[site]
+		if !ok {
+			mine = map[trace.Category]map[uint64]int64{}
+			s.sites[site] = mine
+		}
+		for cat, objs := range cats {
+			m, ok := mine[cat]
+			if !ok {
+				m = map[uint64]int64{}
+				mine[cat] = m
+			}
+			for id, size := range objs {
+				m[id] = size
+			}
+		}
+	}
+}
+
+// Sites returns the analyzed site names, sorted.
+func (s *SizeDistribution) Sites() []string {
+	out := make([]string, 0, len(s.sites))
+	for site := range s.sites {
+		out = append(out, site)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CDF returns the size ECDF of the site's objects in the category, or nil
+// when no such objects were observed.
+func (s *SizeDistribution) CDF(site string, cat trace.Category) *stats.ECDF {
+	site2, ok := s.sites[site]
+	if !ok {
+		return nil
+	}
+	objs, ok := site2[cat]
+	if !ok || len(objs) == 0 {
+		return nil
+	}
+	sample := make([]float64, 0, len(objs))
+	for _, size := range objs {
+		sample = append(sample, float64(size))
+	}
+	return stats.MustECDF(sample)
+}
+
+// FracAbove returns the fraction of the site's category objects strictly
+// larger than the threshold (e.g. the paper's "majority of requested
+// video objects have sizes greater than 1 MB").
+func (s *SizeDistribution) FracAbove(site string, cat trace.Category, threshold int64) float64 {
+	e := s.CDF(site, cat)
+	if e == nil {
+		return 0
+	}
+	return 1 - e.At(float64(threshold))
+}
+
+// BimodalityGap reports a crude bimodality check for image sizes: the
+// ratio between the p75 and p25 of the distribution. Bi-modal
+// thumbnail/full-size mixes produce large gaps (>> 10x).
+func (s *SizeDistribution) BimodalityGap(site string, cat trace.Category) float64 {
+	e := s.CDF(site, cat)
+	if e == nil {
+		return 0
+	}
+	q25, err1 := e.Quantile(0.25)
+	q75, err2 := e.Quantile(0.75)
+	if err1 != nil || err2 != nil || q25 <= 0 {
+		return 0
+	}
+	return q75 / q25
+}

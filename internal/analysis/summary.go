@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"trafficscope/internal/trace"
+)
+
+// SiteSummary is a one-stop characterization of one site, assembled from
+// the per-figure analyses — the row a survey table of the study sites
+// would show.
+type SiteSummary struct {
+	// Site is the publisher name.
+	Site string
+	// Objects, Requests and Bytes are the site totals.
+	Objects, Requests, Bytes int64
+	// DominantCategory is the category with the most requests.
+	DominantCategory trace.Category
+	// VideoRequestFrac and ImageRequestFrac are request shares.
+	VideoRequestFrac, ImageRequestFrac float64
+	// DesktopShare is the desktop fraction of users.
+	DesktopShare float64
+	// PeakLocalHour is the busiest local hour of day.
+	PeakLocalHour int
+	// MedianIATSeconds is the median same-user request gap.
+	MedianIATSeconds float64
+	// MedianSessionSeconds is the median session length.
+	MedianSessionSeconds float64
+	// WeightedHitRatio is the request-weighted CDN cache hit ratio
+	// (zero when the trace carries no cache verdicts).
+	WeightedHitRatio float64
+	// AliveAllWeekFrac is the fraction of objects requested every day.
+	AliveAllWeekFrac float64
+	// ZipfExponent is the popularity skew of the dominant category.
+	ZipfExponent float64
+}
+
+// Summarizer bundles the accumulators a summary needs. All fields are
+// optional; missing analyses leave their summary fields zero.
+type Summarizer struct {
+	Composition *Composition
+	Hourly      *HourlyVolume
+	Devices     *DeviceMix
+	Sessions    *Sessions
+	Caching     *Caching
+	Aging       *Aging
+	Popularity  *Popularity
+}
+
+// Summarize builds the summary for one site.
+func (s *Summarizer) Summarize(site string) SiteSummary {
+	out := SiteSummary{Site: site}
+	if s.Composition != nil {
+		if b := s.Composition.Site(site); b != nil {
+			out.Objects = b.TotalObjects()
+			out.Requests = b.TotalRequests()
+			out.Bytes = b.TotalBytes()
+			out.VideoRequestFrac = b.RequestFrac(trace.CategoryVideo)
+			out.ImageRequestFrac = b.RequestFrac(trace.CategoryImage)
+			best := int64(-1)
+			for _, cat := range trace.AllCategories() {
+				if n := b.Requests[cat]; n > best {
+					best = n
+					out.DominantCategory = cat
+				}
+			}
+		}
+	}
+	if s.Devices != nil {
+		out.DesktopShare = s.Devices.DesktopShare(site)
+	}
+	if s.Hourly != nil {
+		out.PeakLocalHour = s.Hourly.PeakHour(site)
+	}
+	if s.Sessions != nil {
+		if cdf := s.Sessions.IATCDF(site); cdf != nil {
+			out.MedianIATSeconds, _ = cdf.Median()
+		}
+		if cdf := s.Sessions.SessionLengthCDF(site); cdf != nil {
+			out.MedianSessionSeconds, _ = cdf.Median()
+		}
+	}
+	if s.Caching != nil {
+		out.WeightedHitRatio = s.Caching.WeightedHitRatio(site)
+	}
+	if s.Aging != nil {
+		out.AliveAllWeekFrac = s.Aging.FracAliveAllWeek(site)
+	}
+	if s.Popularity != nil {
+		out.ZipfExponent = s.Popularity.ZipfExponent(site, out.DominantCategory)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"trafficscope/internal/trace"
+)
+
+func TestSummarize(t *testing.T) {
+	comp := NewComposition()
+	hourly := NewHourlyVolume()
+	devices := NewDeviceMix()
+	sessions := NewSessions(0)
+	caching := NewCaching()
+	aging := NewAging(week)
+	pop := NewPopularity()
+
+	feed := func(r *trace.Record) {
+		comp.Add(r)
+		hourly.Add(r)
+		devices.Add(r)
+		sessions.Add(r)
+		caching.Add(r)
+		aging.Add(r)
+		pop.Add(r)
+	}
+	// Two video requests for object 1 by user 1, 30s apart, HIT+MISS.
+	r1 := rec("V-1", 1, 1, trace.FileMP4, 1000, 0)
+	r1.Cache = trace.CacheMiss
+	r2 := rec("V-1", 1, 1, trace.FileMP4, 1000, 0)
+	r2.Timestamp = r1.Timestamp.Add(30 * time.Second)
+	r2.Cache = trace.CacheHit
+	// One image request by user 2.
+	r3 := rec("V-1", 2, 2, trace.FileJPG, 100, 1)
+	r3.Cache = trace.CacheHit
+	for _, r := range []*trace.Record{r1, r2, r3} {
+		feed(r)
+	}
+
+	s := Summarizer{
+		Composition: comp, Hourly: hourly, Devices: devices,
+		Sessions: sessions, Caching: caching, Aging: aging, Popularity: pop,
+	}
+	sum := s.Summarize("V-1")
+	if sum.Site != "V-1" {
+		t.Error("site")
+	}
+	if sum.Objects != 2 || sum.Requests != 3 || sum.Bytes != 2100 {
+		t.Errorf("totals: %+v", sum)
+	}
+	if sum.DominantCategory != trace.CategoryVideo {
+		t.Errorf("dominant = %v", sum.DominantCategory)
+	}
+	if sum.VideoRequestFrac < 0.6 || sum.ImageRequestFrac > 0.4 {
+		t.Errorf("shares: %v / %v", sum.VideoRequestFrac, sum.ImageRequestFrac)
+	}
+	if sum.DesktopShare != 1 {
+		t.Errorf("desktop share = %v", sum.DesktopShare)
+	}
+	if sum.MedianIATSeconds != 30 {
+		t.Errorf("median IAT = %v", sum.MedianIATSeconds)
+	}
+	// 2 hits of 3 lookups.
+	if sum.WeightedHitRatio < 0.66 || sum.WeightedHitRatio > 0.67 {
+		t.Errorf("hit ratio = %v", sum.WeightedHitRatio)
+	}
+}
+
+func TestSummarizeMissingAnalyses(t *testing.T) {
+	var s Summarizer // all nil
+	sum := s.Summarize("V-1")
+	if sum.Site != "V-1" || sum.Requests != 0 || sum.WeightedHitRatio != 0 {
+		t.Errorf("nil summarizer: %+v", sum)
+	}
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"sort"
+
+	"trafficscope/internal/stats"
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// HourlyVolume accumulates Fig. 3: each site's hourly traffic-volume
+// time series, bucketed by the *user's local* hour of day ("We converted
+// the timestamps to local timezones to calculate hourly traffic
+// volumes"). Volume is requested bytes.
+type HourlyVolume struct {
+	sites map[string]*[24]float64
+}
+
+// NewHourlyVolume creates an empty accumulator.
+func NewHourlyVolume() *HourlyVolume {
+	return &HourlyVolume{sites: map[string]*[24]float64{}}
+}
+
+// Add folds one record.
+func (h *HourlyVolume) Add(r *trace.Record) {
+	buckets, ok := h.sites[r.Publisher]
+	if !ok {
+		buckets = &[24]float64{}
+		h.sites[r.Publisher] = buckets
+	}
+	hour := timeutil.LocalHourOfDay(r.Timestamp, r.Region)
+	buckets[hour] += float64(r.ObjectSize)
+}
+
+// Merge folds another accumulator in.
+func (h *HourlyVolume) Merge(o *HourlyVolume) {
+	for site, ob := range o.sites {
+		buckets, ok := h.sites[site]
+		if !ok {
+			buckets = &[24]float64{}
+			h.sites[site] = buckets
+		}
+		for i, v := range ob {
+			buckets[i] += v
+		}
+	}
+}
+
+// Sites returns the site names, sorted.
+func (h *HourlyVolume) Sites() []string {
+	out := make([]string, 0, len(h.sites))
+	for s := range h.sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Percent returns the site's hourly volume as percentages of its daily
+// total (the paper's y-axis, "Percentage Traffic Volume").
+func (h *HourlyVolume) Percent(site string) [24]float64 {
+	var out [24]float64
+	buckets, ok := h.sites[site]
+	if !ok {
+		return out
+	}
+	norm := stats.Normalize(buckets[:])
+	for i, v := range norm {
+		out[i] = v * 100
+	}
+	return out
+}
+
+// PeakHour returns the local hour with the highest volume share.
+func (h *HourlyVolume) PeakHour(site string) int {
+	p := h.Percent(site)
+	best, bestV := 0, -1.0
+	for i, v := range p {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// TroughHour returns the local hour with the lowest volume share.
+func (h *HourlyVolume) TroughHour(site string) int {
+	p := h.Percent(site)
+	best, bestV := 0, -1.0
+	for i, v := range p {
+		if bestV < 0 || v < bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// HourOfWeekSeries accumulates each site's requests per hour of the
+// trace week; it feeds the clustering analyses, the Fig. 3 diagnostics
+// and the forecasting backtests. In UTC mode hours are trace time; in
+// local mode each request lands in the *client's local* hour of week
+// (wrapped at the week boundary), which is the series a regional
+// operator forecasts against.
+type HourOfWeekSeries struct {
+	week  timeutil.Week
+	local bool
+	sites map[string]*[timeutil.HoursPerWeek]float64
+}
+
+// NewHourOfWeekSeries creates a UTC-time accumulator over the given week.
+func NewHourOfWeekSeries(week timeutil.Week) *HourOfWeekSeries {
+	return &HourOfWeekSeries{week: week, sites: map[string]*[timeutil.HoursPerWeek]float64{}}
+}
+
+// NewLocalHourOfWeekSeries creates a local-time accumulator: requests
+// are bucketed by the client's local hour of week.
+func NewLocalHourOfWeekSeries(week timeutil.Week) *HourOfWeekSeries {
+	return &HourOfWeekSeries{week: week, local: true, sites: map[string]*[timeutil.HoursPerWeek]float64{}}
+}
+
+// Add folds one record; records outside the week are ignored.
+func (h *HourOfWeekSeries) Add(r *trace.Record) {
+	idx := h.week.HourIndex(r.Timestamp)
+	if idx < 0 {
+		return
+	}
+	if h.local {
+		shift := int(r.Region.UTCOffset().Hours())
+		idx = ((idx+shift)%timeutil.HoursPerWeek + timeutil.HoursPerWeek) % timeutil.HoursPerWeek
+	}
+	buckets, ok := h.sites[r.Publisher]
+	if !ok {
+		buckets = &[timeutil.HoursPerWeek]float64{}
+		h.sites[r.Publisher] = buckets
+	}
+	buckets[idx]++
+}
+
+// Merge folds another accumulator in.
+func (h *HourOfWeekSeries) Merge(o *HourOfWeekSeries) {
+	for site, ob := range o.sites {
+		buckets, ok := h.sites[site]
+		if !ok {
+			buckets = &[timeutil.HoursPerWeek]float64{}
+			h.sites[site] = buckets
+		}
+		for i, v := range ob {
+			buckets[i] += v
+		}
+	}
+}
+
+// Series returns the site's hour-of-week request counts.
+func (h *HourOfWeekSeries) Series(site string) []float64 {
+	buckets, ok := h.sites[site]
+	if !ok {
+		return nil
+	}
+	out := make([]float64, timeutil.HoursPerWeek)
+	copy(out, buckets[:])
+	return out
+}

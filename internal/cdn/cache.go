@@ -1,0 +1,535 @@
+// Package cdn simulates the content delivery network the paper observed:
+// geographically distributed edge data centers with configurable caches,
+// an origin, video chunking, browser-cache (conditional request)
+// semantics, and HTTP response-code behaviour. Replaying a synthetic
+// trace through the simulator fills in each record's cache status and
+// response code, enabling the paper's §V caching analyses (Figs. 15-16)
+// and the cache-optimization ablations the paper proposes.
+package cdn
+
+import (
+	"container/heap"
+	"container/list"
+	"fmt"
+	"time"
+)
+
+// Purger is the optional invalidation interface: publishers purge
+// objects when source content changes (the mechanism behind the 304
+// "not modified" guarantee). Policies that can remove a specific key
+// implement it; wrappers forward it when their inner caches do.
+type Purger interface {
+	// Purge removes the object if resident, reporting whether it was.
+	Purge(key uint64) bool
+}
+
+// Cache is a byte-capacity-bounded object cache. Implementations are not
+// safe for concurrent use; each simulated data center owns one cache and
+// replay is single-threaded per DC.
+type Cache interface {
+	// Access looks up the object, admitting it on a miss (subject to the
+	// policy) and evicting as needed. It reports whether the access was
+	// a hit. now supports time-based policies.
+	Access(key uint64, size int64, now time.Time) bool
+	// Contains reports whether the object is currently cached, without
+	// side effects.
+	Contains(key uint64) bool
+	// Push inserts the object without counting an access (used for
+	// proactive content placement).
+	Push(key uint64, size int64, now time.Time)
+	// Len reports the number of cached objects.
+	Len() int
+	// Bytes reports the cached byte volume.
+	Bytes() int64
+	// Capacity reports the configured byte capacity.
+	Capacity() int64
+	// Name identifies the policy for reports.
+	Name() string
+}
+
+// lruEntry is one resident object in an LRU-family cache.
+type lruEntry struct {
+	key  uint64
+	size int64
+}
+
+// LRU is a least-recently-used cache.
+type LRU struct {
+	capacity int64
+	bytes    int64
+	ll       *list.List // front = most recent
+	items    map[uint64]*list.Element
+}
+
+var _ Cache = (*LRU)(nil)
+
+// NewLRU creates an LRU cache with the given byte capacity.
+func NewLRU(capacity int64) *LRU {
+	return &LRU{capacity: capacity, ll: list.New(), items: map[uint64]*list.Element{}}
+}
+
+// Access implements Cache.
+func (c *LRU) Access(key uint64, size int64, _ time.Time) bool {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return true
+	}
+	c.insert(key, size)
+	return false
+}
+
+// Contains implements Cache.
+func (c *LRU) Contains(key uint64) bool { _, ok := c.items[key]; return ok }
+
+// Push implements Cache.
+func (c *LRU) Push(key uint64, size int64, _ time.Time) {
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	c.insert(key, size)
+}
+
+func (c *LRU) insert(key uint64, size int64) {
+	if size > c.capacity {
+		return // uncacheable: larger than the whole cache
+	}
+	for c.bytes+size > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(lruEntry)
+		c.ll.Remove(back)
+		delete(c.items, ev.key)
+		c.bytes -= ev.size
+	}
+	c.items[key] = c.ll.PushFront(lruEntry{key: key, size: size})
+	c.bytes += size
+}
+
+// Len implements Cache.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// Bytes implements Cache.
+func (c *LRU) Bytes() int64 { return c.bytes }
+
+// Capacity implements Cache.
+func (c *LRU) Capacity() int64 { return c.capacity }
+
+// Name implements Cache.
+func (c *LRU) Name() string { return "lru" }
+
+// FIFO evicts in insertion order regardless of reuse.
+type FIFO struct {
+	capacity int64
+	bytes    int64
+	ll       *list.List
+	items    map[uint64]*list.Element
+}
+
+var _ Cache = (*FIFO)(nil)
+
+// NewFIFO creates a FIFO cache with the given byte capacity.
+func NewFIFO(capacity int64) *FIFO {
+	return &FIFO{capacity: capacity, ll: list.New(), items: map[uint64]*list.Element{}}
+}
+
+// Access implements Cache.
+func (c *FIFO) Access(key uint64, size int64, _ time.Time) bool {
+	if _, ok := c.items[key]; ok {
+		return true
+	}
+	c.insert(key, size)
+	return false
+}
+
+// Contains implements Cache.
+func (c *FIFO) Contains(key uint64) bool { _, ok := c.items[key]; return ok }
+
+// Push implements Cache.
+func (c *FIFO) Push(key uint64, size int64, _ time.Time) {
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	c.insert(key, size)
+}
+
+func (c *FIFO) insert(key uint64, size int64) {
+	if size > c.capacity {
+		return
+	}
+	for c.bytes+size > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(lruEntry)
+		c.ll.Remove(back)
+		delete(c.items, ev.key)
+		c.bytes -= ev.size
+	}
+	c.items[key] = c.ll.PushFront(lruEntry{key: key, size: size})
+	c.bytes += size
+}
+
+// Len implements Cache.
+func (c *FIFO) Len() int { return c.ll.Len() }
+
+// Bytes implements Cache.
+func (c *FIFO) Bytes() int64 { return c.bytes }
+
+// Capacity implements Cache.
+func (c *FIFO) Capacity() int64 { return c.capacity }
+
+// Name implements Cache.
+func (c *FIFO) Name() string { return "fifo" }
+
+// lfuItem is a heap node ordered by (frequency, last access tick).
+type lfuItem struct {
+	key   uint64
+	size  int64
+	freq  int64
+	tick  int64 // tie-break: older ticks evict first
+	index int
+}
+
+type lfuHeap []*lfuItem
+
+func (h lfuHeap) Len() int { return len(h) }
+func (h lfuHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].tick < h[j].tick
+}
+func (h lfuHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *lfuHeap) Push(x any) {
+	it := x.(*lfuItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *lfuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// LFU is a least-frequently-used cache with LRU tie-breaking.
+type LFU struct {
+	capacity int64
+	bytes    int64
+	items    map[uint64]*lfuItem
+	heap     lfuHeap
+	tick     int64
+}
+
+var _ Cache = (*LFU)(nil)
+
+// NewLFU creates an LFU cache with the given byte capacity.
+func NewLFU(capacity int64) *LFU {
+	return &LFU{capacity: capacity, items: map[uint64]*lfuItem{}}
+}
+
+// Access implements Cache.
+func (c *LFU) Access(key uint64, size int64, _ time.Time) bool {
+	c.tick++
+	if it, ok := c.items[key]; ok {
+		it.freq++
+		it.tick = c.tick
+		heap.Fix(&c.heap, it.index)
+		return true
+	}
+	c.insert(key, size, 1)
+	return false
+}
+
+// Contains implements Cache.
+func (c *LFU) Contains(key uint64) bool { _, ok := c.items[key]; return ok }
+
+// Push implements Cache.
+func (c *LFU) Push(key uint64, size int64, _ time.Time) {
+	c.tick++
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	c.insert(key, size, 0)
+}
+
+func (c *LFU) insert(key uint64, size int64, freq int64) {
+	if size > c.capacity {
+		return
+	}
+	for c.bytes+size > c.capacity && len(c.heap) > 0 {
+		ev := heap.Pop(&c.heap).(*lfuItem)
+		delete(c.items, ev.key)
+		c.bytes -= ev.size
+	}
+	it := &lfuItem{key: key, size: size, freq: freq, tick: c.tick}
+	heap.Push(&c.heap, it)
+	c.items[key] = it
+	c.bytes += size
+}
+
+// Len implements Cache.
+func (c *LFU) Len() int { return len(c.items) }
+
+// Bytes implements Cache.
+func (c *LFU) Bytes() int64 { return c.bytes }
+
+// Capacity implements Cache.
+func (c *LFU) Capacity() int64 { return c.capacity }
+
+// Name implements Cache.
+func (c *LFU) Name() string { return "lfu" }
+
+// SLRU is a segmented LRU: objects enter a probationary segment and are
+// promoted to a protected segment on re-reference; scans of one-hit
+// objects cannot flush popular content.
+type SLRU struct {
+	probation *LRU
+	protected *LRU
+}
+
+var _ Cache = (*SLRU)(nil)
+
+// NewSLRU creates a segmented LRU with the given total byte capacity;
+// protectedFrac of it (typically 0.8) forms the protected segment.
+func NewSLRU(capacity int64, protectedFrac float64) (*SLRU, error) {
+	if protectedFrac <= 0 || protectedFrac >= 1 {
+		return nil, fmt.Errorf("cdn: protectedFrac %v outside (0,1)", protectedFrac)
+	}
+	prot := int64(float64(capacity) * protectedFrac)
+	return &SLRU{
+		probation: NewLRU(capacity - prot),
+		protected: NewLRU(prot),
+	}, nil
+}
+
+// Access implements Cache.
+func (c *SLRU) Access(key uint64, size int64, now time.Time) bool {
+	if c.protected.Contains(key) {
+		c.protected.Access(key, size, now)
+		return true
+	}
+	if c.probation.Contains(key) {
+		// Promote: remove from probation, insert into protected.
+		c.probation.remove(key)
+		c.protected.Push(key, size, now)
+		c.protected.Access(key, size, now)
+		return true
+	}
+	c.probation.Access(key, size, now)
+	return false
+}
+
+// remove deletes a key from an LRU (SLRU promotion helper).
+func (c *LRU) remove(key uint64) {
+	if el, ok := c.items[key]; ok {
+		ev := el.Value.(lruEntry)
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.bytes -= ev.size
+	}
+}
+
+// Purge implements Purger for LRU.
+func (c *LRU) Purge(key uint64) bool {
+	if !c.Contains(key) {
+		return false
+	}
+	c.remove(key)
+	return true
+}
+
+// Purge implements Purger for FIFO.
+func (c *FIFO) Purge(key uint64) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	ev := el.Value.(lruEntry)
+	c.ll.Remove(el)
+	delete(c.items, key)
+	c.bytes -= ev.size
+	return true
+}
+
+// Purge implements Purger for LFU.
+func (c *LFU) Purge(key uint64) bool {
+	it, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	heap.Remove(&c.heap, it.index)
+	delete(c.items, key)
+	c.bytes -= it.size
+	return true
+}
+
+// Purge implements Purger for SLRU.
+func (c *SLRU) Purge(key uint64) bool {
+	return c.probation.Purge(key) || c.protected.Purge(key)
+}
+
+// Purge implements Purger for SplitCache: the object may live in either
+// partition depending on its size at insertion, so both are tried.
+func (c *SplitCache) Purge(key uint64) bool {
+	purged := false
+	if p, ok := c.Small.(Purger); ok && p.Purge(key) {
+		purged = true
+	}
+	if p, ok := c.Large.(Purger); ok && p.Purge(key) {
+		purged = true
+	}
+	return purged
+}
+
+// Purge implements Purger for TTLCache.
+func (c *TTLCache) Purge(key uint64) bool {
+	delete(c.expires, key)
+	if p, ok := c.inner.(Purger); ok {
+		return p.Purge(key)
+	}
+	return false
+}
+
+// Contains implements Cache.
+func (c *SLRU) Contains(key uint64) bool {
+	return c.probation.Contains(key) || c.protected.Contains(key)
+}
+
+// Push implements Cache.
+func (c *SLRU) Push(key uint64, size int64, now time.Time) {
+	if c.Contains(key) {
+		return
+	}
+	c.probation.Push(key, size, now)
+}
+
+// Len implements Cache.
+func (c *SLRU) Len() int { return c.probation.Len() + c.protected.Len() }
+
+// Bytes implements Cache.
+func (c *SLRU) Bytes() int64 { return c.probation.Bytes() + c.protected.Bytes() }
+
+// Capacity implements Cache.
+func (c *SLRU) Capacity() int64 { return c.probation.Capacity() + c.protected.Capacity() }
+
+// Name implements Cache.
+func (c *SLRU) Name() string { return "slru" }
+
+// TTLCache wraps another cache with per-entry expiry: an entry older than
+// the TTL counts as a miss (revalidation fetch). This models the §V
+// suggestion of class-aware revalidation intervals.
+type TTLCache struct {
+	inner   Cache
+	ttl     time.Duration
+	expires map[uint64]time.Time
+}
+
+var _ Cache = (*TTLCache)(nil)
+
+// NewTTLCache wraps inner with the given TTL.
+func NewTTLCache(inner Cache, ttl time.Duration) (*TTLCache, error) {
+	if ttl <= 0 {
+		return nil, fmt.Errorf("cdn: TTL must be positive, got %v", ttl)
+	}
+	return &TTLCache{inner: inner, ttl: ttl, expires: map[uint64]time.Time{}}, nil
+}
+
+// Access implements Cache.
+func (c *TTLCache) Access(key uint64, size int64, now time.Time) bool {
+	hit := c.inner.Access(key, size, now)
+	if hit {
+		if exp, ok := c.expires[key]; ok && now.After(exp) {
+			hit = false // stale: counts as a revalidation miss
+		}
+	}
+	if !hit {
+		c.expires[key] = now.Add(c.ttl)
+	}
+	return hit
+}
+
+// Contains implements Cache.
+func (c *TTLCache) Contains(key uint64) bool { return c.inner.Contains(key) }
+
+// Push implements Cache.
+func (c *TTLCache) Push(key uint64, size int64, now time.Time) {
+	c.inner.Push(key, size, now)
+	if _, ok := c.expires[key]; !ok {
+		c.expires[key] = now.Add(c.ttl)
+	}
+}
+
+// Len implements Cache.
+func (c *TTLCache) Len() int { return c.inner.Len() }
+
+// Bytes implements Cache.
+func (c *TTLCache) Bytes() int64 { return c.inner.Bytes() }
+
+// Capacity implements Cache.
+func (c *TTLCache) Capacity() int64 { return c.inner.Capacity() }
+
+// Name implements Cache.
+func (c *TTLCache) Name() string { return c.inner.Name() + "+ttl" }
+
+// SplitCache routes objects at or below Threshold bytes to the Small
+// cache and larger ones to the Large cache — the paper's §IV-B
+// implication: "ISPs/CDNs can employ separate caching platforms to
+// optimally serve small and large sized objects".
+type SplitCache struct {
+	Small, Large Cache
+	Threshold    int64
+}
+
+var _ Cache = (*SplitCache)(nil)
+
+// NewSplitCache builds a split cache with the given size threshold.
+func NewSplitCache(small, large Cache, threshold int64) (*SplitCache, error) {
+	if threshold <= 0 {
+		return nil, fmt.Errorf("cdn: split threshold must be positive, got %d", threshold)
+	}
+	return &SplitCache{Small: small, Large: large, Threshold: threshold}, nil
+}
+
+func (c *SplitCache) pick(size int64) Cache {
+	if size <= c.Threshold {
+		return c.Small
+	}
+	return c.Large
+}
+
+// Access implements Cache.
+func (c *SplitCache) Access(key uint64, size int64, now time.Time) bool {
+	return c.pick(size).Access(key, size, now)
+}
+
+// Contains implements Cache.
+func (c *SplitCache) Contains(key uint64) bool {
+	return c.Small.Contains(key) || c.Large.Contains(key)
+}
+
+// Push implements Cache.
+func (c *SplitCache) Push(key uint64, size int64, now time.Time) {
+	c.pick(size).Push(key, size, now)
+}
+
+// Len implements Cache.
+func (c *SplitCache) Len() int { return c.Small.Len() + c.Large.Len() }
+
+// Bytes implements Cache.
+func (c *SplitCache) Bytes() int64 { return c.Small.Bytes() + c.Large.Bytes() }
+
+// Capacity implements Cache.
+func (c *SplitCache) Capacity() int64 { return c.Small.Capacity() + c.Large.Capacity() }
+
+// Name implements Cache.
+func (c *SplitCache) Name() string { return "split(" + c.Small.Name() + "," + c.Large.Name() + ")" }

@@ -1,0 +1,303 @@
+package cdn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2015, 10, 3, 0, 0, 0, 0, time.UTC)
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU(100)
+	if c.Access(1, 40, t0) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(1, 40, t0) {
+		t.Error("second access should hit")
+	}
+	c.Access(2, 40, t0)
+	if c.Bytes() != 80 || c.Len() != 2 {
+		t.Errorf("bytes/len = %d/%d", c.Bytes(), c.Len())
+	}
+	// Touch 1 so 2 is the LRU victim, then overflow.
+	c.Access(1, 40, t0)
+	c.Access(3, 40, t0)
+	if !c.Contains(1) {
+		t.Error("recently used 1 was evicted")
+	}
+	if c.Contains(2) {
+		t.Error("LRU victim 2 should be gone")
+	}
+	if c.Capacity() != 100 {
+		t.Error("capacity")
+	}
+	if c.Name() != "lru" {
+		t.Error("name")
+	}
+}
+
+func TestLRUOversizedObject(t *testing.T) {
+	c := NewLRU(10)
+	c.Access(1, 100, t0) // larger than cache: not admitted
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Error("oversized object was admitted")
+	}
+	if c.Access(1, 100, t0) {
+		t.Error("oversized object can never hit")
+	}
+}
+
+func TestLRUPush(t *testing.T) {
+	c := NewLRU(100)
+	c.Push(1, 50, t0)
+	if !c.Contains(1) {
+		t.Error("pushed object missing")
+	}
+	c.Push(1, 50, t0) // idempotent
+	if c.Bytes() != 50 {
+		t.Errorf("double push inflated bytes to %d", c.Bytes())
+	}
+	if !c.Access(1, 50, t0) {
+		t.Error("pushed object should hit")
+	}
+}
+
+func TestFIFOEvictsInsertionOrder(t *testing.T) {
+	c := NewFIFO(100)
+	c.Access(1, 40, t0)
+	c.Access(2, 40, t0)
+	// Re-access 1: FIFO does not refresh recency.
+	c.Access(1, 40, t0)
+	c.Access(3, 40, t0) // evicts 1 (oldest insertion)
+	if c.Contains(1) {
+		t.Error("FIFO should evict oldest insertion")
+	}
+	if !c.Contains(2) || !c.Contains(3) {
+		t.Error("wrong FIFO eviction")
+	}
+	if c.Name() != "fifo" {
+		t.Error("name")
+	}
+}
+
+func TestLFUKeepsFrequent(t *testing.T) {
+	c := NewLFU(100)
+	for i := 0; i < 5; i++ {
+		c.Access(1, 40, t0) // freq 5
+	}
+	c.Access(2, 40, t0) // freq 1
+	c.Access(3, 40, t0) // evicts 2 (lowest freq)
+	if c.Contains(2) {
+		t.Error("LFU should evict the low-frequency object")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Error("wrong LFU eviction")
+	}
+	if c.Name() != "lfu" {
+		t.Error("name")
+	}
+}
+
+func TestSLRUScanResistance(t *testing.T) {
+	c, err := NewSLRU(100, 0.6) // 40 probation, 60 protected
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make 1 popular: two accesses promote it to protected.
+	c.Access(1, 30, t0)
+	c.Access(1, 30, t0)
+	if !c.Contains(1) {
+		t.Fatal("popular object missing")
+	}
+	// Scan of one-hit wonders through probation.
+	for k := uint64(10); k < 20; k++ {
+		c.Access(k, 30, t0)
+	}
+	if !c.Contains(1) {
+		t.Error("scan evicted the protected object")
+	}
+	if !c.Access(1, 30, t0) {
+		t.Error("protected object should hit")
+	}
+	if _, err := NewSLRU(100, 1.5); err == nil {
+		t.Error("bad protectedFrac should error")
+	}
+	if c.Name() != "slru" {
+		t.Error("name")
+	}
+	c.Push(42, 10, t0)
+	if !c.Contains(42) {
+		t.Error("push should insert")
+	}
+}
+
+func TestTTLCacheExpiry(t *testing.T) {
+	inner := NewLRU(1000)
+	c, err := NewTTLCache(inner, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(1, 10, t0)
+	if !c.Access(1, 10, t0.Add(30*time.Minute)) {
+		t.Error("fresh entry should hit")
+	}
+	if c.Access(1, 10, t0.Add(3*time.Hour)) {
+		t.Error("stale entry should miss (revalidation)")
+	}
+	// After revalidation the entry is fresh again.
+	if !c.Access(1, 10, t0.Add(3*time.Hour+time.Minute)) {
+		t.Error("revalidated entry should hit")
+	}
+	if _, err := NewTTLCache(inner, 0); err == nil {
+		t.Error("zero TTL should error")
+	}
+	if c.Name() != "lru+ttl" {
+		t.Error("name")
+	}
+}
+
+func TestSplitCacheRouting(t *testing.T) {
+	small, large := NewLRU(100), NewLRU(1000)
+	c, err := NewSplitCache(small, large, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(1, 10, t0)  // small
+	c.Access(2, 500, t0) // large
+	if !small.Contains(1) || large.Contains(1) {
+		t.Error("small object misrouted")
+	}
+	if !large.Contains(2) || small.Contains(2) {
+		t.Error("large object misrouted")
+	}
+	if c.Len() != 2 || c.Bytes() != 510 || c.Capacity() != 1100 {
+		t.Errorf("aggregates: len=%d bytes=%d cap=%d", c.Len(), c.Bytes(), c.Capacity())
+	}
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Error("Contains should check both")
+	}
+	c.Push(3, 20, t0)
+	if !small.Contains(3) {
+		t.Error("push misrouted")
+	}
+	if _, err := NewSplitCache(small, large, 0); err == nil {
+		t.Error("zero threshold should error")
+	}
+}
+
+// Property: under any access sequence, every policy keeps Bytes() <=
+// Capacity() and hit+miss accounting consistent.
+func TestCacheInvariantsProperty(t *testing.T) {
+	mk := map[string]func() Cache{
+		"lru":  func() Cache { return NewLRU(500) },
+		"fifo": func() Cache { return NewFIFO(500) },
+		"lfu":  func() Cache { return NewLFU(500) },
+		"slru": func() Cache { c, _ := NewSLRU(500, 0.8); return c },
+	}
+	for name, factory := range mk {
+		t.Run(name, func(t *testing.T) {
+			f := func(keys []uint8, sizes []uint8) bool {
+				c := factory()
+				n := len(keys)
+				if len(sizes) < n {
+					n = len(sizes)
+				}
+				for i := 0; i < n; i++ {
+					size := int64(sizes[i]%200) + 1
+					c.Access(uint64(keys[i]%32), size, t0)
+					if c.Bytes() > c.Capacity() {
+						return false
+					}
+					if c.Len() < 0 {
+						return false
+					}
+				}
+				return c.Bytes() >= 0
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Property: an object just accessed (and admissible) is a hit when
+// re-accessed immediately, for every policy.
+func TestImmediateReaccessHits(t *testing.T) {
+	caches := []Cache{NewLRU(1000), NewFIFO(1000), NewLFU(1000)}
+	slru, _ := NewSLRU(1000, 0.8)
+	caches = append(caches, slru)
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range caches {
+		for i := 0; i < 200; i++ {
+			key := rng.Uint64() % 64
+			size := rng.Int63n(100) + 1
+			c.Access(key, size, t0)
+			if !c.Access(key, size, t0) {
+				t.Errorf("%s: immediate re-access missed", c.Name())
+				break
+			}
+		}
+	}
+}
+
+func TestPurgePolicies(t *testing.T) {
+	slru, _ := NewSLRU(1000, 0.8)
+	split, _ := NewSplitCache(NewLRU(500), NewLRU(500), 50)
+	ttl, _ := NewTTLCache(NewLRU(1000), time.Hour)
+	caches := []Cache{NewLRU(1000), NewFIFO(1000), NewLFU(1000), slru, split, ttl}
+	for _, c := range caches {
+		p, ok := c.(Purger)
+		if !ok {
+			t.Fatalf("%s does not implement Purger", c.Name())
+		}
+		c.Access(1, 10, t0)
+		if !c.Contains(1) {
+			t.Fatalf("%s: setup failed", c.Name())
+		}
+		if !p.Purge(1) {
+			t.Errorf("%s: Purge(resident) = false", c.Name())
+		}
+		if c.Contains(1) {
+			t.Errorf("%s: object survived purge", c.Name())
+		}
+		if p.Purge(1) {
+			t.Errorf("%s: Purge(absent) = true", c.Name())
+		}
+		// Purged object is a miss on re-access.
+		if c.Access(1, 10, t0) {
+			t.Errorf("%s: purged object hit", c.Name())
+		}
+	}
+}
+
+func TestPurgeAccounting(t *testing.T) {
+	c := NewLFU(1000)
+	c.Access(1, 100, t0)
+	c.Access(2, 200, t0)
+	c.Purge(1)
+	if c.Bytes() != 200 || c.Len() != 1 {
+		t.Errorf("after purge: bytes=%d len=%d", c.Bytes(), c.Len())
+	}
+	// Heap stays consistent under further churn.
+	for k := uint64(10); k < 30; k++ {
+		c.Access(k, 60, t0)
+	}
+	if c.Bytes() > c.Capacity() {
+		t.Error("capacity exceeded after purge churn")
+	}
+}
+
+func TestZeroCapacityCacheNeverAdmits(t *testing.T) {
+	for _, c := range []Cache{NewLRU(0), NewFIFO(0), NewLFU(0)} {
+		c.Access(1, 1, t0)
+		if c.Len() != 0 {
+			t.Errorf("%s: zero-capacity cache admitted an object", c.Name())
+		}
+		if c.Access(1, 1, t0) {
+			t.Errorf("%s: zero-capacity cache hit", c.Name())
+		}
+	}
+}

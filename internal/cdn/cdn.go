@@ -1,0 +1,448 @@
+package cdn
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// HTTP status codes the simulator emits, matching the codes in Fig. 16.
+const (
+	StatusOK             = 200
+	StatusNoContent      = 204
+	StatusPartialContent = 206
+	StatusNotModified    = 304
+	StatusForbidden      = 403
+	StatusRangeError     = 416
+)
+
+// Config configures a CDN simulation.
+type Config struct {
+	// NewCache builds the edge cache of one data center. nil defaults to
+	// a 4 GiB LRU.
+	NewCache func() Cache
+	// ChunkBytes is the video chunk granularity ("the CDN treats video
+	// chunks as separate objects for the sake of caching"). Zero
+	// defaults to 2 MiB; negative disables chunking.
+	ChunkBytes int64
+	// BrowserTTL is how long a non-incognito browser keeps a cached copy
+	// fresh enough to revalidate with a conditional request (304 path).
+	// Zero defaults to 24h.
+	BrowserTTL time.Duration
+	// IsIncognito reports whether a user browses privately; incognito
+	// users never revalidate (their local cache dies with the window).
+	// nil means everyone is incognito.
+	IsIncognito func(site string, userID uint64) bool
+	// P403 is the probability a request is rejected (expired hotlink
+	// token / geo block); P416 the probability a video range request is
+	// malformed; P204 the probability an "other" request is a beacon.
+	// All are deterministic per (object, user, sequence) hash.
+	P403, P416, P204 float64
+	// PublisherCaches gives selected publishers a dedicated cache
+	// partition in every data center ("CDNs often customize cache
+	// configuration and performance for individual publishers", §V).
+	// Publishers not listed share the DC's default cache.
+	PublisherCaches map[string]func() Cache
+}
+
+// DataCenter is one simulated edge location.
+type DataCenter struct {
+	// Region is the geography this DC serves.
+	Region timeutil.Region
+	// Cache is the DC's default (shared) edge cache.
+	Cache Cache
+	// PublisherCache holds dedicated partitions for selected publishers.
+	PublisherCache map[string]Cache
+	// Stats accumulates this DC's counters.
+	Stats DCStats
+}
+
+// cacheFor returns the cache serving a publisher at this DC.
+func (dc *DataCenter) cacheFor(publisher string) Cache {
+	if c, ok := dc.PublisherCache[publisher]; ok {
+		return c
+	}
+	return dc.Cache
+}
+
+// DCStats carries per-DC counters.
+type DCStats struct {
+	Requests    int64
+	Hits        int64
+	Misses      int64
+	OriginBytes int64 // bytes fetched from origin (miss fill traffic)
+	EgressBytes int64 // bytes served to clients
+}
+
+// HitRatio returns hits/(hits+misses), or 0 when idle.
+func (s *DCStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// ByteHitRatio returns the fraction of client-served bytes that did not
+// require an origin fetch — the metric CDN contracts usually bill on.
+func (s *DCStats) ByteHitRatio() float64 {
+	if s.EgressBytes == 0 {
+		return 0
+	}
+	saved := s.EgressBytes - s.OriginBytes
+	if saved < 0 {
+		saved = 0
+	}
+	return float64(saved) / float64(s.EgressBytes)
+}
+
+// CDN simulates a multi-datacenter content delivery network.
+type CDN struct {
+	cfg        Config
+	dcs        map[timeutil.Region]*DataCenter
+	clients    *clientState // default client state used by Serve/Replay
+	chunk      int64
+	browserTTL time.Duration
+}
+
+type browserKey struct {
+	user uint64
+	obj  uint64
+}
+
+// clientState tracks per-client request history: browser-cache freshness
+// deadlines and per-user request sequence numbers. ReplayParallel gives
+// each region worker its own instance.
+type clientState struct {
+	browser map[browserKey]time.Time
+	reqSeq  map[uint64]uint32
+}
+
+func newClientState() *clientState {
+	return &clientState{
+		browser: map[browserKey]time.Time{},
+		reqSeq:  map[uint64]uint32{},
+	}
+}
+
+// New creates a CDN with one data center per region.
+func New(cfg Config) *CDN {
+	if cfg.NewCache == nil {
+		cfg.NewCache = func() Cache { return NewLRU(4 << 30) }
+	}
+	chunk := cfg.ChunkBytes
+	if chunk == 0 {
+		chunk = 2 << 20
+	}
+	ttl := cfg.BrowserTTL
+	if ttl == 0 {
+		ttl = 24 * time.Hour
+	}
+	c := &CDN{
+		cfg:        cfg,
+		dcs:        map[timeutil.Region]*DataCenter{},
+		clients:    newClientState(),
+		chunk:      chunk,
+		browserTTL: ttl,
+	}
+	for _, r := range timeutil.AllRegions() {
+		dc := &DataCenter{Region: r, Cache: cfg.NewCache(), PublisherCache: map[string]Cache{}}
+		for pub, mk := range cfg.PublisherCaches {
+			dc.PublisherCache[pub] = mk()
+		}
+		c.dcs[r] = dc
+	}
+	return c
+}
+
+// DC returns the data center serving the given region.
+func (c *CDN) DC(r timeutil.Region) *DataCenter { return c.dcs[r] }
+
+// ResetStats zeroes all per-DC counters while keeping cache contents.
+// Use between a warm-up replay and a measured replay to model the
+// steady-state CDN the paper observed (its week of logs does not start
+// from cold caches).
+func (c *CDN) ResetStats() {
+	for _, dc := range c.dcs {
+		dc.Stats = DCStats{}
+	}
+}
+
+// ResetClientState clears browser-cache freshness and per-user request
+// sequencing, so a measured replay after warm-up sees first-visit
+// conditional-request behaviour again.
+func (c *CDN) ResetClientState() {
+	c.clients = newClientState()
+}
+
+// TotalStats sums counters across all data centers.
+func (c *CDN) TotalStats() DCStats {
+	var out DCStats
+	for _, dc := range c.dcs {
+		out.Requests += dc.Stats.Requests
+		out.Hits += dc.Stats.Hits
+		out.Misses += dc.Stats.Misses
+		out.OriginBytes += dc.Stats.OriginBytes
+		out.EgressBytes += dc.Stats.EgressBytes
+	}
+	return out
+}
+
+// PushToAll inserts an object into every DC cache (proactive placement of
+// popular objects "to locations closer to their end-users", §V).
+func (c *CDN) PushToAll(objectID uint64, size int64, now time.Time) {
+	for _, dc := range c.dcs {
+		dc.Cache.Push(objectID, size, now)
+	}
+}
+
+// PurgeAll invalidates an object (and, for video, its chunks) across all
+// DC caches — a publisher content-update purge. It returns the number of
+// cache entries removed. videoSize > 0 purges chunk keys covering that
+// size; pass 0 for non-chunked objects.
+func (c *CDN) PurgeAll(objectID uint64, videoSize int64) int {
+	var removed int
+	keys := []uint64{objectID}
+	if videoSize > 0 && c.chunk > 0 {
+		total := int((videoSize + c.chunk - 1) / c.chunk)
+		for i := 1; i < total; i++ {
+			keys = append(keys, chunkKey(objectID, i))
+		}
+	}
+	for _, dc := range c.dcs {
+		caches := []Cache{dc.Cache}
+		for _, pc := range dc.PublisherCache {
+			caches = append(caches, pc)
+		}
+		for _, cache := range caches {
+			p, ok := cache.(Purger)
+			if !ok {
+				continue
+			}
+			for _, key := range keys {
+				if p.Purge(key) {
+					removed++
+				}
+			}
+		}
+	}
+	return removed
+}
+
+// Serve processes one request record, returning a copy with StatusCode,
+// Cache and BytesServed finalized. The input record is not modified.
+func (c *CDN) Serve(r *trace.Record) *trace.Record {
+	return c.serve(r, c.clients)
+}
+
+// serve is Serve with explicit client state, enabling per-region workers.
+func (c *CDN) serve(r *trace.Record, clients *clientState) *trace.Record {
+	out := *r
+	dc := c.dcs[r.Region]
+	if dc == nil {
+		// Unknown region: route to the first DC deterministically.
+		dc = c.dcs[timeutil.RegionNorthAmerica]
+	}
+	dc.Stats.Requests++
+
+	seq := clients.reqSeq[r.UserID]
+	clients.reqSeq[r.UserID] = seq + 1
+	die := hash3(r.ObjectID, r.UserID, seq)
+
+	// Access control first: rejected requests never touch the cache.
+	if c.cfg.P403 > 0 && unit(die) < c.cfg.P403 {
+		out.StatusCode = StatusForbidden
+		out.BytesServed = 0
+		out.Cache = trace.CacheUnknown
+		return &out
+	}
+
+	isVideo := r.Category() == trace.CategoryVideo
+	if isVideo && c.cfg.P416 > 0 && unit(die>>8) < c.cfg.P416 {
+		out.StatusCode = StatusRangeError
+		out.BytesServed = 0
+		out.Cache = trace.CacheUnknown
+		return &out
+	}
+	if r.Category() == trace.CategoryOther && c.cfg.P204 > 0 && unit(die>>16) < c.cfg.P204 {
+		out.StatusCode = StatusNoContent
+		out.BytesServed = 0
+		out.Cache = trace.CacheUnknown
+		return &out
+	}
+
+	// Browser cache: a non-incognito user with a fresh local copy sends
+	// a conditional request and gets 304 (no body). Videos are streamed
+	// with ranges and are not revalidated this way.
+	incognito := true
+	if c.cfg.IsIncognito != nil {
+		incognito = c.cfg.IsIncognito(r.Publisher, r.UserID)
+	}
+	bk := browserKey{user: r.UserID, obj: r.ObjectID}
+	if !incognito && !isVideo {
+		if deadline, ok := clients.browser[bk]; ok && r.Timestamp.Before(deadline) {
+			out.StatusCode = StatusNotModified
+			out.BytesServed = 0
+			// The CDN still consults its cache for the validator.
+			hit := dc.cacheFor(r.Publisher).Access(r.ObjectID, r.ObjectSize, r.Timestamp)
+			out.Cache = cacheStatus(hit)
+			c.recordCache(dc, hit, 0, 0)
+			return &out
+		}
+		clients.browser[bk] = r.Timestamp.Add(c.browserTTL)
+	}
+
+	// Edge cache lookup, chunked for video.
+	bytesWanted := r.BytesServed
+	if bytesWanted <= 0 || bytesWanted > r.ObjectSize {
+		bytesWanted = r.ObjectSize
+	}
+	var hit bool
+	var originBytes int64
+	if isVideo && c.chunk > 0 {
+		hit, originBytes = c.accessChunks(dc, r, bytesWanted)
+	} else {
+		hit = dc.cacheFor(r.Publisher).Access(r.ObjectID, r.ObjectSize, r.Timestamp)
+		if !hit {
+			originBytes = r.ObjectSize
+		}
+	}
+	out.Cache = cacheStatus(hit)
+	out.BytesServed = bytesWanted
+	if isVideo && bytesWanted < r.ObjectSize {
+		out.StatusCode = StatusPartialContent
+	} else {
+		out.StatusCode = StatusOK
+	}
+	c.recordCache(dc, hit, originBytes, bytesWanted)
+	return &out
+}
+
+// accessChunks touches the chunks covering [0, bytesWanted) of a video
+// object. The request is a HIT only when every touched chunk was
+// resident, mirroring chunk-level caching with request-level logging.
+func (c *CDN) accessChunks(dc *DataCenter, r *trace.Record, bytesWanted int64) (hit bool, originBytes int64) {
+	nChunks := int((bytesWanted + c.chunk - 1) / c.chunk)
+	if nChunks < 1 {
+		nChunks = 1
+	}
+	cache := dc.cacheFor(r.Publisher)
+	totalChunks := int((r.ObjectSize + c.chunk - 1) / c.chunk)
+	hit = true
+	for i := 0; i < nChunks; i++ {
+		key := chunkKey(r.ObjectID, i)
+		size := c.chunk
+		if i == totalChunks-1 {
+			if rem := r.ObjectSize - int64(totalChunks-1)*c.chunk; rem > 0 {
+				size = rem
+			}
+		}
+		if !cache.Access(key, size, r.Timestamp) {
+			hit = false
+			originBytes += size
+		}
+	}
+	return hit, originBytes
+}
+
+func (c *CDN) recordCache(dc *DataCenter, hit bool, originBytes, egress int64) {
+	if hit {
+		dc.Stats.Hits++
+	} else {
+		dc.Stats.Misses++
+	}
+	dc.Stats.OriginBytes += originBytes
+	dc.Stats.EgressBytes += egress
+}
+
+// Replay streams records from r through the CDN, passing each finalized
+// record to sink. Records should be in timestamp order for faithful
+// browser-cache and TTL behaviour.
+func (c *CDN) Replay(r trace.Reader, sink func(*trace.Record) error) error {
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("cdn: replay read: %w", err)
+		}
+		if err := sink(c.Serve(rec)); err != nil {
+			return err
+		}
+	}
+}
+
+// ReplayAll replays and collects the finalized records.
+func (c *CDN) ReplayAll(r trace.Reader) ([]*trace.Record, error) {
+	var out []*trace.Record
+	err := c.Replay(r, func(rec *trace.Record) error {
+		out = append(out, rec)
+		return nil
+	})
+	return out, err
+}
+
+// WarmedReplay runs the steady-state measurement protocol used
+// throughout the repository: replay the records once to warm the edge
+// caches, reset counters and client state, then replay again and return
+// the measured records. The input slice must be timestamp-ordered.
+func (c *CDN) WarmedReplay(recs []*trace.Record) ([]*trace.Record, error) {
+	discard := func(*trace.Record) error { return nil }
+	if err := c.Replay(trace.NewSliceReader(recs), discard); err != nil {
+		return nil, err
+	}
+	c.ResetStats()
+	c.ResetClientState()
+	return c.ReplayAll(trace.NewSliceReader(recs))
+}
+
+func cacheStatus(hit bool) trace.CacheStatus {
+	if hit {
+		return trace.CacheHit
+	}
+	return trace.CacheMiss
+}
+
+// chunkKey derives the cache key of a video chunk.
+func chunkKey(objectID uint64, chunk int) uint64 {
+	if chunk == 0 {
+		return objectID
+	}
+	h := fnv.New64a()
+	var b [12]byte
+	putUint64(b[:8], objectID)
+	putUint32(b[8:], uint32(chunk))
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// hash3 mixes three values into a deterministic die roll.
+func hash3(a, b uint64, c uint32) uint64 {
+	h := fnv.New64a()
+	var buf [20]byte
+	putUint64(buf[0:8], a)
+	putUint64(buf[8:16], b)
+	putUint32(buf[16:20], c)
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 { return float64(h%1_000_000) / 1_000_000 }
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+func putUint32(b []byte, v uint32) {
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (24 - 8*i))
+	}
+}

@@ -1,0 +1,309 @@
+package cdn
+
+import (
+	"testing"
+	"time"
+
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+func videoReq(obj uint64, user uint64, size, served int64, ts time.Time) *trace.Record {
+	return &trace.Record{
+		Timestamp:   ts,
+		Publisher:   "V-1",
+		ObjectID:    obj,
+		FileType:    trace.FileMP4,
+		ObjectSize:  size,
+		BytesServed: served,
+		UserID:      user,
+		UserAgent:   "UA",
+		Region:      timeutil.RegionEurope,
+		StatusCode:  200,
+	}
+}
+
+func imageReq(obj uint64, user uint64, size int64, ts time.Time) *trace.Record {
+	r := videoReq(obj, user, size, size, ts)
+	r.FileType = trace.FileJPG
+	r.Publisher = "P-1"
+	return r
+}
+
+func TestServeBasicHitMiss(t *testing.T) {
+	c := New(Config{ChunkBytes: -1})
+	r := imageReq(1, 100, 1000, t0)
+	out := c.Serve(r)
+	if out.Cache != trace.CacheMiss {
+		t.Errorf("first request cache = %v, want MISS", out.Cache)
+	}
+	if out.StatusCode != StatusOK {
+		t.Errorf("status = %d, want 200", out.StatusCode)
+	}
+	out2 := c.Serve(r)
+	if out2.Cache != trace.CacheHit {
+		t.Errorf("second request cache = %v, want HIT", out2.Cache)
+	}
+	// Input record untouched.
+	if r.Cache != trace.CacheUnknown {
+		t.Error("Serve must not mutate its input")
+	}
+	stats := c.TotalStats()
+	if stats.Requests != 2 || stats.Hits != 1 || stats.Misses != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestServePartialContentForVideo(t *testing.T) {
+	c := New(Config{})
+	r := videoReq(1, 100, 10<<20, 3<<20, t0)
+	out := c.Serve(r)
+	if out.StatusCode != StatusPartialContent {
+		t.Errorf("partial video status = %d, want 206", out.StatusCode)
+	}
+	if out.BytesServed != 3<<20 {
+		t.Errorf("BytesServed = %d", out.BytesServed)
+	}
+	// Full-object fetch is a 200.
+	full := videoReq(2, 100, 1<<20, 1<<20, t0)
+	if got := c.Serve(full).StatusCode; got != StatusOK {
+		t.Errorf("full video status = %d, want 200", got)
+	}
+}
+
+func TestServeChunkedVideoCaching(t *testing.T) {
+	c := New(Config{ChunkBytes: 1 << 20})
+	// First viewer fetches the first 3 MB of a 10 MB video.
+	r1 := videoReq(7, 1, 10<<20, 3<<20, t0)
+	if got := c.Serve(r1); got.Cache != trace.CacheMiss {
+		t.Errorf("cold chunks should MISS, got %v", got.Cache)
+	}
+	// Second viewer in the same region fetches the first 2 MB: all
+	// touched chunks are now resident.
+	r2 := videoReq(7, 2, 10<<20, 2<<20, t0.Add(time.Minute))
+	if got := c.Serve(r2); got.Cache != trace.CacheHit {
+		t.Errorf("warm chunks should HIT, got %v", got.Cache)
+	}
+	// Third viewer fetches 5 MB: chunks 4-5 are cold, so MISS.
+	r3 := videoReq(7, 3, 10<<20, 5<<20, t0.Add(2*time.Minute))
+	if got := c.Serve(r3); got.Cache != trace.CacheMiss {
+		t.Errorf("partially cold fetch should MISS, got %v", got.Cache)
+	}
+}
+
+func TestServeRegionalIsolation(t *testing.T) {
+	c := New(Config{ChunkBytes: -1})
+	eu := imageReq(1, 1, 1000, t0)
+	na := imageReq(1, 2, 1000, t0)
+	na.Region = timeutil.RegionNorthAmerica
+	c.Serve(eu)
+	// The NA DC has not seen the object.
+	if got := c.Serve(na); got.Cache != trace.CacheMiss {
+		t.Errorf("cross-region request should MISS its own DC, got %v", got.Cache)
+	}
+	if got := c.Serve(eu); got.Cache != trace.CacheHit {
+		t.Errorf("same-region re-request should HIT, got %v", got.Cache)
+	}
+	if c.DC(timeutil.RegionEurope).Stats.Requests != 2 {
+		t.Error("EU DC request count")
+	}
+	if c.DC(timeutil.RegionNorthAmerica).Stats.Requests != 1 {
+		t.Error("NA DC request count")
+	}
+}
+
+func TestServe304ForReturningNonIncognitoUser(t *testing.T) {
+	c := New(Config{
+		ChunkBytes:  -1,
+		BrowserTTL:  time.Hour,
+		IsIncognito: func(string, uint64) bool { return false },
+	})
+	r := imageReq(1, 100, 1000, t0)
+	first := c.Serve(r)
+	if first.StatusCode != StatusOK {
+		t.Fatalf("first = %d", first.StatusCode)
+	}
+	again := imageReq(1, 100, 1000, t0.Add(10*time.Minute))
+	got := c.Serve(again)
+	if got.StatusCode != StatusNotModified {
+		t.Errorf("returning user status = %d, want 304", got.StatusCode)
+	}
+	if got.BytesServed != 0 {
+		t.Errorf("304 must carry no body, got %d bytes", got.BytesServed)
+	}
+	// After browser TTL expiry: full 200 again.
+	late := imageReq(1, 100, 1000, t0.Add(2*time.Hour))
+	if got := c.Serve(late).StatusCode; got != StatusOK {
+		t.Errorf("stale browser copy status = %d, want 200", got)
+	}
+}
+
+func TestServeIncognitoUserNever304(t *testing.T) {
+	c := New(Config{
+		ChunkBytes:  -1,
+		IsIncognito: func(string, uint64) bool { return true },
+	})
+	r := imageReq(1, 100, 1000, t0)
+	c.Serve(r)
+	got := c.Serve(imageReq(1, 100, 1000, t0.Add(time.Minute)))
+	if got.StatusCode == StatusNotModified {
+		t.Error("incognito users must not revalidate")
+	}
+	if got.StatusCode != StatusOK {
+		t.Errorf("status = %d, want 200", got.StatusCode)
+	}
+}
+
+func TestServeErrorCodes(t *testing.T) {
+	// With P403=1 every request is rejected.
+	c := New(Config{P403: 1})
+	out := c.Serve(imageReq(1, 1, 100, t0))
+	if out.StatusCode != StatusForbidden || out.BytesServed != 0 {
+		t.Errorf("403 path: %+v", out)
+	}
+	// Forbidden requests must not populate the cache.
+	if c.TotalStats().Hits+c.TotalStats().Misses != 0 {
+		t.Error("403 touched the cache")
+	}
+	// With P416=1 every video range request fails.
+	c2 := New(Config{P416: 1})
+	out2 := c2.Serve(videoReq(1, 1, 1000, 500, t0))
+	if out2.StatusCode != StatusRangeError {
+		t.Errorf("416 path: %d", out2.StatusCode)
+	}
+	// Images are unaffected by P416.
+	if got := c2.Serve(imageReq(2, 1, 100, t0)).StatusCode; got != StatusOK {
+		t.Errorf("image with P416=1: %d", got)
+	}
+	// With P204=1 every "other" request is a beacon.
+	c3 := New(Config{P204: 1})
+	other := imageReq(3, 1, 100, t0)
+	other.FileType = trace.FileJS
+	if got := c3.Serve(other).StatusCode; got != StatusNoContent {
+		t.Errorf("204 path: %d", got)
+	}
+}
+
+func TestReplayAll(t *testing.T) {
+	c := New(Config{ChunkBytes: -1})
+	recs := []*trace.Record{
+		imageReq(1, 1, 100, t0),
+		imageReq(1, 2, 100, t0.Add(time.Second)),
+		imageReq(2, 1, 100, t0.Add(2*time.Second)),
+	}
+	out, err := c.ReplayAll(trace.NewSliceReader(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("replayed %d records", len(out))
+	}
+	if out[0].Cache != trace.CacheMiss || out[1].Cache != trace.CacheHit || out[2].Cache != trace.CacheMiss {
+		t.Errorf("cache sequence: %v %v %v", out[0].Cache, out[1].Cache, out[2].Cache)
+	}
+	stats := c.TotalStats()
+	if stats.HitRatio() < 0.32 || stats.HitRatio() > 0.34 {
+		t.Errorf("hit ratio = %v, want 1/3", stats.HitRatio())
+	}
+}
+
+func TestPushToAllWarmsEveryDC(t *testing.T) {
+	c := New(Config{ChunkBytes: -1})
+	c.PushToAll(9, 100, t0)
+	for _, region := range timeutil.AllRegions() {
+		r := imageReq(9, uint64(region), 100, t0)
+		r.Region = region
+		if got := c.Serve(r); got.Cache != trace.CacheHit {
+			t.Errorf("region %v: pushed object missed", region)
+		}
+	}
+}
+
+func TestDCStatsHitRatioIdle(t *testing.T) {
+	var s DCStats
+	if s.HitRatio() != 0 {
+		t.Error("idle hit ratio should be 0")
+	}
+	if s.ByteHitRatio() != 0 {
+		t.Error("idle byte hit ratio should be 0")
+	}
+}
+
+func TestDCStatsByteHitRatio(t *testing.T) {
+	s := DCStats{EgressBytes: 1000, OriginBytes: 250}
+	if got := s.ByteHitRatio(); got != 0.75 {
+		t.Errorf("ByteHitRatio = %v, want 0.75", got)
+	}
+	// Origin exceeding egress (prefetch waste) clamps to zero.
+	s = DCStats{EgressBytes: 100, OriginBytes: 500}
+	if got := s.ByteHitRatio(); got != 0 {
+		t.Errorf("ByteHitRatio = %v, want 0", got)
+	}
+}
+
+func TestPurgeAllInvalidatesEverywhere(t *testing.T) {
+	c := New(Config{ChunkBytes: 1 << 20})
+	// Warm the same video's chunks in two regions.
+	size := int64(3 << 20)
+	for _, region := range []timeutil.Region{timeutil.RegionEurope, timeutil.RegionAsia} {
+		r := videoReq(5, uint64(region), size, size, t0)
+		r.Region = region
+		c.Serve(r)
+	}
+	removed := c.PurgeAll(5, size)
+	if removed != 6 { // 3 chunks x 2 regions
+		t.Errorf("removed %d entries, want 6", removed)
+	}
+	// Idempotent: nothing left to remove.
+	if c.PurgeAll(5, size) != 0 {
+		t.Error("second purge should remove nothing")
+	}
+	// Next request misses again (and refills).
+	r := videoReq(5, 99, size, size, t0.Add(time.Minute))
+	if got := c.Serve(r); got.Cache == trace.CacheHit {
+		t.Error("purged video still hit")
+	}
+}
+
+func TestPublisherCachePartition(t *testing.T) {
+	c := New(Config{
+		ChunkBytes: -1,
+		NewCache:   func() Cache { return NewLRU(1 << 20) },
+		PublisherCaches: map[string]func() Cache{
+			"P-1": func() Cache { return NewLRU(1 << 20) },
+		},
+	})
+	// P-1 requests land in the dedicated partition; V-1 in the shared
+	// default cache.
+	p1 := imageReq(1, 1, 1000, t0) // publisher P-1 per helper
+	c.Serve(p1)
+	v1 := videoReq(2, 2, 1000, 1000, t0)
+	c.Serve(v1)
+	dc := c.DC(timeutil.RegionEurope)
+	if !dc.PublisherCache["P-1"].Contains(1) {
+		t.Error("P-1 object missing from its partition")
+	}
+	if dc.Cache.Contains(1) {
+		t.Error("P-1 object leaked into the shared cache")
+	}
+	if !dc.Cache.Contains(2) {
+		t.Error("V-1 object missing from the shared cache")
+	}
+	// Partitioned publisher is isolated from shared-cache churn.
+	for k := uint64(100); k < 2000; k++ {
+		c.Serve(videoReq(k, 3, 1000, 1000, t0))
+	}
+	if got := c.Serve(p1); got.Cache != trace.CacheHit {
+		t.Errorf("partitioned object evicted by shared churn: %v", got.Cache)
+	}
+}
+
+func TestServeOversizedBytesServedClamped(t *testing.T) {
+	c := New(Config{ChunkBytes: -1})
+	r := imageReq(1, 1, 100, t0)
+	r.BytesServed = 500 // inconsistent: more than the object
+	out := c.Serve(r)
+	if out.BytesServed != 100 {
+		t.Errorf("BytesServed = %d, want clamped to 100", out.BytesServed)
+	}
+}

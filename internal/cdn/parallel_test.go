@@ -1,0 +1,113 @@
+package cdn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// regionStableTrace builds a trace where each user sticks to one region.
+func regionStableTrace(n int, seed int64) []*trace.Record {
+	rng := rand.New(rand.NewSource(seed))
+	regions := timeutil.AllRegions()
+	userRegion := map[uint64]timeutil.Region{}
+	recs := make([]*trace.Record, n)
+	for i := range recs {
+		user := rng.Uint64() % 200
+		region, ok := userRegion[user]
+		if !ok {
+			region = regions[rng.Intn(len(regions))]
+			userRegion[user] = region
+		}
+		ft := trace.FileJPG
+		size := int64(rng.Intn(100_000) + 100)
+		if rng.Intn(4) == 0 {
+			ft = trace.FileMP4
+			size = int64(rng.Intn(20_000_000) + 1_000_000)
+		}
+		recs[i] = &trace.Record{
+			Timestamp:   t0.Add(time.Duration(i) * 37 * time.Second),
+			Publisher:   "V-1",
+			ObjectID:    rng.Uint64() % 500,
+			FileType:    ft,
+			ObjectSize:  size,
+			BytesServed: size,
+			UserID:      user,
+			UserAgent:   "UA",
+			Region:      region,
+			StatusCode:  200,
+		}
+	}
+	return recs
+}
+
+func TestReplayParallelMatchesSequential(t *testing.T) {
+	recs := regionStableTrace(8000, 1)
+	mk := func() *CDN {
+		return New(Config{
+			NewCache:    func() Cache { return NewLRU(64 << 20) },
+			IsIncognito: func(_ string, u uint64) bool { return u%2 == 0 },
+			P403:        0.01,
+			P416:        0.005,
+		})
+	}
+
+	seqCDN := mk()
+	seq, err := seqCDN.ReplayAll(trace.NewSliceReader(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCDN := mk()
+	par, err := parCDN.ReplayParallel(trace.NewSliceReader(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("lengths: %d vs %d", len(seq), len(par))
+	}
+	// Aggregate stats must match exactly.
+	if seqCDN.TotalStats() != parCDN.TotalStats() {
+		t.Errorf("stats differ:\nseq %+v\npar %+v", seqCDN.TotalStats(), parCDN.TotalStats())
+	}
+	for _, region := range timeutil.AllRegions() {
+		if seqCDN.DC(region).Stats != parCDN.DC(region).Stats {
+			t.Errorf("region %v stats differ", region)
+		}
+	}
+	// Per-record outcomes must match. Sequential output preserves trace
+	// order; parallel output is timestamp-sorted — our timestamps are
+	// unique and increasing, so the orders coincide.
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Fatalf("record %d differs:\nseq %+v\npar %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestReplayParallelRejectsRegionUnstableUsers(t *testing.T) {
+	recs := regionStableTrace(10, 2)
+	// Violate stability: same user in two regions.
+	bad := *recs[0]
+	bad.Region = timeutil.RegionAsia
+	if recs[0].Region == timeutil.RegionAsia {
+		bad.Region = timeutil.RegionEurope
+	}
+	bad.Timestamp = recs[len(recs)-1].Timestamp.Add(time.Minute)
+	recs = append(recs, &bad)
+	c := New(Config{})
+	if _, err := c.ReplayParallel(trace.NewSliceReader(recs)); err == nil {
+		t.Error("region-unstable trace should be rejected")
+	}
+}
+
+func TestReplayParallelEmptyTrace(t *testing.T) {
+	c := New(Config{})
+	out, err := c.ReplayParallel(trace.NewSliceReader(nil))
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty: %d, %v", len(out), err)
+	}
+}

@@ -1,0 +1,402 @@
+package cdn
+
+import (
+	"container/heap"
+	"container/list"
+	"fmt"
+	"time"
+)
+
+// GDSF is a Greedy-Dual-Size-Frequency cache: eviction priority is
+// inflation + frequency/size, so small, frequently-used objects are
+// protected from large one-shot objects — the classic web-cache policy
+// for the mixed image/video workloads this repository studies.
+type GDSF struct {
+	capacity int64
+	bytes    int64
+	items    map[uint64]*gdsfItem
+	heap     gdsfHeap
+	inflate  float64 // L: priority floor, raised to each eviction's priority
+	tick     int64
+}
+
+type gdsfItem struct {
+	key      uint64
+	size     int64
+	freq     float64
+	priority float64
+	tick     int64
+	index    int
+}
+
+type gdsfHeap []*gdsfItem
+
+func (h gdsfHeap) Len() int { return len(h) }
+func (h gdsfHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].tick < h[j].tick
+}
+func (h gdsfHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *gdsfHeap) Push(x any) {
+	it := x.(*gdsfItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *gdsfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+var _ Cache = (*GDSF)(nil)
+
+// NewGDSF creates a GDSF cache with the given byte capacity.
+func NewGDSF(capacity int64) *GDSF {
+	return &GDSF{capacity: capacity, items: map[uint64]*gdsfItem{}}
+}
+
+// priority computes L + freq/size (sizes in KiB so priorities stay in a
+// numerically comfortable range).
+func (c *GDSF) priority(freq float64, size int64) float64 {
+	kb := float64(size) / 1024
+	if kb < 0.001 {
+		kb = 0.001
+	}
+	return c.inflate + freq/kb
+}
+
+// Access implements Cache.
+func (c *GDSF) Access(key uint64, size int64, _ time.Time) bool {
+	c.tick++
+	if it, ok := c.items[key]; ok {
+		it.freq++
+		it.priority = c.priority(it.freq, it.size)
+		it.tick = c.tick
+		heap.Fix(&c.heap, it.index)
+		return true
+	}
+	c.insert(key, size, 1)
+	return false
+}
+
+// Contains implements Cache.
+func (c *GDSF) Contains(key uint64) bool { _, ok := c.items[key]; return ok }
+
+// Push implements Cache.
+func (c *GDSF) Push(key uint64, size int64, _ time.Time) {
+	c.tick++
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	c.insert(key, size, 0.5)
+}
+
+func (c *GDSF) insert(key uint64, size int64, freq float64) {
+	if size > c.capacity {
+		return
+	}
+	for c.bytes+size > c.capacity && len(c.heap) > 0 {
+		ev := heap.Pop(&c.heap).(*gdsfItem)
+		delete(c.items, ev.key)
+		c.bytes -= ev.size
+		// Inflation: future insertions compete against the value of
+		// what was just evicted.
+		if ev.priority > c.inflate {
+			c.inflate = ev.priority
+		}
+	}
+	it := &gdsfItem{key: key, size: size, freq: freq, tick: c.tick}
+	it.priority = c.priority(freq, size)
+	heap.Push(&c.heap, it)
+	c.items[key] = it
+	c.bytes += size
+}
+
+// Len implements Cache.
+func (c *GDSF) Len() int { return len(c.items) }
+
+// Bytes implements Cache.
+func (c *GDSF) Bytes() int64 { return c.bytes }
+
+// Capacity implements Cache.
+func (c *GDSF) Capacity() int64 { return c.capacity }
+
+// Name implements Cache.
+func (c *GDSF) Name() string { return "gdsf" }
+
+// TwoQ is the 2Q cache: a FIFO "in" queue absorbs first-time accesses, a
+// ghost "out" queue remembers recently evicted keys (no bytes), and only
+// objects re-referenced while in the ghost queue enter the main LRU.
+// Like SLRU it resists one-hit scans, but with an explicit ghost history.
+type TwoQ struct {
+	in      *FIFO
+	main    *LRU
+	ghost   *list.List // keys only, front = newest
+	ghostIx map[uint64]*list.Element
+	ghostN  int
+}
+
+var _ Cache = (*TwoQ)(nil)
+
+// NewTwoQ creates a 2Q cache: inFrac of the capacity forms the probation
+// FIFO (typically 0.25), ghostN bounds the ghost-key history.
+func NewTwoQ(capacity int64, inFrac float64, ghostN int) (*TwoQ, error) {
+	if inFrac <= 0 || inFrac >= 1 {
+		return nil, fmt.Errorf("cdn: 2Q inFrac %v outside (0,1)", inFrac)
+	}
+	if ghostN < 1 {
+		return nil, fmt.Errorf("cdn: 2Q ghostN %d < 1", ghostN)
+	}
+	inCap := int64(float64(capacity) * inFrac)
+	return &TwoQ{
+		in:      NewFIFO(inCap),
+		main:    NewLRU(capacity - inCap),
+		ghost:   list.New(),
+		ghostIx: map[uint64]*list.Element{},
+		ghostN:  ghostN,
+	}, nil
+}
+
+// Access implements Cache.
+func (c *TwoQ) Access(key uint64, size int64, now time.Time) bool {
+	if c.main.Contains(key) {
+		c.main.Access(key, size, now)
+		return true
+	}
+	if c.in.Contains(key) {
+		// 2Q-simplified: a re-reference within the in-queue stays there
+		// (hot-for-a-moment objects don't pollute main).
+		return true
+	}
+	if _, ghosted := c.ghostIx[key]; ghosted {
+		c.removeGhost(key)
+		c.main.Access(key, size, now)
+		return false // the bytes were not cached; it is a miss
+	}
+	// First sight: into the FIFO in-queue; remember evictions as ghosts.
+	evicted := c.in.insertTracking(key, size)
+	for _, ek := range evicted {
+		c.addGhost(ek)
+	}
+	return false
+}
+
+// insertTracking inserts into the FIFO and returns the evicted keys.
+func (c *FIFO) insertTracking(key uint64, size int64) []uint64 {
+	if size > c.capacity {
+		return nil
+	}
+	var evicted []uint64
+	for c.bytes+size > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(lruEntry)
+		c.ll.Remove(back)
+		delete(c.items, ev.key)
+		c.bytes -= ev.size
+		evicted = append(evicted, ev.key)
+	}
+	c.items[key] = c.ll.PushFront(lruEntry{key: key, size: size})
+	c.bytes += size
+	return evicted
+}
+
+func (c *TwoQ) addGhost(key uint64) {
+	if _, ok := c.ghostIx[key]; ok {
+		return
+	}
+	c.ghostIx[key] = c.ghost.PushFront(key)
+	for c.ghost.Len() > c.ghostN {
+		back := c.ghost.Back()
+		delete(c.ghostIx, back.Value.(uint64))
+		c.ghost.Remove(back)
+	}
+}
+
+func (c *TwoQ) removeGhost(key uint64) {
+	if el, ok := c.ghostIx[key]; ok {
+		c.ghost.Remove(el)
+		delete(c.ghostIx, key)
+	}
+}
+
+// Contains implements Cache.
+func (c *TwoQ) Contains(key uint64) bool {
+	return c.in.Contains(key) || c.main.Contains(key)
+}
+
+// Push implements Cache.
+func (c *TwoQ) Push(key uint64, size int64, now time.Time) {
+	if c.Contains(key) {
+		return
+	}
+	c.main.Push(key, size, now)
+}
+
+// Len implements Cache.
+func (c *TwoQ) Len() int { return c.in.Len() + c.main.Len() }
+
+// Bytes implements Cache.
+func (c *TwoQ) Bytes() int64 { return c.in.Bytes() + c.main.Bytes() }
+
+// Capacity implements Cache.
+func (c *TwoQ) Capacity() int64 { return c.in.Capacity() + c.main.Capacity() }
+
+// Name implements Cache.
+func (c *TwoQ) Name() string { return "2q" }
+
+// AdmissionCache wraps a cache with a frequency doorkeeper: an object is
+// admitted on a miss only after it has been seen Threshold times within
+// the current window. One-hit wonders — the long tail of Fig. 6 — never
+// displace resident content. Lookup state is an approximate counting
+// table that halves periodically (a TinyLFU-style aging scheme without
+// the Bloom compaction).
+type AdmissionCache struct {
+	inner     Cache
+	threshold uint8
+	counts    map[uint64]uint8
+	ops       int
+	window    int
+}
+
+var _ Cache = (*AdmissionCache)(nil)
+
+// NewAdmissionCache wraps inner, admitting objects on their
+// threshold-th sighting within a window of windowOps operations.
+func NewAdmissionCache(inner Cache, threshold uint8, windowOps int) (*AdmissionCache, error) {
+	if threshold < 1 {
+		return nil, fmt.Errorf("cdn: admission threshold %d < 1", threshold)
+	}
+	if windowOps < 1 {
+		return nil, fmt.Errorf("cdn: admission window %d < 1", windowOps)
+	}
+	return &AdmissionCache{
+		inner:     inner,
+		threshold: threshold,
+		counts:    map[uint64]uint8{},
+		window:    windowOps,
+	}, nil
+}
+
+// Access implements Cache.
+func (c *AdmissionCache) Access(key uint64, size int64, now time.Time) bool {
+	c.age()
+	if c.inner.Contains(key) {
+		return c.inner.Access(key, size, now)
+	}
+	n := c.counts[key]
+	if n < 255 {
+		c.counts[key] = n + 1
+	}
+	if c.counts[key] >= c.threshold {
+		c.inner.Access(key, size, now) // admit (miss, then resident)
+	}
+	return false
+}
+
+// age halves all counters once per window, bounding table staleness.
+func (c *AdmissionCache) age() {
+	c.ops++
+	if c.ops < c.window {
+		return
+	}
+	c.ops = 0
+	for k, v := range c.counts {
+		v /= 2
+		if v == 0 {
+			delete(c.counts, k)
+		} else {
+			c.counts[k] = v
+		}
+	}
+}
+
+// Contains implements Cache.
+func (c *AdmissionCache) Contains(key uint64) bool { return c.inner.Contains(key) }
+
+// Push implements Cache.
+func (c *AdmissionCache) Push(key uint64, size int64, now time.Time) {
+	c.inner.Push(key, size, now)
+}
+
+// Len implements Cache.
+func (c *AdmissionCache) Len() int { return c.inner.Len() }
+
+// Bytes implements Cache.
+func (c *AdmissionCache) Bytes() int64 { return c.inner.Bytes() }
+
+// Capacity implements Cache.
+func (c *AdmissionCache) Capacity() int64 { return c.inner.Capacity() }
+
+// Name implements Cache.
+func (c *AdmissionCache) Name() string { return c.inner.Name() + "+admit" }
+
+// TieredCache models an edge cache backed by a regional parent (origin
+// shield): an edge miss consults the parent before the origin. Parent
+// hits avoid origin traffic but still count as edge misses for the
+// edge's own hit ratio — exactly how CDN hierarchies report.
+type TieredCache struct {
+	edge, parent Cache
+	// ParentHits counts edge misses absorbed by the parent tier.
+	ParentHits int64
+	// ParentMisses counts requests that fell through to the origin.
+	ParentMisses int64
+}
+
+var _ Cache = (*TieredCache)(nil)
+
+// NewTieredCache builds a two-tier cache. The parent is typically shared
+// across edges; pass the same parent Cache to several TieredCaches to
+// model that (single-threaded replay only).
+func NewTieredCache(edge, parent Cache) *TieredCache {
+	return &TieredCache{edge: edge, parent: parent}
+}
+
+// Access implements Cache. The return value reflects the *edge* tier.
+func (c *TieredCache) Access(key uint64, size int64, now time.Time) bool {
+	if c.edge.Access(key, size, now) {
+		return true
+	}
+	if c.parent.Access(key, size, now) {
+		c.ParentHits++
+	} else {
+		c.ParentMisses++
+	}
+	return false
+}
+
+// Contains implements Cache.
+func (c *TieredCache) Contains(key uint64) bool {
+	return c.edge.Contains(key) || c.parent.Contains(key)
+}
+
+// Push implements Cache.
+func (c *TieredCache) Push(key uint64, size int64, now time.Time) {
+	c.edge.Push(key, size, now)
+	c.parent.Push(key, size, now)
+}
+
+// Len implements Cache.
+func (c *TieredCache) Len() int { return c.edge.Len() + c.parent.Len() }
+
+// Bytes implements Cache.
+func (c *TieredCache) Bytes() int64 { return c.edge.Bytes() + c.parent.Bytes() }
+
+// Capacity implements Cache.
+func (c *TieredCache) Capacity() int64 { return c.edge.Capacity() + c.parent.Capacity() }
+
+// Name implements Cache.
+func (c *TieredCache) Name() string {
+	return "tiered(" + c.edge.Name() + "<-" + c.parent.Name() + ")"
+}

@@ -1,0 +1,148 @@
+package cdn
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+)
+
+// HashRing is a consistent-hash ring mapping object keys to shard
+// indices. Each shard gets vnodes virtual points on the ring, smoothing
+// the load split; adding or removing a shard only remaps ~1/n of keys —
+// the property CDN clusters rely on to survive server churn without mass
+// cache invalidation.
+type HashRing struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewHashRing builds a ring over the given number of shards with vnodes
+// virtual points each.
+func NewHashRing(shards, vnodes int) (*HashRing, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("cdn: hash ring needs >= 1 shard, got %d", shards)
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("cdn: hash ring needs >= 1 vnode, got %d", vnodes)
+	}
+	r := &HashRing{shards: shards}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "shard-%d-vnode-%d", s, v)
+			// FNV clusters on structured inputs; finalize with a
+			// splitmix64 round for uniform ring placement.
+			r.points = append(r.points, ringPoint{hash: mix64(h.Sum64()), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// Shards reports the number of shards.
+func (r *HashRing) Shards() int { return r.shards }
+
+// Shard maps an object key to its shard.
+func (r *HashRing) Shard(key uint64) int {
+	kh := mix64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// mix64 is the splitmix64 finalizer: a fast, high-quality 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShardedCache distributes objects over several cache servers with
+// consistent hashing — one simulated CDN data center is in reality a
+// cluster of such servers, and sharding determines both load balance and
+// the effective per-object cache capacity.
+type ShardedCache struct {
+	ring   *HashRing
+	shards []Cache
+}
+
+var _ Cache = (*ShardedCache)(nil)
+
+// NewShardedCache builds a sharded cache; newShard creates each server's
+// local cache.
+func NewShardedCache(shards, vnodes int, newShard func() Cache) (*ShardedCache, error) {
+	ring, err := NewHashRing(shards, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	sc := &ShardedCache{ring: ring, shards: make([]Cache, shards)}
+	for i := range sc.shards {
+		sc.shards[i] = newShard()
+	}
+	return sc, nil
+}
+
+// Access implements Cache.
+func (c *ShardedCache) Access(key uint64, size int64, now time.Time) bool {
+	return c.shards[c.ring.Shard(key)].Access(key, size, now)
+}
+
+// Contains implements Cache.
+func (c *ShardedCache) Contains(key uint64) bool {
+	return c.shards[c.ring.Shard(key)].Contains(key)
+}
+
+// Push implements Cache.
+func (c *ShardedCache) Push(key uint64, size int64, now time.Time) {
+	c.shards[c.ring.Shard(key)].Push(key, size, now)
+}
+
+// Len implements Cache.
+func (c *ShardedCache) Len() int {
+	var n int
+	for _, s := range c.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// Bytes implements Cache.
+func (c *ShardedCache) Bytes() int64 {
+	var n int64
+	for _, s := range c.shards {
+		n += s.Bytes()
+	}
+	return n
+}
+
+// Capacity implements Cache.
+func (c *ShardedCache) Capacity() int64 {
+	var n int64
+	for _, s := range c.shards {
+		n += s.Capacity()
+	}
+	return n
+}
+
+// Name implements Cache.
+func (c *ShardedCache) Name() string {
+	return fmt.Sprintf("sharded-%dx(%s)", len(c.shards), c.shards[0].Name())
+}
+
+// ShardLoads reports the object count per shard, for balance checks.
+func (c *ShardedCache) ShardLoads() []int {
+	out := make([]int, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.Len()
+	}
+	return out
+}

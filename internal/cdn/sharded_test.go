@@ -1,0 +1,130 @@
+package cdn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewHashRingValidation(t *testing.T) {
+	if _, err := NewHashRing(0, 10); err == nil {
+		t.Error("0 shards should error")
+	}
+	if _, err := NewHashRing(4, 0); err == nil {
+		t.Error("0 vnodes should error")
+	}
+}
+
+func TestHashRingDeterministicAndInRange(t *testing.T) {
+	r, err := NewHashRing(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards() != 8 {
+		t.Error("Shards")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		key := rng.Uint64()
+		s := r.Shard(key)
+		if s < 0 || s >= 8 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		if r.Shard(key) != s {
+			t.Fatal("Shard not deterministic")
+		}
+	}
+}
+
+func TestHashRingBalance(t *testing.T) {
+	r, _ := NewHashRing(4, 128)
+	counts := make([]int, 4)
+	rng := rand.New(rand.NewSource(2))
+	n := 40000
+	for i := 0; i < n; i++ {
+		counts[r.Shard(rng.Uint64())]++
+	}
+	for s, c := range counts {
+		frac := float64(c) / float64(n)
+		if frac < 0.15 || frac > 0.35 {
+			t.Errorf("shard %d holds %.1f%% of keys, want ~25%%", s, frac*100)
+		}
+	}
+}
+
+func TestHashRingMinimalRemapping(t *testing.T) {
+	// Growing from 4 to 5 shards should remap roughly 1/5 of keys, far
+	// from the ~4/5 a modulo scheme would remap.
+	r4, _ := NewHashRing(4, 128)
+	r5, _ := NewHashRing(5, 128)
+	rng := rand.New(rand.NewSource(3))
+	n := 20000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := rng.Uint64()
+		if r4.Shard(key) != r5.Shard(key) {
+			moved++
+		}
+	}
+	frac := float64(moved) / float64(n)
+	if frac > 0.40 {
+		t.Errorf("grow 4->5 moved %.1f%% of keys, consistent hashing should move ~20%%", frac*100)
+	}
+}
+
+func TestShardedCacheBasics(t *testing.T) {
+	sc, err := NewShardedCache(4, 32, func() Cache { return NewLRU(1000) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Capacity() != 4000 {
+		t.Errorf("capacity = %d", sc.Capacity())
+	}
+	rng := rand.New(rand.NewSource(4))
+	distinct := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		key := rng.Uint64() % 100
+		distinct[key] = true
+		sc.Access(key, 10, t0)
+		if !sc.Access(key, 10, t0) {
+			t.Fatal("immediate re-access missed")
+		}
+	}
+	if sc.Len() != len(distinct) || sc.Bytes() != int64(len(distinct))*10 {
+		t.Errorf("len/bytes = %d/%d, want %d distinct", sc.Len(), sc.Bytes(), len(distinct))
+	}
+	loads := sc.ShardLoads()
+	var sum int
+	for _, l := range loads {
+		sum += l
+	}
+	if sum != sc.Len() {
+		t.Errorf("shard loads %v don't sum to %d", loads, sc.Len())
+	}
+	sc.Push(9999, 5, t0)
+	if !sc.Contains(9999) {
+		t.Error("push")
+	}
+	if sc.Name() != "sharded-4x(lru)" {
+		t.Errorf("name = %s", sc.Name())
+	}
+}
+
+func TestShardedCacheIsolation(t *testing.T) {
+	// An object is only ever stored on its ring shard; other shards
+	// never see it.
+	sc, _ := NewShardedCache(4, 32, func() Cache { return NewLRU(1000) })
+	key := uint64(42)
+	sc.Access(key, 10, t0)
+	home := sc.ring.Shard(key)
+	for i, shard := range sc.shards {
+		if (i == home) != shard.Contains(key) {
+			t.Errorf("shard %d containment wrong (home %d)", i, home)
+		}
+	}
+}
+
+func TestNewShardedCacheValidation(t *testing.T) {
+	if _, err := NewShardedCache(0, 8, func() Cache { return NewLRU(10) }); err == nil {
+		t.Error("0 shards should error")
+	}
+}

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"fmt"
+
+	"trafficscope/internal/stats"
+)
+
+// CopheneticDistances returns the cophenetic distance matrix of a
+// dendrogram: entry (i, j) is the merge height at which leaves i and j
+// first join the same cluster. It is the standard input for validating
+// how faithfully a dendrogram preserves the original distances.
+func CopheneticDistances(d *Dendrogram) ([][]float64, error) {
+	n := d.Leaves
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: dendrogram has no leaves")
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	// members[id] lists the leaves under cluster id; leaves are their
+	// own singleton clusters, merge k creates cluster n+k.
+	members := make(map[int][]int, n+len(d.Merges))
+	for leaf := 0; leaf < n; leaf++ {
+		members[leaf] = []int{leaf}
+	}
+	for k, m := range d.Merges {
+		a, b := members[m.A], members[m.B]
+		for _, i := range a {
+			for _, j := range b {
+				out[i][j] = m.Height
+				out[j][i] = m.Height
+			}
+		}
+		merged := make([]int, 0, len(a)+len(b))
+		merged = append(merged, a...)
+		merged = append(merged, b...)
+		members[n+k] = merged
+		delete(members, m.A)
+		delete(members, m.B)
+	}
+	return out, nil
+}
+
+// CopheneticCorrelation computes the cophenetic correlation coefficient:
+// the Pearson correlation between the original pairwise distances and
+// the dendrogram's cophenetic distances over all leaf pairs. Values near
+// 1 mean the hierarchy faithfully represents the distance structure.
+func CopheneticCorrelation(dist [][]float64, d *Dendrogram) (float64, error) {
+	if err := validateMatrix(dist); err != nil {
+		return 0, err
+	}
+	if len(dist) != d.Leaves {
+		return 0, fmt.Errorf("cluster: matrix has %d leaves, dendrogram %d", len(dist), d.Leaves)
+	}
+	coph, err := CopheneticDistances(d)
+	if err != nil {
+		return 0, err
+	}
+	n := len(dist)
+	var xs, ys []float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			xs = append(xs, dist[i][j])
+			ys = append(ys, coph[i][j])
+		}
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("cluster: need >= 3 leaves for a correlation")
+	}
+	return stats.Pearson(xs, ys), nil
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCopheneticDistances(t *testing.T) {
+	// Points 0, 0.1 | 10, 10.1: two tight pairs far apart.
+	pts := []float64{0, 0.1, 10, 10.1}
+	dist := matFromPoints(pts)
+	d, err := Agglomerative(dist, LinkageSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coph, err := CopheneticDistances(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within-pair cophenetic distance = within-pair merge height (0.1).
+	if math.Abs(coph[0][1]-0.1) > 1e-9 {
+		t.Errorf("coph(0,1) = %v, want 0.1", coph[0][1])
+	}
+	if math.Abs(coph[2][3]-0.1) > 1e-9 {
+		t.Errorf("coph(2,3) = %v, want 0.1", coph[2][3])
+	}
+	// Cross-pair cophenetic distance = final single-linkage merge (9.9).
+	if math.Abs(coph[0][2]-9.9) > 1e-9 {
+		t.Errorf("coph(0,2) = %v, want 9.9", coph[0][2])
+	}
+	// Symmetric with zero diagonal.
+	for i := range coph {
+		if coph[i][i] != 0 {
+			t.Error("diagonal must be zero")
+		}
+		for j := range coph {
+			if coph[i][j] != coph[j][i] {
+				t.Error("asymmetric")
+			}
+		}
+	}
+}
+
+func TestCopheneticCorrelationHighForCleanStructure(t *testing.T) {
+	pts := twoBlobs()
+	dist := matFromPoints(pts)
+	for _, linkage := range []Linkage{LinkageSingle, LinkageAverage, LinkageComplete} {
+		d, err := Agglomerative(dist, linkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := CopheneticCorrelation(dist, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < 0.9 {
+			t.Errorf("%v: cophenetic correlation = %v, want > 0.9 for clean blobs", linkage, c)
+		}
+	}
+}
+
+func TestCopheneticCorrelationValidation(t *testing.T) {
+	pts := twoBlobs()
+	dist := matFromPoints(pts)
+	d, _ := Agglomerative(dist, LinkageAverage)
+	// Matrix size mismatch.
+	small := matFromPoints(pts[:3])
+	if _, err := CopheneticCorrelation(small, d); err == nil {
+		t.Error("size mismatch should error")
+	}
+	// Bad matrix.
+	if _, err := CopheneticCorrelation([][]float64{{0, -1}, {-1, 0}}, d); err == nil {
+		t.Error("bad matrix should error")
+	}
+	// Two leaves: only one pair, correlation undefined.
+	two := matFromPoints([]float64{1, 2})
+	d2, _ := Agglomerative(two, LinkageAverage)
+	if _, err := CopheneticCorrelation(two, d2); err == nil {
+		t.Error("two leaves should error")
+	}
+}

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PAMResult is the output of k-medoids clustering.
+type PAMResult struct {
+	// Medoids are the chosen representative indices, one per cluster.
+	Medoids []int
+	// Labels assigns each observation to the index (into Medoids) of its
+	// cluster.
+	Labels []int
+	// Cost is the total distance of observations to their medoids.
+	Cost float64
+}
+
+// PAM runs k-medoids (Partitioning Around Medoids) over a distance matrix
+// using greedy BUILD initialization followed by SWAP refinement. It serves
+// as an ablation baseline for the hierarchical clustering used in the
+// paper. rng drives tie-breaking only; results are deterministic given the
+// seed.
+func PAM(dist [][]float64, k int, rng *rand.Rand) (*PAMResult, error) {
+	if err := validateMatrix(dist); err != nil {
+		return nil, err
+	}
+	n := len(dist)
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: k=%d outside [1, %d]", k, n)
+	}
+
+	// BUILD: first medoid minimizes total distance; each next medoid
+	// maximizes cost reduction.
+	medoids := make([]int, 0, k)
+	isMedoid := make([]bool, n)
+	best, bestSum := 0, math.Inf(1)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += dist[i][j]
+		}
+		if sum < bestSum {
+			best, bestSum = i, sum
+		}
+	}
+	medoids = append(medoids, best)
+	isMedoid[best] = true
+	nearest := make([]float64, n)
+	for j := 0; j < n; j++ {
+		nearest[j] = dist[best][j]
+	}
+	for len(medoids) < k {
+		bestGain, bestIdx := math.Inf(-1), -1
+		for c := 0; c < n; c++ {
+			if isMedoid[c] {
+				continue
+			}
+			var gain float64
+			for j := 0; j < n; j++ {
+				if d := nearest[j] - dist[c][j]; d > 0 {
+					gain += d
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestIdx = gain, c
+			}
+		}
+		medoids = append(medoids, bestIdx)
+		isMedoid[bestIdx] = true
+		for j := 0; j < n; j++ {
+			if dist[bestIdx][j] < nearest[j] {
+				nearest[j] = dist[bestIdx][j]
+			}
+		}
+	}
+
+	assign := func(meds []int) ([]int, float64) {
+		labels := make([]int, n)
+		var cost float64
+		for j := 0; j < n; j++ {
+			bi, bd := 0, math.Inf(1)
+			for mi, m := range meds {
+				if dist[m][j] < bd {
+					bi, bd = mi, dist[m][j]
+				}
+			}
+			labels[j] = bi
+			cost += bd
+		}
+		return labels, cost
+	}
+
+	labels, cost := assign(medoids)
+
+	// SWAP: try replacing each medoid with each non-medoid while any swap
+	// improves cost. Candidate order is shuffled for tie diversity.
+	improved := true
+	for improved {
+		improved = false
+		order := rng.Perm(n)
+		for _, c := range order {
+			if isMedoid[c] {
+				continue
+			}
+			for mi := range medoids {
+				old := medoids[mi]
+				medoids[mi] = c
+				newLabels, newCost := assign(medoids)
+				if newCost < cost-1e-12 {
+					isMedoid[old] = false
+					isMedoid[c] = true
+					labels, cost = newLabels, newCost
+					improved = true
+					break
+				}
+				medoids[mi] = old
+			}
+			if improved {
+				break
+			}
+		}
+	}
+	return &PAMResult{Medoids: medoids, Labels: labels, Cost: cost}, nil
+}
+
+// Silhouette computes the mean silhouette coefficient of a labeling over a
+// distance matrix; values near 1 indicate tight, well-separated clusters.
+// Singleton clusters contribute 0 per convention.
+func Silhouette(dist [][]float64, labels []int) (float64, error) {
+	if err := validateMatrix(dist); err != nil {
+		return 0, err
+	}
+	n := len(dist)
+	if len(labels) != n {
+		return 0, fmt.Errorf("cluster: %d labels for %d observations", len(labels), n)
+	}
+	groups := map[int][]int{}
+	for i, lab := range labels {
+		groups[lab] = append(groups[lab], i)
+	}
+	if len(groups) < 2 {
+		return 0, fmt.Errorf("cluster: silhouette needs >= 2 clusters, got %d", len(groups))
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		own := groups[labels[i]]
+		if len(own) == 1 {
+			continue // silhouette of a singleton is 0
+		}
+		var a float64
+		for _, j := range own {
+			if j != i {
+				a += dist[i][j]
+			}
+		}
+		a /= float64(len(own) - 1)
+		b := math.Inf(1)
+		for lab, members := range groups {
+			if lab == labels[i] {
+				continue
+			}
+			var sum float64
+			for _, j := range members {
+				sum += dist[i][j]
+			}
+			if m := sum / float64(len(members)); m < b {
+				b = m
+			}
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(n), nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"trafficscope/internal/analysis"
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// TestMultiAccMerge directly exercises the composite accumulator merge
+// used by the parallel analysis pass.
+func TestMultiAccMerge(t *testing.T) {
+	week := timeutil.NewWeek(time.Date(2015, 10, 3, 0, 0, 0, 0, time.UTC))
+	mk := func(obj, user uint64, hour int) *trace.Record {
+		return &trace.Record{
+			Timestamp:   week.HourStart(hour).Add(time.Minute),
+			Publisher:   "V-1",
+			ObjectID:    obj,
+			FileType:    trace.FileMP4,
+			ObjectSize:  1000,
+			BytesServed: 1000,
+			UserID:      user,
+			UserAgent:   "UA",
+			Region:      timeutil.RegionEurope,
+			StatusCode:  200,
+			Cache:       trace.CacheHit,
+		}
+	}
+	a := newMultiAcc(week, 0)
+	b := newMultiAcc(week, 0)
+	a.Add(mk(1, 1, 0))
+	a.Add(mk(1, 2, 1))
+	b.Add(mk(2, 1, 2))
+	b.Add(mk(2, 3, 3))
+	a.Merge(b)
+	if a.n != 4 {
+		t.Errorf("merged n = %d, want 4", a.n)
+	}
+	if got := a.composition.Site("V-1").TotalRequests(); got != 4 {
+		t.Errorf("merged requests = %d", got)
+	}
+	if got := a.composition.Site("V-1").TotalObjects(); got != 2 {
+		t.Errorf("merged objects = %d", got)
+	}
+	if got := a.caching.WeightedHitRatio("V-1"); got != 1 {
+		t.Errorf("merged hit ratio = %v", got)
+	}
+}
+
+func TestStudyWeek(t *testing.T) {
+	study, err := NewStudy(Config{Seed: 1, Scale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := study.Week()
+	if !w.Contains(w.Start.Add(time.Hour)) {
+		t.Error("week window broken")
+	}
+}
+
+func TestSiteNamesNonPaperSites(t *testing.T) {
+	// Sites outside the paper's five sort lexically after them.
+	week := timeutil.NewWeek(time.Date(2015, 10, 3, 0, 0, 0, 0, time.UTC))
+	comp := analysis.NewComposition()
+	for _, site := range []string{"Z-custom", "V-2", "A-custom"} {
+		comp.Add(&trace.Record{
+			Timestamp:  week.HourStart(0).Add(time.Minute),
+			Publisher:  site,
+			ObjectID:   1,
+			FileType:   trace.FileJPG,
+			ObjectSize: 10,
+			UserID:     1,
+			UserAgent:  "UA",
+			Region:     timeutil.RegionEurope,
+			StatusCode: 200,
+		})
+	}
+	r := &Results{Composition: comp}
+	got := r.SiteNames()
+	want := []string{"V-2", "A-custom", "Z-custom"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SiteNames = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package core orchestrates the full reproduction pipeline: synthesize a
+// calibrated week-long trace (or load a real one), replay it through the
+// CDN simulator, run every analysis of the paper's evaluation, and render
+// figure-by-figure results.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"trafficscope/internal/analysis"
+	"trafficscope/internal/cdn"
+	"trafficscope/internal/pipeline"
+	"trafficscope/internal/synth"
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// Config configures a Study.
+type Config struct {
+	// Seed drives all randomness; identical configs reproduce bit-
+	// identical results.
+	Seed int64
+	// Scale multiplies paper-reported object and request counts; zero
+	// defaults to 0.01 (one percent of paper scale, ~54K requests).
+	Scale float64
+	// Salt feeds ID anonymization.
+	Salt string
+	// Sites overrides the study sites; nil uses the five calibrated
+	// profiles.
+	Sites []synth.SiteProfile
+	// NewCache builds each data center's edge cache; nil defaults to a
+	// capacity sized relative to Scale so hit ratios stay in the paper's
+	// regime across scales.
+	NewCache func() cdn.Cache
+	// ChunkBytes is the CDN's video chunk size (0 = 2 MiB default,
+	// negative disables chunking).
+	ChunkBytes int64
+	// SessionTimeout is the session boundary gap; zero uses the paper's
+	// 10 minutes.
+	SessionTimeout time.Duration
+	// Cluster configures the Fig. 8-10 DTW clustering.
+	Cluster analysis.ClusterOptions
+	// Workers parallelizes the analysis pass; < 1 means GOMAXPROCS.
+	Workers int
+	// P403, P416 and P204 are the CDN's error-path rates; zero values
+	// default to small paper-plausible rates (0.8%, 0.2%, 5%).
+	P403, P416, P204 float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 0.01
+	}
+	if c.P403 == 0 {
+		c.P403 = 0.008
+	}
+	if c.P416 == 0 {
+		c.P416 = 0.002
+	}
+	if c.P204 == 0 {
+		c.P204 = 0.05
+	}
+	return c
+}
+
+// Study is a configured end-to-end reproduction run.
+type Study struct {
+	cfg Config
+	gen *synth.Generator
+}
+
+// NewStudy validates the config and builds the trace generator.
+func NewStudy(cfg Config) (*Study, error) {
+	cfg = cfg.withDefaults()
+	gen, err := synth.NewGenerator(synth.Config{
+		Seed:  cfg.Seed,
+		Scale: cfg.Scale,
+		Sites: cfg.Sites,
+		Salt:  cfg.Salt,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Study{cfg: cfg, gen: gen}, nil
+}
+
+// Generator exposes the underlying trace generator.
+func (s *Study) Generator() *synth.Generator { return s.gen }
+
+// Week returns the study's observation window.
+func (s *Study) Week() timeutil.Week { return s.gen.Week() }
+
+// Results carries every analysis of the paper's evaluation, computed
+// over the CDN-replayed trace.
+type Results struct {
+	// Week is the observation window.
+	Week timeutil.Week
+	// Records is the number of replayed requests.
+	Records int64
+	// Composition covers Figs. 1, 2a, 2b.
+	Composition *analysis.Composition
+	// Hourly covers Fig. 3.
+	Hourly *analysis.HourlyVolume
+	// Devices covers Fig. 4.
+	Devices *analysis.DeviceMix
+	// Sizes covers Fig. 5.
+	Sizes *analysis.SizeDistribution
+	// Popularity covers Fig. 6.
+	Popularity *analysis.Popularity
+	// Aging covers Fig. 7.
+	Aging *analysis.Aging
+	// Series feeds Figs. 8-10 (call ClusterSeries on it).
+	Series *analysis.ObjectSeries
+	// WeekSeries carries each site's hour-of-week request counts; it
+	// feeds the forecasting comparison.
+	WeekSeries *analysis.HourOfWeekSeries
+	// Sessions covers Figs. 11-12.
+	Sessions *analysis.Sessions
+	// Addiction covers Figs. 13-14.
+	Addiction *analysis.Addiction
+	// Caching covers Figs. 15-16.
+	Caching *analysis.Caching
+	// CDNStats aggregates the simulated CDN's counters.
+	CDNStats cdn.DCStats
+	// ClusterOpts carries the study's clustering configuration.
+	ClusterOpts analysis.ClusterOptions
+}
+
+// multiAcc folds one record into every analysis; it satisfies
+// pipeline.Accumulator so the analysis pass parallelizes.
+type multiAcc struct {
+	composition *analysis.Composition
+	hourly      *analysis.HourlyVolume
+	devices     *analysis.DeviceMix
+	sizes       *analysis.SizeDistribution
+	popularity  *analysis.Popularity
+	aging       *analysis.Aging
+	series      *analysis.ObjectSeries
+	weekSeries  *analysis.HourOfWeekSeries
+	sessions    *analysis.Sessions
+	addiction   *analysis.Addiction
+	caching     *analysis.Caching
+	n           int64
+}
+
+func newMultiAcc(week timeutil.Week, timeout time.Duration) *multiAcc {
+	return &multiAcc{
+		composition: analysis.NewComposition(),
+		hourly:      analysis.NewHourlyVolume(),
+		devices:     analysis.NewDeviceMix(),
+		sizes:       analysis.NewSizeDistribution(),
+		popularity:  analysis.NewPopularity(),
+		aging:       analysis.NewAging(week),
+		series:      analysis.NewObjectSeries(week),
+		weekSeries:  analysis.NewLocalHourOfWeekSeries(week),
+		sessions:    analysis.NewSessions(timeout),
+		addiction:   analysis.NewAddiction(),
+		caching:     analysis.NewCaching(),
+	}
+}
+
+// Add implements pipeline.Accumulator.
+func (m *multiAcc) Add(r *trace.Record) {
+	m.n++
+	m.composition.Add(r)
+	m.hourly.Add(r)
+	m.devices.Add(r)
+	m.sizes.Add(r)
+	m.popularity.Add(r)
+	m.aging.Add(r)
+	m.series.Add(r)
+	m.weekSeries.Add(r)
+	m.sessions.Add(r)
+	m.addiction.Add(r)
+	m.caching.Add(r)
+}
+
+// Merge implements pipeline.Accumulator.
+func (m *multiAcc) Merge(o *multiAcc) {
+	m.n += o.n
+	m.composition.Merge(o.composition)
+	m.hourly.Merge(o.hourly)
+	m.devices.Merge(o.devices)
+	m.sizes.Merge(o.sizes)
+	m.popularity.Merge(o.popularity)
+	m.aging.Merge(o.aging)
+	m.series.Merge(o.series)
+	m.weekSeries.Merge(o.weekSeries)
+	m.sessions.Merge(o.sessions)
+	m.addiction.Merge(o.addiction)
+	m.caching.Merge(o.caching)
+}
+
+// NewCDN builds the study's CDN simulator, wired to the generator's
+// incognito model.
+func (s *Study) NewCDN() *cdn.CDN {
+	newCache := s.cfg.NewCache
+	if newCache == nil {
+		// Default edge cache: a small/large split LRU (the configuration
+		// commercial CDNs run and the paper's §IV-B recommendation).
+		// Separating sub-1MB objects stops video chunk churn from
+		// flushing frequently re-used images, reproducing the paper's
+		// image-over-video hit-ratio asymmetry; capacities scale with
+		// the working set so cache pressure — and with it the Fig. 15
+		// hit-ratio spread — stays in the paper's regime at any Scale.
+		smallCap := int64(float64(1<<30) * s.cfg.Scale * 10)
+		largeCap := int64(float64(11<<30) * s.cfg.Scale * 10)
+		if smallCap < 16<<20 {
+			smallCap = 16 << 20
+		}
+		if largeCap < 128<<20 {
+			largeCap = 128 << 20
+		}
+		newCache = func() cdn.Cache {
+			c, err := cdn.NewSplitCache(cdn.NewLRU(smallCap), cdn.NewLRU(largeCap), 1<<20)
+			if err != nil {
+				panic(err) // static parameters; cannot fail
+			}
+			return c
+		}
+	}
+	return cdn.New(cdn.Config{
+		NewCache:    newCache,
+		ChunkBytes:  s.cfg.ChunkBytes,
+		IsIncognito: s.gen.IsIncognito,
+		P403:        s.cfg.P403,
+		P416:        s.cfg.P416,
+		P204:        s.cfg.P204,
+	})
+}
+
+// Run generates the trace, replays it through the CDN and computes every
+// analysis.
+func (s *Study) Run() (*Results, error) {
+	recs, err := s.gen.Generate()
+	if err != nil {
+		return nil, fmt.Errorf("core: generate: %w", err)
+	}
+	return s.RunOn(trace.NewSliceReader(recs))
+}
+
+// RunOn replays an existing (time-ordered) trace through the CDN and
+// computes every analysis. Use this to analyze a trace loaded from disk.
+//
+// The trace is replayed twice: the first pass warms the edge caches
+// (modelling the steady-state CDN the paper observed — its week of logs
+// did not start from cold caches), the second pass is measured.
+func (s *Study) RunOn(r trace.Reader) (*Results, error) {
+	all, err := trace.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: read trace: %w", err)
+	}
+	network := s.NewCDN()
+	// Warm-up and measured passes use the per-region parallel replay
+	// when the trace has region-stable users (always true for synthetic
+	// traces); otherwise fall back to sequential replay.
+	replayOnce := func() ([]*trace.Record, error) {
+		out, err := network.ReplayParallel(trace.NewSliceReader(all))
+		if err == nil {
+			return out, nil
+		}
+		return network.ReplayAll(trace.NewSliceReader(all))
+	}
+	if _, err := replayOnce(); err != nil {
+		return nil, fmt.Errorf("core: warm-up replay: %w", err)
+	}
+	network.ResetStats()
+	network.ResetClientState()
+	replayed, err := replayOnce()
+	if err != nil {
+		return nil, fmt.Errorf("core: replay: %w", err)
+	}
+	week := s.gen.Week()
+	acc, err := pipeline.Run(trace.NewSliceReader(replayed), func() *multiAcc {
+		return newMultiAcc(week, s.cfg.SessionTimeout)
+	}, pipeline.Options{Workers: s.cfg.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	return &Results{
+		Week:        week,
+		Records:     acc.n,
+		Composition: acc.composition,
+		Hourly:      acc.hourly,
+		Devices:     acc.devices,
+		Sizes:       acc.sizes,
+		Popularity:  acc.popularity,
+		Aging:       acc.aging,
+		Series:      acc.series,
+		WeekSeries:  acc.weekSeries,
+		Sessions:    acc.sessions,
+		Addiction:   acc.addiction,
+		Caching:     acc.caching,
+		CDNStats:    network.TotalStats(),
+		ClusterOpts: s.cfg.Cluster,
+	}, nil
+}
+
+// AnalyzeOnly runs the analyses over a pre-replayed trace (records that
+// already carry cache status and response codes), skipping the CDN.
+func (s *Study) AnalyzeOnly(r trace.Reader) (*Results, error) {
+	week := s.gen.Week()
+	acc, err := pipeline.Run(r, func() *multiAcc {
+		return newMultiAcc(week, s.cfg.SessionTimeout)
+	}, pipeline.Options{Workers: s.cfg.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	return &Results{
+		Week:        week,
+		Records:     acc.n,
+		Composition: acc.composition,
+		Hourly:      acc.hourly,
+		Devices:     acc.devices,
+		Sizes:       acc.sizes,
+		Popularity:  acc.popularity,
+		Aging:       acc.aging,
+		Series:      acc.series,
+		WeekSeries:  acc.weekSeries,
+		Sessions:    acc.sessions,
+		Addiction:   acc.addiction,
+		Caching:     acc.caching,
+		ClusterOpts: s.cfg.Cluster,
+	}, nil
+}

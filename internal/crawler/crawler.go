@@ -1,0 +1,205 @@
+// Package crawler simulates the *prior-art* measurement methodology the
+// paper positions itself against (§II): periodically crawling an adult
+// website and recording aggregate per-object view counts, as the
+// YouPorn/PornHub studies did. Crawls are "limited in terms of both
+// temporal coverage and granularity" and "cannot distinguish among
+// users"; this package makes that limitation quantifiable by deriving a
+// crawl dataset from the same HTTP logs and comparing what each
+// methodology can measure.
+package crawler
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"trafficscope/internal/stats"
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// Config configures a simulated crawl campaign.
+type Config struct {
+	// Interval is the time between crawls (prior work crawled daily or
+	// a few times per day). Zero defaults to 24h.
+	Interval time.Duration
+	// TopN is the number of objects visible per crawl — a crawler only
+	// sees what the site lists (front page, category pages). Zero means
+	// unlimited visibility (an idealized crawler).
+	TopN int
+}
+
+// Snapshot is one crawl: the cumulative view count of each visible
+// object at the crawl instant. There is no user, device, byte or cache
+// information — exactly the fields crawling cannot observe.
+type Snapshot struct {
+	// Time is the crawl instant.
+	Time time.Time
+	// Views maps visible object IDs to their cumulative view counts.
+	Views map[uint64]int64
+}
+
+// Campaign is the full crawl dataset for one site.
+type Campaign struct {
+	// Site is the crawled publisher.
+	Site string
+	// Snapshots are in time order.
+	Snapshots []Snapshot
+}
+
+// Simulate derives the crawl campaign a crawler with the given config
+// would have collected over the trace week, from the ground-truth logs.
+func Simulate(recs []*trace.Record, site string, week timeutil.Week, cfg Config) (*Campaign, error) {
+	interval := cfg.Interval
+	if interval == 0 {
+		interval = 24 * time.Hour
+	}
+	if interval < time.Minute {
+		return nil, fmt.Errorf("crawler: implausible crawl interval %v", interval)
+	}
+	// Crawl instants across the week, starting one interval in.
+	var times []time.Time
+	for t := week.Start.Add(interval); !t.After(week.End()); t = t.Add(interval) {
+		times = append(times, t)
+	}
+	if len(times) == 0 {
+		return nil, fmt.Errorf("crawler: interval %v longer than the trace window", interval)
+	}
+
+	cum := map[uint64]int64{}
+	camp := &Campaign{Site: site}
+	ti := 0
+	flush := func(at time.Time) {
+		views := make(map[uint64]int64, len(cum))
+		if cfg.TopN > 0 && len(cum) > cfg.TopN {
+			type kv struct {
+				id uint64
+				n  int64
+			}
+			all := make([]kv, 0, len(cum))
+			for id, n := range cum {
+				all = append(all, kv{id, n})
+			}
+			sort.Slice(all, func(i, j int) bool {
+				if all[i].n != all[j].n {
+					return all[i].n > all[j].n
+				}
+				return all[i].id < all[j].id
+			})
+			for _, e := range all[:cfg.TopN] {
+				views[e.id] = e.n
+			}
+		} else {
+			for id, n := range cum {
+				views[id] = n
+			}
+		}
+		camp.Snapshots = append(camp.Snapshots, Snapshot{Time: at, Views: views})
+	}
+	for _, r := range recs {
+		if r.Publisher != site {
+			continue
+		}
+		for ti < len(times) && r.Timestamp.After(times[ti]) {
+			flush(times[ti])
+			ti++
+		}
+		cum[r.ObjectID]++
+	}
+	for ; ti < len(times); ti++ {
+		flush(times[ti])
+	}
+	return camp, nil
+}
+
+// FinalViews returns the last snapshot's view counts (what a single
+// end-of-week crawl would report).
+func (c *Campaign) FinalViews() map[uint64]int64 {
+	if len(c.Snapshots) == 0 {
+		return nil
+	}
+	last := c.Snapshots[len(c.Snapshots)-1].Views
+	out := make(map[uint64]int64, len(last))
+	for id, n := range last {
+		out[id] = n
+	}
+	return out
+}
+
+// ViewDeltaSeries reconstructs, per object, the per-interval view deltas
+// — the best temporal signal a crawl campaign can offer (vs. the logs'
+// per-request timestamps).
+func (c *Campaign) ViewDeltaSeries(objectID uint64) []float64 {
+	out := make([]float64, len(c.Snapshots))
+	var prev int64
+	for i, snap := range c.Snapshots {
+		n, ok := snap.Views[objectID]
+		if !ok {
+			// Invisible this crawl (fell out of the top-N): the crawler
+			// observes nothing, not zero — but it cannot tell the
+			// difference, which is part of the methodology's weakness.
+			out[i] = 0
+			continue
+		}
+		out[i] = float64(n - prev)
+		if out[i] < 0 {
+			out[i] = 0
+		}
+		prev = n
+	}
+	return out
+}
+
+// Comparison quantifies what the crawl methodology loses relative to the
+// HTTP logs it was derived from.
+type Comparison struct {
+	// LogObjects and CrawlObjects count distinct objects each method
+	// observes; Coverage is their ratio.
+	LogObjects, CrawlObjects int
+	// Coverage is CrawlObjects / LogObjects.
+	Coverage float64
+	// RankCorrelation is the Spearman correlation between crawl-derived
+	// and true popularity over the objects both observe.
+	RankCorrelation float64
+	// ViewUndercount is the fraction of true requests invisible to the
+	// crawl (views of objects that never surfaced in a snapshot).
+	ViewUndercount float64
+	// TemporalPoints compares observation granularity: crawl snapshots
+	// vs. the logs' hourly buckets (168).
+	TemporalPoints int
+	// UserVisibility is always false for crawls: per-user analyses
+	// (sessions, IAT, addiction — the paper's Figs. 11-14) are
+	// impossible without logs.
+	UserVisibility bool
+}
+
+// Compare evaluates the crawl campaign against ground-truth per-object
+// request counts from the logs.
+func Compare(c *Campaign, truth map[uint64]int64) Comparison {
+	final := c.FinalViews()
+	cmp := Comparison{
+		LogObjects:     len(truth),
+		CrawlObjects:   len(final),
+		TemporalPoints: len(c.Snapshots),
+	}
+	if len(truth) > 0 {
+		cmp.Coverage = float64(len(final)) / float64(len(truth))
+	}
+	var seen, total int64
+	var xs, ys []float64
+	for id, n := range truth {
+		total += n
+		if v, ok := final[id]; ok {
+			seen += n
+			xs = append(xs, float64(v))
+			ys = append(ys, float64(n))
+		}
+	}
+	if total > 0 {
+		cmp.ViewUndercount = 1 - float64(seen)/float64(total)
+	}
+	if len(xs) >= 2 {
+		cmp.RankCorrelation = stats.Spearman(xs, ys)
+	}
+	return cmp
+}

@@ -1,0 +1,170 @@
+package crawler
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+var week = timeutil.NewWeek(time.Date(2015, 10, 3, 0, 0, 0, 0, time.UTC))
+
+// mkRecs builds n requests for object obj spread evenly over the week.
+func mkRecs(site string, obj uint64, n int) []*trace.Record {
+	out := make([]*trace.Record, n)
+	span := week.End().Sub(week.Start)
+	for i := range out {
+		out[i] = &trace.Record{
+			Timestamp:   week.Start.Add(time.Duration(i+1) * span / time.Duration(n+2)),
+			Publisher:   site,
+			ObjectID:    obj,
+			FileType:    trace.FileJPG,
+			ObjectSize:  100,
+			BytesServed: 100,
+			UserID:      uint64(i),
+			UserAgent:   "UA",
+			Region:      timeutil.RegionEurope,
+			StatusCode:  200,
+		}
+	}
+	return out
+}
+
+func merge(parts ...[]*trace.Record) []*trace.Record {
+	var out []*trace.Record
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	trace.SortByTime(out)
+	return out
+}
+
+func TestSimulateDailyCrawl(t *testing.T) {
+	recs := merge(mkRecs("P-1", 1, 70), mkRecs("P-1", 2, 14))
+	camp, err := Simulate(recs, "P-1", week, Config{Interval: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Snapshots) != 7 {
+		t.Fatalf("snapshots = %d, want 7", len(camp.Snapshots))
+	}
+	// Cumulative counts must be nondecreasing.
+	var prev int64
+	for i, snap := range camp.Snapshots {
+		n := snap.Views[1]
+		if n < prev {
+			t.Fatalf("snapshot %d: views decreased %d -> %d", i, prev, n)
+		}
+		prev = n
+	}
+	final := camp.FinalViews()
+	if final[1] != 70 || final[2] != 14 {
+		t.Errorf("final views = %v", final)
+	}
+}
+
+func TestSimulateTopNCensoring(t *testing.T) {
+	recs := merge(mkRecs("P-1", 1, 100), mkRecs("P-1", 2, 50), mkRecs("P-1", 3, 5))
+	camp, err := Simulate(recs, "P-1", week, Config{Interval: 24 * time.Hour, TopN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := camp.FinalViews()
+	if len(final) != 2 {
+		t.Fatalf("topN=2 final views = %v", final)
+	}
+	if _, ok := final[3]; ok {
+		t.Error("tail object should be censored")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	recs := mkRecs("P-1", 1, 5)
+	if _, err := Simulate(recs, "P-1", week, Config{Interval: time.Second}); err == nil {
+		t.Error("sub-minute interval should error")
+	}
+	if _, err := Simulate(recs, "P-1", week, Config{Interval: 30 * 24 * time.Hour}); err == nil {
+		t.Error("interval longer than window should error")
+	}
+}
+
+func TestSimulateIgnoresOtherSites(t *testing.T) {
+	recs := merge(mkRecs("P-1", 1, 10), mkRecs("V-1", 2, 99))
+	camp, err := Simulate(recs, "P-1", week, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := camp.FinalViews()
+	if _, ok := final[2]; ok {
+		t.Error("other site's object leaked into the crawl")
+	}
+	if final[1] != 10 {
+		t.Errorf("views = %v", final)
+	}
+}
+
+func TestViewDeltaSeries(t *testing.T) {
+	recs := mkRecs("P-1", 1, 70) // even spread -> ~10/day
+	camp, err := Simulate(recs, "P-1", week, Config{Interval: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := camp.ViewDeltaSeries(1)
+	if len(deltas) != 7 {
+		t.Fatalf("deltas = %v", deltas)
+	}
+	var sum float64
+	for _, d := range deltas {
+		if d < 0 {
+			t.Fatal("negative delta")
+		}
+		sum += d
+	}
+	if sum != 70 {
+		t.Errorf("delta sum = %v, want 70", sum)
+	}
+	// Unknown object: all zeros.
+	for _, d := range camp.ViewDeltaSeries(999) {
+		if d != 0 {
+			t.Fatal("unknown object should have zero deltas")
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	recs := merge(mkRecs("P-1", 1, 100), mkRecs("P-1", 2, 50), mkRecs("P-1", 3, 5))
+	camp, err := Simulate(recs, "P-1", week, Config{Interval: 24 * time.Hour, TopN: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[uint64]int64{1: 100, 2: 50, 3: 5}
+	cmp := Compare(camp, truth)
+	if cmp.LogObjects != 3 || cmp.CrawlObjects != 2 {
+		t.Errorf("object counts: %d/%d", cmp.LogObjects, cmp.CrawlObjects)
+	}
+	if math.Abs(cmp.Coverage-2.0/3) > 1e-9 {
+		t.Errorf("coverage = %v", cmp.Coverage)
+	}
+	if math.Abs(cmp.ViewUndercount-5.0/155) > 1e-9 {
+		t.Errorf("undercount = %v", cmp.ViewUndercount)
+	}
+	if cmp.RankCorrelation < 0.99 {
+		t.Errorf("rank correlation = %v, want ~1 for consistent counts", cmp.RankCorrelation)
+	}
+	if cmp.TemporalPoints != 7 {
+		t.Errorf("temporal points = %d", cmp.TemporalPoints)
+	}
+	if cmp.UserVisibility {
+		t.Error("crawls can never see users")
+	}
+}
+
+func TestCompareEmptyTruth(t *testing.T) {
+	camp := &Campaign{Site: "x", Snapshots: []Snapshot{{Views: map[uint64]int64{}}}}
+	cmp := Compare(camp, nil)
+	if cmp.Coverage != 0 || cmp.ViewUndercount != 0 {
+		t.Errorf("empty truth: %+v", cmp)
+	}
+}

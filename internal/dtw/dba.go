@@ -1,0 +1,77 @@
+package dtw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Barycenter computes the DTW Barycenter Average (DBA) of a set of
+// equal-length series: the series minimizing the sum of DTW distances to
+// the set, approximated by iterative warping-path realignment. It is an
+// alternative cluster-center representation to the medoid used in the
+// paper's Figs. 9-10 — the medoid is one real object's series, the
+// barycenter is a synthetic consensus shape.
+//
+// init seeds the iteration (typically the medoid); maxIter bounds the
+// refinement rounds. The result has the same length as init.
+func Barycenter(series [][]float64, init []float64, maxIter int) ([]float64, error) {
+	if len(series) == 0 {
+		return nil, errors.New("dtw: barycenter of empty set")
+	}
+	if len(init) == 0 {
+		return nil, ErrEmptySeries
+	}
+	for i, s := range series {
+		if len(s) == 0 {
+			return nil, fmt.Errorf("dtw: series %d is empty", i)
+		}
+	}
+	if maxIter < 1 {
+		maxIter = 10
+	}
+	center := make([]float64, len(init))
+	copy(center, init)
+
+	prevCost := math.Inf(1)
+	for iter := 0; iter < maxIter; iter++ {
+		sums := make([]float64, len(center))
+		counts := make([]int, len(center))
+		var cost float64
+		for _, s := range series {
+			res, err := WithPath(center, s)
+			if err != nil {
+				return nil, err
+			}
+			cost += res.Distance
+			for _, pt := range res.Path {
+				sums[pt.I] += s[pt.J]
+				counts[pt.I]++
+			}
+		}
+		for i := range center {
+			if counts[i] > 0 {
+				center[i] = sums[i] / float64(counts[i])
+			}
+		}
+		// Converged when the total alignment cost stops improving.
+		if cost >= prevCost-1e-12 {
+			break
+		}
+		prevCost = cost
+	}
+	return center, nil
+}
+
+// SumDistance returns the total DTW distance from center to every series.
+func SumDistance(center []float64, series [][]float64) (float64, error) {
+	var total float64
+	for _, s := range series {
+		d, err := Distance(center, s)
+		if err != nil {
+			return 0, err
+		}
+		total += d
+	}
+	return total, nil
+}

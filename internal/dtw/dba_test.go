@@ -1,0 +1,87 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBarycenterValidation(t *testing.T) {
+	if _, err := Barycenter(nil, []float64{1}, 5); err == nil {
+		t.Error("empty set should error")
+	}
+	if _, err := Barycenter([][]float64{{1}}, nil, 5); err == nil {
+		t.Error("empty init should error")
+	}
+	if _, err := Barycenter([][]float64{{1}, {}}, []float64{1}, 5); err == nil {
+		t.Error("empty member should error")
+	}
+}
+
+func TestBarycenterOfIdenticalSeries(t *testing.T) {
+	s := []float64{0, 1, 3, 1, 0}
+	set := [][]float64{s, s, s}
+	center, err := Barycenter(set, s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s {
+		if math.Abs(center[i]-s[i]) > 1e-9 {
+			t.Fatalf("barycenter of identical series should be the series: %v", center)
+		}
+	}
+	d, err := SumDistance(center, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-9 {
+		t.Errorf("sum distance = %v, want 0", d)
+	}
+}
+
+func TestBarycenterImprovesOnInit(t *testing.T) {
+	// Set of shifted bumps: the barycenter should be at least as close
+	// (in total DTW) as an arbitrary member used as init.
+	rng := rand.New(rand.NewSource(4))
+	mk := func(shift int) []float64 {
+		s := make([]float64, 40)
+		for i := range s {
+			d := float64(i - 20 - shift)
+			s[i] = math.Exp(-d*d/18) + 0.01*rng.NormFloat64()
+		}
+		return s
+	}
+	set := [][]float64{mk(-3), mk(-1), mk(0), mk(1), mk(3)}
+	init := set[0]
+	before, err := SumDistance(init, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center, err := Barycenter(set, init, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := SumDistance(center, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before+1e-9 {
+		t.Errorf("barycenter sum distance %v worse than init %v", after, before)
+	}
+	if len(center) != len(init) {
+		t.Errorf("length changed: %d", len(center))
+	}
+}
+
+func TestBarycenterDefaultIterations(t *testing.T) {
+	set := [][]float64{{1, 2, 3}, {1, 2, 4}}
+	if _, err := Barycenter(set, []float64{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumDistanceError(t *testing.T) {
+	if _, err := SumDistance(nil, [][]float64{{1}}); err == nil {
+		t.Error("empty center should error")
+	}
+}

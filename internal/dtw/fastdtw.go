@@ -1,0 +1,181 @@
+package dtw
+
+import (
+	"fmt"
+	"math"
+)
+
+// FastDistance computes an approximate DTW distance with the FastDTW
+// multiresolution scheme (Salvador & Chan): recursively coarsen both
+// series 2:1, solve the coarse problem, then refine within a window of
+// the projected warping path widened by radius cells. Complexity is
+// O(N·radius) instead of O(N²); larger radii trade time for accuracy,
+// and the result is always >= the exact DTW distance.
+func FastDistance(a, b []float64, radius int) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, ErrEmptySeries
+	}
+	if radius < 0 {
+		return 0, fmt.Errorf("dtw: negative FastDTW radius %d", radius)
+	}
+	res, err := fastDTW(a, b, radius)
+	if err != nil {
+		return 0, err
+	}
+	return res.Distance, nil
+}
+
+// minSize is the series length below which fastDTW solves exactly.
+func minSize(radius int) int { return radius + 2 }
+
+func fastDTW(a, b []float64, radius int) (Result, error) {
+	if len(a) <= minSize(radius) || len(b) <= minSize(radius) {
+		return WithPath(a, b)
+	}
+	coarse, err := fastDTW(halve(a), halve(b), radius)
+	if err != nil {
+		return Result{}, err
+	}
+	window := expandWindow(coarse.Path, len(a), len(b), radius)
+	return constrainedDTW(a, b, window)
+}
+
+// halve coarsens a series 2:1 by pairwise averaging.
+func halve(s []float64) []float64 {
+	out := make([]float64, 0, (len(s)+1)/2)
+	for i := 0; i+1 < len(s); i += 2 {
+		out = append(out, (s[i]+s[i+1])/2)
+	}
+	if len(s)%2 == 1 {
+		out = append(out, s[len(s)-1])
+	}
+	return out
+}
+
+// expandWindow projects a coarse warping path onto the fine grid and
+// widens it by radius cells, returning per-row [lo, hi] column bounds.
+func expandWindow(path []PathPoint, n, m, radius int) [][2]int {
+	window := make([][2]int, n)
+	for i := range window {
+		window[i] = [2]int{m, -1} // empty
+	}
+	mark := func(i, j int) {
+		if i < 0 || i >= n {
+			return
+		}
+		lo, hi := j-radius, j+radius
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > m-1 {
+			hi = m - 1
+		}
+		if lo < window[i][0] {
+			window[i][0] = lo
+		}
+		if hi > window[i][1] {
+			window[i][1] = hi
+		}
+	}
+	for _, pt := range path {
+		// Each coarse cell covers a 2x2 block of fine cells.
+		for di := 0; di < 2; di++ {
+			for dj := 0; dj < 2; dj++ {
+				fi, fj := pt.I*2+di, pt.J*2+dj
+				for r := -radius; r <= radius; r++ {
+					mark(fi+r, fj)
+				}
+			}
+		}
+	}
+	// Ensure every row has a nonempty, monotone-overlapping window so
+	// a connected path exists.
+	prevLo, prevHi := 0, 0
+	for i := 0; i < n; i++ {
+		if window[i][1] < window[i][0] {
+			window[i] = [2]int{prevLo, prevHi}
+		}
+		if window[i][0] > prevHi+1 {
+			window[i][0] = prevHi + 1
+		}
+		if window[i][1] < prevHi {
+			window[i][1] = prevHi
+		}
+		if window[i][1] > m-1 {
+			window[i][1] = m - 1
+		}
+		if window[i][0] < 0 {
+			window[i][0] = 0
+		}
+		prevLo, prevHi = window[i][0], window[i][1]
+	}
+	window[0][0] = 0
+	window[n-1][1] = m - 1
+	return window
+}
+
+// constrainedDTW runs the DP restricted to the given per-row windows,
+// with path extraction.
+func constrainedDTW(a, b []float64, window [][2]int) (Result, error) {
+	n, m := len(a), len(b)
+	inf := math.Inf(1)
+	dp := make([][]float64, n)
+	for i := range dp {
+		dp[i] = make([]float64, m)
+		for j := range dp[i] {
+			dp[i][j] = inf
+		}
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := window[i][0], window[i][1]
+		for j := lo; j <= hi; j++ {
+			cost := math.Abs(a[i] - b[j])
+			var best float64
+			switch {
+			case i == 0 && j == 0:
+				best = 0
+			case i == 0:
+				best = dp[i][j-1]
+			case j == 0:
+				best = dp[i-1][j]
+			default:
+				best = math.Min(dp[i-1][j], math.Min(dp[i][j-1], dp[i-1][j-1]))
+			}
+			if math.IsInf(best, 1) {
+				continue
+			}
+			dp[i][j] = cost + best
+		}
+	}
+	if math.IsInf(dp[n-1][m-1], 1) {
+		return Result{}, fmt.Errorf("dtw: FastDTW window disconnected (lengths %d, %d)", n, m)
+	}
+	// Backtrack.
+	path := make([]PathPoint, 0, n+m)
+	i, j := n-1, m-1
+	for {
+		path = append(path, PathPoint{I: i, J: j})
+		if i == 0 && j == 0 {
+			break
+		}
+		bi, bj := i, j
+		best := inf
+		try := func(pi, pj int) {
+			if pi < 0 || pj < 0 {
+				return
+			}
+			if dp[pi][pj] < best {
+				best = dp[pi][pj]
+				bi, bj = pi, pj
+			}
+		}
+		try(i-1, j-1)
+		try(i-1, j)
+		try(i, j-1)
+		i, j = bi, bj
+	}
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return Result{Distance: dp[n-1][m-1], Path: path}, nil
+}

@@ -1,0 +1,123 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFastDistanceValidation(t *testing.T) {
+	if _, err := FastDistance(nil, []float64{1}, 1); err != ErrEmptySeries {
+		t.Errorf("want ErrEmptySeries, got %v", err)
+	}
+	if _, err := FastDistance([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("negative radius should error")
+	}
+}
+
+func TestFastDistanceSmallSeriesExact(t *testing.T) {
+	// Series at or below the base-case size are solved exactly.
+	a := []float64{1, 3, 2}
+	b := []float64{1, 2, 2, 3}
+	exact, err := Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := FastDistance(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast-exact) > 1e-9 {
+		t.Errorf("small-series FastDTW %v != exact %v", fast, exact)
+	}
+}
+
+// FastDTW is an upper bound on exact DTW and converges to it as the
+// radius grows.
+func TestFastDistanceUpperBoundAndConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 32 + rng.Intn(96)
+		a := smoothSeries(rng, n)
+		b := smoothSeries(rng, n)
+		exact, err := Distance(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev float64 = math.Inf(1)
+		for _, radius := range []int{1, 4, 16} {
+			fast, err := FastDistance(a, b, radius)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast < exact-1e-9 {
+				t.Fatalf("FastDTW %v below exact %v (radius %d)", fast, exact, radius)
+			}
+			// Not strictly monotone in theory, but should not blow up.
+			if fast > prev*1.5+1e-9 {
+				t.Fatalf("radius %d got worse: %v -> %v", radius, prev, fast)
+			}
+			prev = fast
+		}
+		// Large radius should be near-exact on smooth series.
+		fast, _ := FastDistance(a, b, 16)
+		if exact > 1e-9 && fast/exact > 1.2 {
+			t.Errorf("radius-16 approximation %v vs exact %v off by > 20%%", fast, exact)
+		}
+	}
+}
+
+func TestFastDistanceIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := smoothSeries(rng, 200)
+	d, err := FastDistance(s, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("FastDTW(s, s) = %v, want 0", d)
+	}
+}
+
+func TestFastDistanceUnequalLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := smoothSeries(rng, 100)
+	b := smoothSeries(rng, 37)
+	fast, err := FastDistance(a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast < exact-1e-9 {
+		t.Errorf("unequal lengths: FastDTW %v below exact %v", fast, exact)
+	}
+}
+
+func TestHalve(t *testing.T) {
+	got := halve([]float64{1, 3, 5, 7})
+	if len(got) != 2 || got[0] != 2 || got[1] != 6 {
+		t.Errorf("halve even = %v", got)
+	}
+	got = halve([]float64{1, 3, 9})
+	if len(got) != 2 || got[0] != 2 || got[1] != 9 {
+		t.Errorf("halve odd = %v", got)
+	}
+	if out := halve([]float64{5}); len(out) != 1 || out[0] != 5 {
+		t.Errorf("halve singleton = %v", out)
+	}
+}
+
+// smoothSeries builds a random-walk series; FastDTW's guarantees are
+// practical (not worst-case), and smooth series are its natural input.
+func smoothSeries(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	v := 0.0
+	for i := range s {
+		v += rng.NormFloat64()
+		s[i] = v
+	}
+	return s
+}

@@ -1,0 +1,197 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// syntheticDaily builds n hours of a noisy daily-seasonal series with
+// the given hour-of-day profile and daily volume.
+func syntheticDaily(rng *rand.Rand, profile [24]float64, daily float64, n int, noise float64) []float64 {
+	var sum float64
+	for _, v := range profile {
+		sum += v
+	}
+	out := make([]float64, n)
+	for i := range out {
+		base := daily * profile[i%24] / sum
+		out[i] = base * (1 + noise*rng.NormFloat64())
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+func TestSeasonalNaive(t *testing.T) {
+	sn, err := NewSeasonalNaive(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	history := make([]float64, 48)
+	for i := range history {
+		history[i] = float64(i % 24)
+	}
+	if err := sn.Fit(history); err != nil {
+		t.Fatal(err)
+	}
+	fc := sn.Forecast(30)
+	for i, v := range fc {
+		if v != float64(i%24) {
+			t.Fatalf("forecast[%d] = %v", i, v)
+		}
+	}
+	if err := sn.Fit(history[:10]); err == nil {
+		t.Error("short history should error")
+	}
+	if _, err := NewSeasonalNaive(0); err == nil {
+		t.Error("period 0 should error")
+	}
+	if sn.Name() == "" {
+		t.Error("name")
+	}
+}
+
+func TestHoltWintersValidation(t *testing.T) {
+	if _, err := NewHoltWinters(1, 0.5, 0.5, 0.5); err == nil {
+		t.Error("period 1 should error")
+	}
+	for _, bad := range []float64{0, -0.1, 1.5, math.NaN()} {
+		if _, err := NewHoltWinters(24, bad, 0.5, 0.5); err == nil {
+			t.Errorf("alpha %v should error", bad)
+		}
+	}
+	hw, _ := NewHoltWinters(24, 0.3, 0.05, 0.3)
+	if err := hw.Fit(make([]float64, 30)); err == nil {
+		t.Error("needs two full seasons")
+	}
+	// Forecast before Fit returns zeros, not garbage.
+	for _, v := range hw.Forecast(5) {
+		if v != 0 {
+			t.Error("unfitted forecast should be zero")
+		}
+	}
+}
+
+func TestHoltWintersLearnsSeasonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	profile := TypicalWebProfile()
+	series := syntheticDaily(rng, profile, 24000, 7*24, 0.03)
+	hw, err := NewHoltWinters(24, 0.3, 0.02, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Backtest(hw, series, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MAPE > 15 {
+		t.Errorf("Holt-Winters MAPE = %v%%, want < 15%% on clean seasonal data", m.MAPE)
+	}
+	// It must beat a flat-mean "profile" (uniform) forecast.
+	uniform, _ := NewProfileForecaster([24]float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, "uniform")
+	mu, err := Backtest(uniform, series, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RMSE >= mu.RMSE {
+		t.Errorf("Holt-Winters RMSE %v >= uniform profile %v", m.RMSE, mu.RMSE)
+	}
+}
+
+func TestProfileForecaster(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	profile := TypicalWebProfile()
+	series := syntheticDaily(rng, profile, 10000, 6*24, 0.02)
+	pf, err := NewProfileForecaster(profile, "typical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Backtest(pf, series, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MAPE > 10 {
+		t.Errorf("matched profile MAPE = %v%%, want small", m.MAPE)
+	}
+	// The same data forecast with a *wrong* (anti-phase) profile is far
+	// worse — the paper's point about adult traffic in standard models.
+	var anti [24]float64
+	for i, v := range profile {
+		anti[(i+12)%24] = v
+	}
+	pfAnti, _ := NewProfileForecaster(anti, "anti")
+	mAnti, err := Backtest(pfAnti, series, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mAnti.MAPE < 2*m.MAPE {
+		t.Errorf("anti-phase profile MAPE %v should dwarf matched %v", mAnti.MAPE, m.MAPE)
+	}
+}
+
+func TestProfileForecasterValidation(t *testing.T) {
+	if _, err := NewProfileForecaster([24]float64{}, "zero"); err == nil {
+		t.Error("zero profile should error")
+	}
+	bad := TypicalWebProfile()
+	bad[3] = -1
+	if _, err := NewProfileForecaster(bad, "neg"); err == nil {
+		t.Error("negative entry should error")
+	}
+	pf, _ := NewProfileForecaster(TypicalWebProfile(), "t")
+	if err := pf.Fit(make([]float64, 10)); err == nil {
+		t.Error("short history should error")
+	}
+	if pf.Name() != "profile(t)" {
+		t.Errorf("name = %s", pf.Name())
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	m, err := Evaluate([]float64{10, 20}, []float64{12, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.MAE-3) > 1e-9 {
+		t.Errorf("MAE = %v", m.MAE)
+	}
+	wantRMSE := math.Sqrt((4.0 + 16.0) / 2)
+	if math.Abs(m.RMSE-wantRMSE) > 1e-9 {
+		t.Errorf("RMSE = %v, want %v", m.RMSE, wantRMSE)
+	}
+	wantMAPE := (2.0/10 + 4.0/20) / 2 * 100
+	if math.Abs(m.MAPE-wantMAPE) > 1e-9 {
+		t.Errorf("MAPE = %v, want %v", m.MAPE, wantMAPE)
+	}
+	if _, err := Evaluate([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Evaluate(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+	// Zero actuals are excluded from MAPE.
+	m2, _ := Evaluate([]float64{0, 10}, []float64{5, 10})
+	if m2.MAPE != 0 {
+		t.Errorf("MAPE over zero-only nonzero errors = %v", m2.MAPE)
+	}
+}
+
+func TestBacktestValidation(t *testing.T) {
+	sn, _ := NewSeasonalNaive(2)
+	series := []float64{1, 2, 1, 2, 1, 2}
+	if _, err := Backtest(sn, series, 0); err == nil {
+		t.Error("horizon 0 should error")
+	}
+	if _, err := Backtest(sn, series, 6); err == nil {
+		t.Error("horizon >= len should error")
+	}
+	m, err := Backtest(sn, series, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RMSE != 0 {
+		t.Errorf("perfect periodic backtest RMSE = %v", m.RMSE)
+	}
+}

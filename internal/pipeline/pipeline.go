@@ -1,0 +1,111 @@
+// Package pipeline provides a small parallel log-processing framework:
+// records stream from a trace.Reader through a pool of workers, each
+// folding into a private accumulator, and the accumulators merge at the
+// end. Analyses over week-long traces are embarrassingly parallel per
+// record, so this covers every aggregation in the repository.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"trafficscope/internal/trace"
+)
+
+// Accumulator folds records and merges with peers of the same type.
+type Accumulator[T any] interface {
+	// Add folds one record.
+	Add(*trace.Record)
+	// Merge folds another accumulator of the same concrete type into the
+	// receiver.
+	Merge(T)
+}
+
+// Options configures a Run.
+type Options struct {
+	// Workers is the parallelism degree; values < 1 default to
+	// GOMAXPROCS.
+	Workers int
+	// BatchSize is the number of records handed to a worker at once;
+	// values < 1 default to 1024.
+	BatchSize int
+}
+
+// Run streams records from r through parallel workers. newAcc creates one
+// accumulator per worker; the final merged accumulator is returned.
+func Run[T Accumulator[T]](r trace.Reader, newAcc func() T, opts Options) (T, error) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	batchSize := opts.BatchSize
+	if batchSize < 1 {
+		batchSize = 1024
+	}
+
+	var zero T
+	batches := make(chan []*trace.Record, workers)
+	accs := make([]T, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		accs[w] = newAcc()
+		wg.Add(1)
+		go func(acc T) {
+			defer wg.Done()
+			for batch := range batches {
+				for _, rec := range batch {
+					acc.Add(rec)
+				}
+			}
+		}(accs[w])
+	}
+
+	var readErr error
+	batch := make([]*trace.Record, 0, batchSize)
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			readErr = fmt.Errorf("pipeline: read: %w", err)
+			break
+		}
+		batch = append(batch, rec)
+		if len(batch) == batchSize {
+			batches <- batch
+			batch = make([]*trace.Record, 0, batchSize)
+		}
+	}
+	if len(batch) > 0 {
+		batches <- batch
+	}
+	close(batches)
+	wg.Wait()
+	if readErr != nil {
+		return zero, readErr
+	}
+
+	out := accs[0]
+	for _, a := range accs[1:] {
+		out.Merge(a)
+	}
+	return out, nil
+}
+
+// Count is a trivial accumulator counting records; useful for smoke tests
+// and trace sizing.
+type Count struct {
+	N int64
+}
+
+var _ Accumulator[*Count] = (*Count)(nil)
+
+// Add implements Accumulator.
+func (c *Count) Add(*trace.Record) { c.N++ }
+
+// Merge implements Accumulator.
+func (c *Count) Merge(o *Count) { c.N += o.N }

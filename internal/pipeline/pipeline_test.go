@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+func makeRecords(n int) []*trace.Record {
+	rng := rand.New(rand.NewSource(1))
+	recs := make([]*trace.Record, n)
+	base := time.Date(2015, 10, 3, 0, 0, 0, 0, time.UTC)
+	for i := range recs {
+		recs[i] = &trace.Record{
+			Timestamp:   base.Add(time.Duration(i) * time.Second),
+			Publisher:   []string{"V-1", "P-1"}[rng.Intn(2)],
+			ObjectID:    rng.Uint64() % 100,
+			FileType:    trace.FileJPG,
+			ObjectSize:  1000,
+			BytesServed: 1000,
+			UserID:      rng.Uint64() % 50,
+			UserAgent:   "UA",
+			Region:      timeutil.RegionEurope,
+			StatusCode:  200,
+		}
+	}
+	return recs
+}
+
+func TestRunCount(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 16} {
+		recs := makeRecords(5000)
+		got, err := Run(trace.NewSliceReader(recs), func() *Count { return &Count{} },
+			Options{Workers: workers, BatchSize: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != 5000 {
+			t.Errorf("workers=%d: N = %d, want 5000", workers, got.N)
+		}
+	}
+}
+
+// perPublisher counts per-publisher records; exercises nontrivial merge.
+type perPublisher struct {
+	counts map[string]int64
+}
+
+func newPerPublisher() *perPublisher { return &perPublisher{counts: map[string]int64{}} }
+
+func (p *perPublisher) Add(r *trace.Record) { p.counts[r.Publisher]++ }
+
+func (p *perPublisher) Merge(o *perPublisher) {
+	for k, v := range o.counts {
+		p.counts[k] += v
+	}
+}
+
+func TestRunMergeMatchesSequential(t *testing.T) {
+	recs := makeRecords(3000)
+	seq := newPerPublisher()
+	for _, r := range recs {
+		seq.Add(r)
+	}
+	par, err := Run(trace.NewSliceReader(recs), newPerPublisher, Options{Workers: 8, BatchSize: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.counts) != len(seq.counts) {
+		t.Fatalf("publisher sets differ: %v vs %v", par.counts, seq.counts)
+	}
+	for k, v := range seq.counts {
+		if par.counts[k] != v {
+			t.Errorf("%s: parallel %d != sequential %d", k, par.counts[k], v)
+		}
+	}
+}
+
+type failingReader struct{ n int }
+
+func (f *failingReader) Read() (*trace.Record, error) {
+	if f.n <= 0 {
+		return nil, errors.New("disk on fire")
+	}
+	f.n--
+	return makeRecords(1)[0], nil
+}
+
+func TestRunPropagatesReadError(t *testing.T) {
+	_, err := Run(&failingReader{n: 10}, func() *Count { return &Count{} }, Options{})
+	if err == nil {
+		t.Fatal("want error")
+	}
+}
+
+type emptyReader struct{}
+
+func (emptyReader) Read() (*trace.Record, error) { return nil, io.EOF }
+
+func TestRunEmptyInput(t *testing.T) {
+	got, err := Run(emptyReader{}, func() *Count { return &Count{} }, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 0 {
+		t.Errorf("N = %d", got.N)
+	}
+}
+
+// atomicCount verifies every record is delivered exactly once even with
+// tiny batches and many workers.
+type atomicCount struct{ n *int64 }
+
+func (a atomicCount) Add(*trace.Record) { atomic.AddInt64(a.n, 1) }
+func (a atomicCount) Merge(atomicCount) {}
+
+func TestRunExactlyOnceDelivery(t *testing.T) {
+	var n int64
+	recs := makeRecords(999)
+	_, err := Run(trace.NewSliceReader(recs), func() atomicCount { return atomicCount{n: &n} },
+		Options{Workers: 7, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 999 {
+		t.Errorf("delivered %d records, want 999", n)
+	}
+}

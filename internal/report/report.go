@@ -1,0 +1,239 @@
+// Package report renders analysis results as text tables, CSV and ASCII
+// charts for the CLI tools and the experiment harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.WriteTo(&b)
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.headers)
+	for _, row := range t.rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, cell := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(cell, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(cell, "\"", "\"\""))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(cell)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table, with
+// the title as a bold caption line when present.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.title)
+	}
+	writeMD := func(cells []string) {
+		b.WriteString("|")
+		for _, cell := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(cell, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeMD(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeMD(sep)
+	for _, row := range t.rows {
+		writeMD(row)
+	}
+	return b.String()
+}
+
+// sparkLevels are the eighth-block characters used by Sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a unicode sparkline, scaled to the series
+// min/max. Empty input yields an empty string.
+func Sparkline(series []float64) string {
+	if len(series) == 0 {
+		return ""
+	}
+	lo, hi := series[0], series[0]
+	for _, v := range series {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range series {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// Downsample reduces a series to n points by bucket-averaging; useful
+// before sparklining a 168-hour series into a terminal-width strip.
+func Downsample(series []float64, n int) []float64 {
+	if n <= 0 || len(series) == 0 {
+		return nil
+	}
+	if len(series) <= n {
+		out := make([]float64, len(series))
+		copy(out, series)
+		return out
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(series) / n
+		hi := (i + 1) * len(series) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range series[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// Bytes formats a byte count with binary units (KiB/MiB/GiB).
+func Bytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}
+
+// Percent formats a fraction as a percentage with one decimal.
+func Percent(frac float64) string {
+	if math.IsNaN(frac) {
+		return "NaN"
+	}
+	return fmt.Sprintf("%.1f%%", frac*100)
+}

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Bootstrap estimates a percentile confidence interval for an arbitrary
+// sample statistic by resampling with replacement. stat receives a
+// resampled copy it may reorder freely. confidence is e.g. 0.95;
+// resamples of 1000+ are typical.
+func Bootstrap(sample []float64, stat func([]float64) float64, resamples int, confidence float64, rng *rand.Rand) (Interval, error) {
+	if len(sample) == 0 {
+		return Interval{}, ErrEmpty
+	}
+	if resamples < 10 {
+		return Interval{}, fmt.Errorf("stats: bootstrap needs >= 10 resamples, got %d", resamples)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return Interval{}, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	stats := make([]float64, resamples)
+	buf := make([]float64, len(sample))
+	for i := 0; i < resamples; i++ {
+		for j := range buf {
+			buf[j] = sample[rng.Intn(len(sample))]
+		}
+		stats[i] = stat(buf)
+	}
+	sort.Float64s(stats)
+	alpha := (1 - confidence) / 2
+	lo := int(alpha * float64(resamples))
+	hi := int((1 - alpha) * float64(resamples))
+	if hi >= resamples {
+		hi = resamples - 1
+	}
+	return Interval{Lo: stats[lo], Hi: stats[hi]}, nil
+}
+
+// BootstrapMedian is Bootstrap specialized to the sample median.
+func BootstrapMedian(sample []float64, resamples int, confidence float64, rng *rand.Rand) (Interval, error) {
+	return Bootstrap(sample, func(xs []float64) float64 {
+		sort.Float64s(xs)
+		return xs[len(xs)/2]
+	}, resamples, confidence, rng)
+}
+
+// BootstrapMean is Bootstrap specialized to the sample mean.
+func BootstrapMean(sample []float64, resamples int, confidence float64, rng *rand.Rand) (Interval, error) {
+	return Bootstrap(sample, Mean, resamples, confidence, rng)
+}

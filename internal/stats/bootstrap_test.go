@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := BootstrapMean(nil, 100, 0.95, rng); err != ErrEmpty {
+		t.Errorf("empty sample: %v", err)
+	}
+	if _, err := BootstrapMean([]float64{1}, 5, 0.95, rng); err == nil {
+		t.Error("too few resamples should error")
+	}
+	if _, err := BootstrapMean([]float64{1}, 100, 1.5, rng); err == nil {
+		t.Error("bad confidence should error")
+	}
+	if _, err := BootstrapMean([]float64{1}, 100, 0, rng); err == nil {
+		t.Error("zero confidence should error")
+	}
+}
+
+func TestBootstrapMeanCoversTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Sample from N(10, 2); the CI should cover 10 and be ordered.
+	sample := make([]float64, 400)
+	for i := range sample {
+		sample[i] = 10 + 2*rng.NormFloat64()
+	}
+	ci, err := BootstrapMean(sample, 1000, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > ci.Hi {
+		t.Fatalf("interval reversed: %+v", ci)
+	}
+	if ci.Lo > 10 || ci.Hi < 10 {
+		t.Errorf("95%% CI %+v does not cover the true mean 10", ci)
+	}
+	// Interval width is plausible: ~4*sigma/sqrt(n) = 0.4.
+	if w := ci.Hi - ci.Lo; w > 1.0 || w <= 0 {
+		t.Errorf("CI width = %v, want ~0.4", w)
+	}
+}
+
+func TestBootstrapMedianDegenerateSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ci, err := BootstrapMedian([]float64{7, 7, 7, 7}, 200, 0.9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo != 7 || ci.Hi != 7 {
+		t.Errorf("constant sample CI = %+v, want [7,7]", ci)
+	}
+}
+
+func TestBootstrapNarrowsWithMoreData(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mk := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.ExpFloat64() * 5
+		}
+		return xs
+	}
+	small, err := BootstrapMean(mk(50), 800, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := BootstrapMean(mk(5000), 800, 0.95, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (large.Hi - large.Lo) >= (small.Hi - small.Lo) {
+		t.Errorf("CI did not narrow: small %+v, large %+v", small, large)
+	}
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram counts observations into fixed bins. Build one with
+// NewHistogram (linear bins) or NewLogHistogram (geometric bins).
+type Histogram struct {
+	edges  []float64 // len = bins+1, strictly increasing
+	counts []int64   // len = bins
+	under  int64     // observations below edges[0]
+	over   int64     // observations at/above edges[len-1]
+	total  int64
+}
+
+// NewHistogram creates a histogram with n equal-width bins spanning
+// [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stats: histogram needs n >= 1 bins, got %d", n)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram needs lo < hi, got [%v, %v)", lo, hi)
+	}
+	edges := make([]float64, n+1)
+	step := (hi - lo) / float64(n)
+	for i := range edges {
+		edges[i] = lo + float64(i)*step
+	}
+	edges[n] = hi
+	return &Histogram{edges: edges, counts: make([]int64, n)}, nil
+}
+
+// NewLogHistogram creates a histogram with n geometrically-spaced bins
+// spanning [lo, hi); lo must be positive.
+func NewLogHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stats: histogram needs n >= 1 bins, got %d", n)
+	}
+	if !(0 < lo && lo < hi) {
+		return nil, fmt.Errorf("stats: log histogram needs 0 < lo < hi, got [%v, %v)", lo, hi)
+	}
+	edges := make([]float64, n+1)
+	ratio := math.Pow(hi/lo, 1/float64(n))
+	x := lo
+	for i := range edges {
+		edges[i] = x
+		x *= ratio
+	}
+	edges[n] = hi
+	return &Histogram{edges: edges, counts: make([]int64, n)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.edges[0]:
+		h.under++
+	case x >= h.edges[len(h.edges)-1]:
+		h.over++
+	default:
+		// First edge index with edges[i] > x; the bin is i-1.
+		i := sort.SearchFloat64s(h.edges, x)
+		if i < len(h.edges) && h.edges[i] == x {
+			// x sits exactly on an edge: it belongs to bin i.
+			h.counts[i]++
+			return
+		}
+		h.counts[i-1]++
+	}
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the count in bin i.
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// BinRange returns the [lo, hi) interval of bin i.
+func (h *Histogram) BinRange(i int) (lo, hi float64) { return h.edges[i], h.edges[i+1] }
+
+// Total returns the number of observations added, including out-of-range.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Underflow and Overflow report out-of-range observation counts.
+func (h *Histogram) Underflow() int64 { return h.under }
+
+// Overflow reports observations at or above the upper range bound.
+func (h *Histogram) Overflow() int64 { return h.over }
+
+// Fractions returns per-bin fractions of the in-range total. Out-of-range
+// observations are excluded from the denominator.
+func (h *Histogram) Fractions() []float64 {
+	in := h.total - h.under - h.over
+	out := make([]float64, len(h.counts))
+	if in == 0 {
+		return out
+	}
+	for i, c := range h.counts {
+		out[i] = float64(c) / float64(in)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(10, 10, 4); err == nil {
+		t.Error("lo == hi should error")
+	}
+	if _, err := NewLogHistogram(0, 10, 4); err == nil {
+		t.Error("log histogram with lo=0 should error")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 5.5, 9.99, -1, 10, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.Underflow(), h.Overflow())
+	}
+	wantCounts := []int64{2, 1, 1, 0, 1} // bins [0,2) [2,4) [4,6) [6,8) [8,10)
+	for i, w := range wantCounts {
+		if h.Count(i) != w {
+			t.Errorf("bin %d count = %d, want %d", i, h.Count(i), w)
+		}
+	}
+	lo, hi := h.BinRange(1)
+	if lo != 2 || hi != 4 {
+		t.Errorf("BinRange(1) = [%v,%v)", lo, hi)
+	}
+}
+
+func TestHistogramFractions(t *testing.T) {
+	h, _ := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.Add(-1) // excluded from in-range denominator
+	fr := h.Fractions()
+	if !almostEqual(fr[0], 2.0/3, 1e-12) || !almostEqual(fr[1], 1.0/3, 1e-12) {
+		t.Errorf("Fractions = %v", fr)
+	}
+	empty, _ := NewHistogram(0, 1, 3)
+	for _, f := range empty.Fractions() {
+		if f != 0 {
+			t.Error("empty histogram fractions should be zero")
+		}
+	}
+}
+
+func TestLogHistogramCoversDecades(t *testing.T) {
+	h, err := NewLogHistogram(1, 1e6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bin edges should be powers of ten; each sample lands in its decade.
+	samples := []float64{2, 20, 200, 2000, 2e4, 2e5}
+	for _, s := range samples {
+		h.Add(s)
+	}
+	for i := 0; i < h.Bins(); i++ {
+		if h.Count(i) != 1 {
+			t.Errorf("bin %d count = %d, want 1", i, h.Count(i))
+		}
+		lo, hi := h.BinRange(i)
+		if !almostEqual(math.Log10(hi)-math.Log10(lo), 1, 1e-9) {
+			t.Errorf("bin %d not one decade: [%v, %v)", i, lo, hi)
+		}
+	}
+}
+
+func TestHistogramConservation(t *testing.T) {
+	// Property: total == under + over + sum(bins) for random input.
+	rng := rand.New(rand.NewSource(3))
+	h, _ := NewHistogram(-5, 5, 7)
+	for i := 0; i < 10000; i++ {
+		h.Add(rng.NormFloat64() * 4)
+	}
+	var in int64
+	for i := 0; i < h.Bins(); i++ {
+		in += h.Count(i)
+	}
+	if h.Total() != in+h.Underflow()+h.Overflow() {
+		t.Errorf("conservation violated: total=%d in=%d under=%d over=%d",
+			h.Total(), in, h.Underflow(), h.Overflow())
+	}
+}
+
+func TestHistogramEdgeValueGoesToUpperBin(t *testing.T) {
+	h, _ := NewHistogram(0, 3, 3)
+	h.Add(1) // exactly on the edge between bin 0 and bin 1
+	if h.Count(1) != 1 || h.Count(0) != 0 {
+		t.Errorf("edge value placement: bin0=%d bin1=%d", h.Count(0), h.Count(1))
+	}
+}

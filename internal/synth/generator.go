@@ -1,0 +1,469 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"trafficscope/internal/stats"
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+	"trafficscope/internal/useragent"
+)
+
+// Config configures a Generator.
+type Config struct {
+	// Seed drives all randomness; the same seed and config produce the
+	// same trace.
+	Seed int64
+	// Scale multiplies the paper-reported object and request counts;
+	// 1.0 is full paper scale, 0.01 is a laptop-friendly default.
+	Scale float64
+	// Week is the observation window; a zero value defaults to the week
+	// starting Saturday 2015-10-03 (matching the paper's Sat-Fri axes).
+	Week timeutil.Week
+	// Sites lists the site profiles to generate; nil means
+	// DefaultProfiles().
+	Sites []SiteProfile
+	// Salt feeds the anonymizer that assigns object and user IDs.
+	Salt string
+}
+
+// DefaultWeekStart is the default trace window start (a Saturday,
+// matching the paper's figure axes).
+var DefaultWeekStart = time.Date(2015, 10, 3, 0, 0, 0, 0, time.UTC)
+
+// Generator produces synthetic traces. Create one with NewGenerator.
+type Generator struct {
+	cfg     Config
+	anon    *trace.Anonymizer
+	pops    []*Population
+	prof    []SiteProfile
+	private map[uint64]*Object // private-audience objects, by ID
+}
+
+// NewGenerator validates the config and materializes object populations.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.01
+	}
+	if cfg.Scale < 0 {
+		return nil, fmt.Errorf("synth: negative scale %v", cfg.Scale)
+	}
+	if cfg.Week.Start.IsZero() {
+		cfg.Week = timeutil.NewWeek(DefaultWeekStart)
+	}
+	if cfg.Sites == nil {
+		cfg.Sites = DefaultProfiles()
+	}
+	anon := trace.NewAnonymizer([]byte(cfg.Salt))
+	g := &Generator{cfg: cfg, anon: anon, private: map[uint64]*Object{}}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := range cfg.Sites {
+		p := &cfg.Sites[i]
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		pop, err := buildPopulation(p, cfg.Scale, rng, anon)
+		if err != nil {
+			return nil, err
+		}
+		g.pops = append(g.pops, pop)
+		g.prof = append(g.prof, *p)
+	}
+	return g, nil
+}
+
+// Populations exposes the materialized object populations, in site order.
+func (g *Generator) Populations() []*Population { return g.pops }
+
+// Week returns the generator's observation window.
+func (g *Generator) Week() timeutil.Week { return g.cfg.Week }
+
+// IsIncognito reports whether the given user browses in private mode.
+// The flag is a deterministic function of the user ID and the site's
+// incognito fraction, so the CDN simulator can reconstruct it.
+func (g *Generator) IsIncognito(site string, userID uint64) bool {
+	for i := range g.prof {
+		if g.prof[i].Name == site {
+			return userIsIncognito(userID, g.prof[i].IncognitoFrac)
+		}
+	}
+	return false
+}
+
+func userIsIncognito(userID uint64, frac float64) bool {
+	return float64(userID%1000) < frac*1000
+}
+
+// Generate produces the full trace, sorted by timestamp.
+func (g *Generator) Generate() ([]*trace.Record, error) {
+	var all []*trace.Record
+	err := g.GenerateTo(func(r *trace.Record) error {
+		all = append(all, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	trace.SortByTime(all)
+	return all, nil
+}
+
+// GenerateTo streams records to sink. Records arrive grouped by site and
+// roughly time-ordered within a site; use Generate for a globally sorted
+// trace.
+func (g *Generator) GenerateTo(sink func(*trace.Record) error) error {
+	for i := range g.pops {
+		rng := rand.New(rand.NewSource(g.cfg.Seed ^ int64(i+1)*0x5e3779b97f4a7c15))
+		if err := g.generateSite(&g.prof[i], g.pops[i], rng, sink); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// userState tracks a user's per-site browsing habits.
+type userState struct {
+	id           uint64
+	device       useragent.Device
+	agent        string
+	region       timeutil.Region
+	favorite     *Object // object the user habitually re-requests
+	favIntensity float64 // probability a draw goes to the favorite
+}
+
+func (g *Generator) generateSite(p *SiteProfile, pop *Population, rng *rand.Rand, sink func(*trace.Record) error) error {
+	totalRequests := float64(p.WeeklyRequests) * g.cfg.Scale
+	if totalRequests < 1 {
+		return nil
+	}
+
+	// Per-object expected request totals: category request share split by
+	// popularity weight.
+	expected := make(map[*Object]float64, len(pop.Objects))
+	for _, cat := range trace.AllCategories() {
+		cp, ok := p.Categories[cat]
+		if !ok {
+			continue
+		}
+		objs := pop.ByCategory[cat]
+		var wsum float64
+		for _, o := range objs {
+			wsum += o.Weight
+		}
+		if wsum == 0 {
+			continue
+		}
+		catTotal := totalRequests * cp.RequestFrac
+		for _, o := range objs {
+			expected[o] = catTotal * o.Weight / wsum
+		}
+	}
+
+	// Hourly intensity per local hour-of-week; per-hour object choice
+	// distributions are built lazily per hour.
+	var hourTotal [timeutil.HoursPerWeek]float64
+	for o, e := range expected {
+		for h := 0; h < timeutil.HoursPerWeek; h++ {
+			if o.Shape[h] > 0 {
+				hourTotal[h] += e * o.Shape[h]
+			}
+		}
+	}
+
+	// User pool. Pool size keeps the mean requests/user/week target;
+	// per-user activity is heavy-tailed (a few users issue hundreds of
+	// requests, most issue a handful).
+	poolSize := int(math.Max(4, totalRequests/p.RequestsPerUserWeek))
+	users, userCum := g.buildUserPool(p, pop, poolSize, rng)
+	pickUser := func() *userState {
+		i := sort.SearchFloat64s(userCum, rng.Float64()*userCum[len(userCum)-1])
+		if i >= len(users) {
+			i = len(users) - 1
+		}
+		return users[i]
+	}
+
+	meanSession := p.MeanRequestsPerSession
+	iatMu, iatSigma, err := stats.LogNormalFromMedianP90(p.SessionIATSeconds, p.SessionIATSeconds*5)
+	if err != nil {
+		return fmt.Errorf("synth: %s: session IAT params: %w", p.Name, err)
+	}
+
+	// Objects sorted per category once; the hourly categorical
+	// distribution reuses this ordering.
+	objs := pop.Objects
+	cum := make([]float64, len(objs))
+
+	for h := 0; h < timeutil.HoursPerWeek; h++ {
+		if hourTotal[h] <= 0 {
+			continue
+		}
+		// Build the cumulative object distribution for this hour.
+		var acc float64
+		for oi, o := range objs {
+			acc += expected[o] * o.Shape[h]
+			cum[oi] = acc
+		}
+		if acc <= 0 {
+			continue
+		}
+		// Number of requests this local hour (Poisson via normal approx
+		// for large means, exact for small).
+		n := samplePoisson(rng, hourTotal[h])
+		for n > 0 {
+			// One session: size capped by remaining budget.
+			size := 1 + sampleGeometric(rng, meanSession-1)
+			if size > n {
+				size = n
+			}
+			n -= size
+			g.emitSession(p, pickUser(), h, size, objs, cum, acc, rng, iatMu, iatSigma, sink)
+		}
+	}
+	return nil
+}
+
+// buildUserPool creates the site's users with device, agent and region
+// assignments per the profile mixes, Pareto-distributed activity
+// weights (returned as a cumulative vector for weighted sampling), and a
+// small population of niche super-addicts: users fixated on one specific
+// object regardless of its general popularity. Those users produce the
+// Fig. 13 outliers whose object request counts dwarf their unique-user
+// counts.
+func (g *Generator) buildUserPool(p *SiteProfile, pop *Population, n int, rng *rand.Rand) ([]*userState, []float64) {
+	devices := useragent.AllDevices()
+	regions := timeutil.AllRegions()
+	users := make([]*userState, n)
+	cum := make([]float64, n)
+	var acc float64
+	for i := range users {
+		dev := devices[stats.WeightedChoice(rng, p.DeviceMix[:])]
+		agents := useragent.CanonicalAgents(dev)
+		agent := agents[rng.Intn(len(agents))]
+		users[i] = &userState{
+			id:     g.anon.HashUser(fmt.Sprintf("%s/user-%d", p.Name, i), agent),
+			device: dev,
+			agent:  agent,
+			region: regions[stats.WeightedChoice(rng, p.RegionMix[:])],
+		}
+		// Heavy-tailed activity: most users browse a little, a few a
+		// lot (finite-variance Pareto keeps chance same-object repeats
+		// from overwhelming the image sites).
+		acc += stats.Pareto(rng, 1, 2.3)
+		cum[i] = acc
+		// Niche super-addicts (~0.3% of users): a fixed favorite drawn
+		// uniformly over the catalog (so usually an unpopular object)
+		// absorbs most of their draws while it is live; the intensity
+		// follows the category's addiction strength, so video habits
+		// run far hotter than image habits.
+		if rng.Float64() < 0.003 {
+			fav := pop.Objects[rng.Intn(len(pop.Objects))]
+			if cp, ok := p.Categories[fav.Category()]; ok {
+				users[i].favorite = fav
+				users[i].favIntensity = 0.9 * cp.AddictRepeatMean / (cp.AddictRepeatMean + 1)
+			}
+		}
+		// Private-audience addicts (~0.05% of users): fixated on an
+		// object essentially nobody else requests — user-uploaded or
+		// deep-link content. These produce the Fig. 13 outliers whose
+		// request counts exceed their unique-user counts by up to two
+		// orders of magnitude; a shared-catalog popularity draw cannot,
+		// because every catalog object's audience grows with scale.
+		if rng.Float64() < 0.0005 {
+			if o := g.newPrivateObject(p, pop, i, rng); o != nil {
+				users[i].favorite = o
+				users[i].favIntensity = 0.92
+			}
+		}
+	}
+	return users, cum
+}
+
+// newPrivateObject creates a private-audience object for one addicted
+// user and registers it with the population at zero popularity weight:
+// the shared popularity draw never selects it, so nearly all of its
+// requests come from its owner. Returns nil for profiles without a
+// dominant category.
+func (g *Generator) newPrivateObject(p *SiteProfile, pop *Population, userIdx int, rng *rand.Rand) *Object {
+	// Pick the category by the site's request mix.
+	var cats []trace.Category
+	var weights []float64
+	for _, cat := range trace.AllCategories() {
+		if cp, ok := p.Categories[cat]; ok && cp.RequestFrac > 0 {
+			cats = append(cats, cat)
+			weights = append(weights, cp.RequestFrac)
+		}
+	}
+	if len(cats) == 0 {
+		return nil
+	}
+	cat := cats[stats.WeightedChoice(rng, weights)]
+	cp := p.Categories[cat]
+	id := g.anon.HashString(fmt.Sprintf("%s/private/%d", p.Name, userIdx))
+	if o, ok := g.private[id]; ok {
+		return o // idempotent across repeated Generate calls
+	}
+	o := &Object{
+		ID:         id,
+		FileType:   cp.FileTypes[rng.Intn(len(cp.FileTypes))],
+		Size:       sampleSize(rng, &cp.Sizes, ClassDiurnalA, cat),
+		Class:      ClassDiurnalA, // reachable by its owner all week
+		InjectHour: -1,
+		Weight:     0,
+	}
+	o.Shape = classShape(rng, ClassDiurnalA, o.InjectHour, &p.HourlyShape)
+	g.private[id] = o
+	pop.Objects = append(pop.Objects, o)
+	pop.ByCategory[cat] = append(pop.ByCategory[cat], o)
+	return o
+}
+
+// emitSession generates one user session starting in local hour h.
+// Sessions whose UTC start falls outside the observation window are
+// dropped, and sessions running past the window end are truncated —
+// matching how a hard one-week log window clips boundary sessions.
+func (g *Generator) emitSession(p *SiteProfile, u *userState, localHour, size int, objs []*Object, cum []float64, cumTotal float64, rng *rand.Rand, iatMu, iatSigma float64, sink func(*trace.Record) error) error {
+	localOffset := time.Duration(rng.Float64() * float64(time.Hour))
+	utc := g.cfg.Week.HourStart(localHour).Add(localOffset).Add(-u.region.UTCOffset())
+	if !g.cfg.Week.Contains(utc) {
+		return nil
+	}
+
+	t := utc
+	for i := 0; i < size; i++ {
+		if i > 0 {
+			gap := stats.LogNormal(rng, iatMu, iatSigma)
+			if gap > 3600 {
+				gap = 3600
+			}
+			t = t.Add(time.Duration(gap * float64(time.Second)))
+			if !g.cfg.Week.Contains(t) {
+				return nil
+			}
+		}
+		o := g.pickObject(p, u, localHour, objs, cum, cumTotal, rng)
+		rec := &trace.Record{
+			Timestamp:   t,
+			Publisher:   p.Name,
+			ObjectID:    o.ID,
+			FileType:    o.FileType,
+			ObjectSize:  o.Size,
+			BytesServed: bytesForRequest(o, p, rng),
+			UserID:      u.id,
+			UserAgent:   u.agent,
+			Region:      u.region,
+			StatusCode:  200, // provisional; the CDN replay rewrites it
+			Cache:       trace.CacheUnknown,
+		}
+		if rec.BytesServed < rec.ObjectSize && o.Category() == trace.CategoryVideo {
+			rec.StatusCode = 206
+		}
+		if err := sink(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickObject draws the session's next object: the user's habitual
+// favorite with probability AddictFrac (once established), otherwise a
+// fresh draw from the hour's popularity distribution. Favorites are only
+// re-requested while the object is still live (its shape has mass at the
+// current hour): addiction concentrates repeats, it does not resurrect
+// retired content (Fig. 7's aging curve would flatten otherwise).
+func (g *Generator) pickObject(p *SiteProfile, u *userState, localHour int, objs []*Object, cum []float64, cumTotal float64, rng *rand.Rand) *Object {
+	if u.favorite != nil && u.favorite.Shape[localHour] > 0 {
+		if rng.Float64() < u.favIntensity {
+			return u.favorite
+		}
+	}
+	idx := sort.SearchFloat64s(cum, rng.Float64()*cumTotal)
+	if idx >= len(objs) {
+		idx = len(objs) - 1
+	}
+	o := objs[idx]
+	if u.favorite == nil {
+		if cp, ok := p.Categories[o.Category()]; ok && rng.Float64() < cp.AddictFrac {
+			u.favorite = o
+			// Re-request intensity scales with the category's addiction
+			// strength (mean extra repeats m implies a per-draw return
+			// probability near m/(m+1), damped for ordinary addicts).
+			// A small super-addict tail produces the Fig. 13 outliers
+			// whose request counts dwarf their unique-user counts.
+			base := cp.AddictRepeatMean / (cp.AddictRepeatMean + 1)
+			if rng.Float64() < 0.1 {
+				u.favIntensity = 0.95 * base
+			} else {
+				u.favIntensity = 0.35 * base
+			}
+		}
+	}
+	return o
+}
+
+// bytesForRequest decides how many bytes the response carries before CDN
+// semantics are applied: videos are fetched partially (range requests),
+// images and other content fully.
+func bytesForRequest(o *Object, p *SiteProfile, rng *rand.Rand) int64 {
+	if o.Category() != trace.CategoryVideo {
+		return o.Size
+	}
+	med := p.WatchedFracMedian
+	if med <= 0 || med >= 1 {
+		return o.Size
+	}
+	mu, sigma, err := stats.LogNormalFromMedianP90(med, math.Min(0.99, med*2.4))
+	if err != nil {
+		return o.Size
+	}
+	frac := stats.LogNormal(rng, mu, sigma)
+	if frac >= 1 {
+		return o.Size
+	}
+	b := int64(frac * float64(o.Size))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// samplePoisson draws from Poisson(lambda) — Knuth's method for small
+// lambda, normal approximation above 30.
+func samplePoisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// sampleGeometric draws a geometric count with the given mean (>= 0).
+func sampleGeometric(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (mean + 1)
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return int(math.Log(u) / math.Log(1-p))
+}

@@ -1,0 +1,108 @@
+package synth
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	want := DefaultProfiles()
+	data, err := MarshalProfiles(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalProfiles(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("count: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("profile %s changed across round trip", want[i].Name)
+		}
+	}
+	// The JSON is human-readable: labels, not enum ints.
+	s := string(data)
+	for _, tok := range []string{`"video"`, `"image"`, `"diurnal-a"`, `"long-lived"`, `"V-1"`} {
+		if !strings.Contains(s, tok) {
+			t.Errorf("serialized profiles missing %s", tok)
+		}
+	}
+}
+
+func TestProfileJSONFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.json")
+	want := DefaultProfiles()[:2]
+	if err := SaveProfiles(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfiles(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != want[0].Name {
+		t.Errorf("file round trip: %v", got)
+	}
+	if _, err := LoadProfiles(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestUnmarshalProfilesErrors(t *testing.T) {
+	if _, err := UnmarshalProfiles([]byte("not json")); err == nil {
+		t.Error("bad json should error")
+	}
+	// Unknown category label.
+	bad := `[{"name":"X","objects":10,"weekly_requests":100,
+		"categories":{"holograms":{"object_frac":1,"request_frac":1,
+		"file_types":["jpg"],"sizes":{"MedianSmall":10,"P90Small":100},
+		"classes":{"diurnal-a":1},"zipf_exponent":0.9}},
+		"mean_requests_per_session":2,"session_iat_seconds":30,
+		"requests_per_user_week":4}]`
+	if _, err := UnmarshalProfiles([]byte(bad)); err == nil {
+		t.Error("unknown category should error")
+	}
+	// Unknown class label.
+	bad2 := strings.Replace(bad, "holograms", "image", 1)
+	bad2 = strings.Replace(bad2, "diurnal-a", "sporadic", 1)
+	if _, err := UnmarshalProfiles([]byte(bad2)); err == nil {
+		t.Error("unknown class should error")
+	}
+	// Validation failures propagate (zero objects).
+	bad3 := strings.Replace(strings.Replace(bad, "holograms", "image", 1), `"objects":10`, `"objects":0`, 1)
+	if _, err := UnmarshalProfiles([]byte(bad3)); err == nil {
+		t.Error("invalid profile should error")
+	}
+}
+
+func TestLoadedProfilesGenerate(t *testing.T) {
+	// A loaded profile set must drive the generator unchanged.
+	data, err := MarshalProfiles(DefaultProfiles()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, err := UnmarshalProfiles(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(Config{Seed: 1, Scale: 0.002, Sites: profiles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Error("no records from loaded profile")
+	}
+	for _, r := range recs {
+		if r.Publisher != "V-1" {
+			t.Fatalf("unexpected publisher %s", r.Publisher)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package timeutil provides the time bucketing and timezone handling used
+// by the trace analyses: hour-of-week buckets, hour-of-day aggregation in
+// the *user's local time* (the paper converts CDN timestamps to local
+// timezones before computing hourly traffic curves), and week alignment.
+package timeutil
+
+import (
+	"fmt"
+	"time"
+)
+
+// HoursPerWeek is the number of hourly buckets in a one-week trace.
+const HoursPerWeek = 7 * 24
+
+// Region identifies the coarse geographic region a request originates
+// from. The paper's trace covers users in four continents; regions carry a
+// fixed UTC offset used to convert timestamps to local time. (Real traces
+// would use per-user timezone databases; a fixed representative offset per
+// region preserves the hour-of-day analysis behaviour.)
+type Region int
+
+// The four continents covered by the trace.
+const (
+	RegionNorthAmerica Region = iota + 1
+	RegionSouthAmerica
+	RegionEurope
+	RegionAsia
+)
+
+// NumRegions is the number of defined regions.
+const NumRegions = 4
+
+// String returns the region name.
+func (r Region) String() string {
+	switch r {
+	case RegionNorthAmerica:
+		return "north-america"
+	case RegionSouthAmerica:
+		return "south-america"
+	case RegionEurope:
+		return "europe"
+	case RegionAsia:
+		return "asia"
+	default:
+		return fmt.Sprintf("region(%d)", int(r))
+	}
+}
+
+// UTCOffset returns the representative UTC offset for the region.
+func (r Region) UTCOffset() time.Duration {
+	switch r {
+	case RegionNorthAmerica:
+		return -6 * time.Hour // central
+	case RegionSouthAmerica:
+		return -3 * time.Hour
+	case RegionEurope:
+		return 1 * time.Hour
+	case RegionAsia:
+		return 8 * time.Hour
+	default:
+		return 0
+	}
+}
+
+// ParseRegion parses a region name produced by Region.String.
+func ParseRegion(s string) (Region, error) {
+	switch s {
+	case "north-america":
+		return RegionNorthAmerica, nil
+	case "south-america":
+		return RegionSouthAmerica, nil
+	case "europe":
+		return RegionEurope, nil
+	case "asia":
+		return RegionAsia, nil
+	default:
+		return 0, fmt.Errorf("timeutil: unknown region %q", s)
+	}
+}
+
+// AllRegions returns the defined regions in order.
+func AllRegions() []Region {
+	return []Region{RegionNorthAmerica, RegionSouthAmerica, RegionEurope, RegionAsia}
+}
+
+// LocalHourOfDay converts a UTC timestamp to the region's local time and
+// returns the hour of day in [0, 24).
+func LocalHourOfDay(utc time.Time, r Region) int {
+	return utc.Add(r.UTCOffset()).UTC().Hour()
+}
+
+// Week is a one-week observation window starting at Start (UTC). The
+// paper's trace is one week of logs; analyses bucket into its 168 hours.
+type Week struct {
+	Start time.Time
+}
+
+// NewWeek returns a week starting at start truncated to the hour, in UTC.
+func NewWeek(start time.Time) Week {
+	return Week{Start: start.UTC().Truncate(time.Hour)}
+}
+
+// End returns the exclusive end of the window.
+func (w Week) End() time.Time { return w.Start.Add(HoursPerWeek * time.Hour) }
+
+// Contains reports whether t falls inside the window.
+func (w Week) Contains(t time.Time) bool {
+	t = t.UTC()
+	return !t.Before(w.Start) && t.Before(w.End())
+}
+
+// HourIndex returns the hour-of-week bucket of t in [0, HoursPerWeek), or
+// -1 when t lies outside the window.
+func (w Week) HourIndex(t time.Time) int {
+	if !w.Contains(t) {
+		return -1
+	}
+	return int(t.UTC().Sub(w.Start) / time.Hour)
+}
+
+// DayIndex returns the day bucket of t in [0, 7), or -1 outside the window.
+func (w Week) DayIndex(t time.Time) int {
+	h := w.HourIndex(t)
+	if h < 0 {
+		return -1
+	}
+	return h / 24
+}
+
+// HourStart returns the start time of the given hour-of-week bucket.
+func (w Week) HourStart(hour int) time.Time {
+	return w.Start.Add(time.Duration(hour) * time.Hour)
+}
+
+// DayLabels returns the seven day-of-week labels starting from the week's
+// first day, for chart axes ("Sat Sun Mon ..." in the paper's figures).
+func (w Week) DayLabels() [7]string {
+	var out [7]string
+	for d := 0; d < 7; d++ {
+		out[d] = w.Start.AddDate(0, 0, d).Weekday().String()[:3]
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"sort"
+	"time"
+)
+
+// Anonymizer derives stable, salted 64-bit identifiers from personally
+// identifiable log fields (client IPs, URLs). The same input with the same
+// salt always maps to the same ID, so per-user and per-object analyses
+// remain possible while the original values are unrecoverable without the
+// salt (paper §III).
+type Anonymizer struct {
+	salt []byte
+}
+
+// NewAnonymizer builds an anonymizer with the given salt. An empty salt is
+// valid but offers no protection against dictionary reversal.
+func NewAnonymizer(salt []byte) *Anonymizer {
+	s := make([]byte, len(salt))
+	copy(s, salt)
+	return &Anonymizer{salt: s}
+}
+
+// HashString maps an arbitrary string (URL, client address) to a salted
+// 64-bit identifier.
+func (a *Anonymizer) HashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write(a.salt)
+	io.WriteString(h, s)
+	return h.Sum64()
+}
+
+// HashUser derives a user identity from client address and user agent.
+// Combining both mirrors common CDN practice: NAT'd clients with distinct
+// devices separate, while a single browser remains stable.
+func (a *Anonymizer) HashUser(clientAddr, userAgent string) uint64 {
+	h := fnv.New64a()
+	h.Write(a.salt)
+	io.WriteString(h, clientAddr)
+	h.Write([]byte{0})
+	io.WriteString(h, userAgent)
+	return h.Sum64()
+}
+
+// HashChunk derives the object identifier of chunk index i of a base
+// object. Chunk 0 is the base object itself. The CDN treats video chunks
+// as separate cacheable objects.
+func (a *Anonymizer) HashChunk(baseID uint64, chunk int) uint64 {
+	if chunk == 0 {
+		return baseID
+	}
+	h := fnv.New64a()
+	h.Write(a.salt)
+	var b [12]byte
+	binary.BigEndian.PutUint64(b[:8], baseID)
+	binary.BigEndian.PutUint32(b[8:], uint32(chunk))
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// Filter selects a subset of a trace. Zero-value fields match everything.
+type Filter struct {
+	// Publisher, when nonempty, matches records of that publisher only.
+	Publisher string
+	// Category, when nonzero, matches records of that content category.
+	Category Category
+	// From and To bound the timestamp window; zero times are unbounded.
+	// From is inclusive, To exclusive.
+	From, To time.Time
+	// Statuses, when nonempty, matches only the listed HTTP status codes.
+	Statuses []int
+}
+
+// Match reports whether the record passes the filter.
+func (f *Filter) Match(r *Record) bool {
+	if f.Publisher != "" && r.Publisher != f.Publisher {
+		return false
+	}
+	if f.Category != 0 && r.Category() != f.Category {
+		return false
+	}
+	if !f.From.IsZero() && r.Timestamp.Before(f.From) {
+		return false
+	}
+	if !f.To.IsZero() && !r.Timestamp.Before(f.To) {
+		return false
+	}
+	if len(f.Statuses) > 0 {
+		ok := false
+		for _, s := range f.Statuses {
+			if r.StatusCode == s {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FilteredReader wraps a Reader, yielding only records that match the
+// filter.
+type FilteredReader struct {
+	r Reader
+	f Filter
+}
+
+var _ Reader = (*FilteredReader)(nil)
+
+// NewFilteredReader wraps r with filter f.
+func NewFilteredReader(r Reader, f Filter) *FilteredReader {
+	return &FilteredReader{r: r, f: f}
+}
+
+// Read returns the next matching record.
+func (fr *FilteredReader) Read() (*Record, error) {
+	for {
+		rec, err := fr.r.Read()
+		if err != nil {
+			return nil, err
+		}
+		if fr.f.Match(rec) {
+			return rec, nil
+		}
+	}
+}
+
+// SliceReader replays an in-memory slice of records; useful in tests and
+// when the working set fits in RAM.
+type SliceReader struct {
+	recs []*Record
+	pos  int
+}
+
+var _ Reader = (*SliceReader)(nil)
+
+// NewSliceReader wraps recs. The slice is not copied; callers must not
+// mutate it while reading.
+func NewSliceReader(recs []*Record) *SliceReader { return &SliceReader{recs: recs} }
+
+// Read returns the next record or io.EOF.
+func (sr *SliceReader) Read() (*Record, error) {
+	if sr.pos >= len(sr.recs) {
+		return nil, io.EOF
+	}
+	r := sr.recs[sr.pos]
+	sr.pos++
+	return r, nil
+}
+
+// Reset rewinds the reader to the first record.
+func (sr *SliceReader) Reset() { sr.pos = 0 }
+
+// ReadAll drains a reader into a slice.
+func ReadAll(r Reader) ([]*Record, error) {
+	var out []*Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// SortByTime sorts records by timestamp, stably, in place.
+func SortByTime(recs []*Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		return recs[i].Timestamp.Before(recs[j].Timestamp)
+	})
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ExternalSortOptions configures ExternalSort.
+type ExternalSortOptions struct {
+	// MaxInMemory caps the records held in RAM at once; larger traces
+	// spill sorted runs to temporary files and k-way merge them. Values
+	// < 1 default to one million records (~150 MB).
+	MaxInMemory int
+	// TempDir hosts the spill files; empty uses the OS temp directory.
+	TempDir string
+}
+
+// ExternalSort reads all records from r and writes them to w in
+// timestamp order, spilling sorted runs to disk when the input exceeds
+// MaxInMemory records. It is how full-scale (paper-sized) traces are
+// sorted without holding the week in RAM.
+func ExternalSort(r Reader, w Writer, opts ExternalSortOptions) error {
+	maxInMem := opts.MaxInMemory
+	if maxInMem < 1 {
+		maxInMem = 1_000_000
+	}
+
+	var runs []string
+	defer func() {
+		for _, path := range runs {
+			os.Remove(path)
+		}
+	}()
+
+	spill := func(batch []*Record) error {
+		SortByTime(batch)
+		f, err := os.CreateTemp(opts.TempDir, "tsort-run-*.bin")
+		if err != nil {
+			return err
+		}
+		bw := NewBinaryWriter(f)
+		for _, rec := range batch {
+			if err := bw.Write(rec); err != nil {
+				f.Close()
+				os.Remove(f.Name())
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(f.Name())
+			return err
+		}
+		runs = append(runs, f.Name())
+		return nil
+	}
+
+	batch := make([]*Record, 0, min(maxInMem, 4096))
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("trace: external sort read: %w", err)
+		}
+		batch = append(batch, rec)
+		if len(batch) >= maxInMem {
+			if err := spill(batch); err != nil {
+				return fmt.Errorf("trace: external sort spill: %w", err)
+			}
+			batch = batch[:0]
+		}
+	}
+
+	// Fast path: everything fit in memory.
+	if len(runs) == 0 {
+		SortByTime(batch)
+		for _, rec := range batch {
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Spill the final partial batch and merge all runs.
+	if len(batch) > 0 {
+		if err := spill(batch); err != nil {
+			return fmt.Errorf("trace: external sort spill: %w", err)
+		}
+	}
+	sources := make([]Reader, 0, len(runs))
+	files := make([]*os.File, 0, len(runs))
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, path := range runs {
+		f, err := os.Open(filepath.Clean(path))
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		sources = append(sources, NewBinaryReader(f))
+	}
+	merged := NewMergeReader(sources...)
+	for {
+		rec, err := merged.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("trace: external sort merge: %w", err)
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

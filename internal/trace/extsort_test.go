@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// collectWriter gathers records for assertions.
+type collectWriter struct {
+	recs []*Record
+	fail bool
+}
+
+func (c *collectWriter) Write(r *Record) error {
+	if c.fail {
+		return errors.New("sink full")
+	}
+	c.recs = append(c.recs, r)
+	return nil
+}
+
+func shuffledRecords(t *testing.T, n int, seed int64) []*Record {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]*Record, n)
+	for i := range recs {
+		recs[i] = randomRecord(rng)
+	}
+	return recs
+}
+
+func assertSorted(t *testing.T, recs []*Record, want int) {
+	t.Helper()
+	if len(recs) != want {
+		t.Fatalf("got %d records, want %d", len(recs), want)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Timestamp.Before(recs[i-1].Timestamp) {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestExternalSortInMemoryPath(t *testing.T) {
+	recs := shuffledRecords(t, 500, 1)
+	var out collectWriter
+	if err := ExternalSort(NewSliceReader(recs), &out, ExternalSortOptions{MaxInMemory: 10_000}); err != nil {
+		t.Fatal(err)
+	}
+	assertSorted(t, out.recs, 500)
+}
+
+func TestExternalSortSpillPath(t *testing.T) {
+	recs := shuffledRecords(t, 5000, 2)
+	var out collectWriter
+	opts := ExternalSortOptions{MaxInMemory: 700, TempDir: t.TempDir()}
+	if err := ExternalSort(NewSliceReader(recs), &out, opts); err != nil {
+		t.Fatal(err)
+	}
+	assertSorted(t, out.recs, 5000)
+
+	// Spill-path output equals in-memory-path output.
+	var ref collectWriter
+	if err := ExternalSort(NewSliceReader(recs), &ref, ExternalSortOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.recs {
+		if !ref.recs[i].Timestamp.Equal(out.recs[i].Timestamp) {
+			t.Fatalf("spill path diverges at %d", i)
+		}
+	}
+}
+
+func TestExternalSortEmptyInput(t *testing.T) {
+	var out collectWriter
+	if err := ExternalSort(NewSliceReader(nil), &out, ExternalSortOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.recs) != 0 {
+		t.Error("empty input should produce empty output")
+	}
+}
+
+func TestExternalSortExactBatchBoundary(t *testing.T) {
+	// Input size an exact multiple of MaxInMemory: the final batch is
+	// empty and must not produce a bogus run.
+	recs := shuffledRecords(t, 300, 3)
+	var out collectWriter
+	if err := ExternalSort(NewSliceReader(recs), &out, ExternalSortOptions{MaxInMemory: 100, TempDir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	assertSorted(t, out.recs, 300)
+}
+
+func TestExternalSortPropagatesWriteError(t *testing.T) {
+	recs := shuffledRecords(t, 50, 4)
+	out := collectWriter{fail: true}
+	if err := ExternalSort(NewSliceReader(recs), &out, ExternalSortOptions{}); err == nil {
+		t.Error("sink error should propagate")
+	}
+}
+
+func TestExternalSortCleansTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	recs := shuffledRecords(t, 2000, 5)
+	var out collectWriter
+	if err := ExternalSort(NewSliceReader(recs), &out, ExternalSortOptions{MaxInMemory: 300, TempDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := osReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("temp dir not cleaned: %v", entries)
+	}
+}
+
+func osReadDir(dir string) ([]string, error) {
+	f, err := os.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return f.Readdirnames(-1)
+}

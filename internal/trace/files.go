@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"compress/gzip"
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Format identifies an on-disk trace encoding.
+type Format int
+
+// Supported formats.
+const (
+	FormatBinary Format = iota + 1
+	FormatText
+	FormatJSON
+)
+
+// ParseFormat parses a format name ("binary", "text", "json"/"jsonl").
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "binary", "bin":
+		return FormatBinary, nil
+	case "text", "tsv":
+		return FormatText, nil
+	case "json", "jsonl":
+		return FormatJSON, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown format %q (want binary, text or json)", s)
+	}
+}
+
+// DetectFormat guesses the format from a file name, honoring a trailing
+// .gz suffix: trace.bin.gz -> binary, trace.jsonl -> json. Unknown
+// extensions default to binary.
+func DetectFormat(path string) Format {
+	p := strings.TrimSuffix(strings.ToLower(path), ".gz")
+	switch {
+	case strings.HasSuffix(p, ".txt"), strings.HasSuffix(p, ".tsv"), strings.HasSuffix(p, ".log"):
+		return FormatText
+	case strings.HasSuffix(p, ".json"), strings.HasSuffix(p, ".jsonl"):
+		return FormatJSON
+	default:
+		return FormatBinary
+	}
+}
+
+// FileReader streams records from a trace file, transparently
+// decompressing a .gz suffix. Close it when done.
+type FileReader struct {
+	Reader
+	f  *os.File
+	gz *gzip.Reader
+}
+
+// OpenFile opens a trace file with the given format (0 means detect from
+// the file name).
+func OpenFile(path string, format Format) (*FileReader, error) {
+	if format == 0 {
+		format = DetectFormat(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fr := &FileReader{f: f}
+	var src io.Reader = f
+	if strings.HasSuffix(strings.ToLower(path), ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		fr.gz = gz
+		src = gz
+	}
+	switch format {
+	case FormatBinary:
+		fr.Reader = NewBinaryReader(src)
+	case FormatText:
+		fr.Reader = NewTextReader(src)
+	case FormatJSON:
+		fr.Reader = NewJSONReader(src)
+	default:
+		f.Close()
+		return nil, fmt.Errorf("trace: unknown format %d", format)
+	}
+	return fr, nil
+}
+
+// Close releases the underlying file (and gzip stream).
+func (fr *FileReader) Close() error {
+	if fr.gz != nil {
+		fr.gz.Close()
+	}
+	return fr.f.Close()
+}
+
+// FileWriter writes records to a trace file, gzip-compressing when the
+// path ends in .gz. Close it to flush everything.
+type FileWriter struct {
+	Writer
+	f     *os.File
+	gz    *gzip.Writer
+	flush func() error
+}
+
+// CreateFile creates a trace file with the given format (0 = detect).
+func CreateFile(path string, format Format) (*FileWriter, error) {
+	if format == 0 {
+		format = DetectFormat(path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	fw := &FileWriter{f: f}
+	var dst io.Writer = f
+	if strings.HasSuffix(strings.ToLower(path), ".gz") {
+		fw.gz = gzip.NewWriter(f)
+		dst = fw.gz
+	}
+	switch format {
+	case FormatBinary:
+		w := NewBinaryWriter(dst)
+		fw.Writer, fw.flush = w, w.Flush
+	case FormatText:
+		w := NewTextWriter(dst)
+		fw.Writer, fw.flush = w, w.Flush
+	case FormatJSON:
+		w := NewJSONWriter(dst)
+		fw.Writer, fw.flush = w, w.Flush
+	default:
+		f.Close()
+		return nil, fmt.Errorf("trace: unknown format %d", format)
+	}
+	return fw, nil
+}
+
+// Close flushes the codec, the gzip stream and the file.
+func (fw *FileWriter) Close() error {
+	if err := fw.flush(); err != nil {
+		fw.f.Close()
+		return err
+	}
+	if fw.gz != nil {
+		if err := fw.gz.Close(); err != nil {
+			fw.f.Close()
+			return err
+		}
+	}
+	return fw.f.Close()
+}
+
+// mergeItem is one source's head record in the k-way merge heap.
+type mergeItem struct {
+	rec *Record
+	src int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	return h[i].rec.Timestamp.Before(h[j].rec.Timestamp)
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// MergeReader merges several timestamp-ordered readers into one globally
+// ordered stream (k-way merge). Sources that are not individually sorted
+// produce an unsorted merge; use SortByTime afterwards in that case.
+type MergeReader struct {
+	sources []Reader
+	heap    mergeHeap
+	started bool
+}
+
+var _ Reader = (*MergeReader)(nil)
+
+// NewMergeReader merges the given sources.
+func NewMergeReader(sources ...Reader) *MergeReader {
+	return &MergeReader{sources: sources}
+}
+
+// Read returns the next record in global timestamp order.
+func (m *MergeReader) Read() (*Record, error) {
+	if !m.started {
+		m.started = true
+		for i, src := range m.sources {
+			rec, err := src.Read()
+			if err == io.EOF {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			m.heap = append(m.heap, mergeItem{rec: rec, src: i})
+		}
+		heap.Init(&m.heap)
+	}
+	if len(m.heap) == 0 {
+		return nil, io.EOF
+	}
+	it := heap.Pop(&m.heap).(mergeItem)
+	next, err := m.sources[it.src].Read()
+	if err == nil {
+		heap.Push(&m.heap, mergeItem{rec: next, src: it.src})
+	} else if err != io.EOF {
+		return nil, err
+	}
+	return it.rec, nil
+}

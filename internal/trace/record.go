@@ -1,0 +1,195 @@
+// Package trace defines the HTTP access-log record model used throughout
+// trafficscope, together with streaming text and binary codecs and the
+// anonymization helpers described in the paper's §III ("All personally
+// identifiable information in the HTTP logs (e.g., IP addresses) is
+// anonymized ... Each record includes publisher identifier, hashed URL,
+// object file type, object size in bytes, user agent, and the timestamp",
+// plus the CDN response's cache status and HTTP response code).
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"trafficscope/internal/timeutil"
+)
+
+// Category is the coarse content category the paper buckets objects into:
+// video, image, and other (text, audio, HTML, CSS, XML, JS).
+type Category int
+
+// Content categories.
+const (
+	CategoryVideo Category = iota + 1
+	CategoryImage
+	CategoryOther
+)
+
+// String returns the category label used in reports.
+func (c Category) String() string {
+	switch c {
+	case CategoryVideo:
+		return "video"
+	case CategoryImage:
+		return "image"
+	case CategoryOther:
+		return "other"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// AllCategories returns the categories in display order.
+func AllCategories() []Category {
+	return []Category{CategoryVideo, CategoryImage, CategoryOther}
+}
+
+// FileType is the object's file extension as logged by the CDN.
+type FileType string
+
+// File types observed in the trace, grouped per the paper's taxonomy.
+const (
+	FileFLV  FileType = "flv"
+	FileMP4  FileType = "mp4"
+	FileMPG  FileType = "mpg"
+	FileAVI  FileType = "avi"
+	FileWMV  FileType = "wmv"
+	FileJPG  FileType = "jpg"
+	FilePNG  FileType = "png"
+	FileGIF  FileType = "gif"
+	FileTIFF FileType = "tiff"
+	FileBMP  FileType = "bmp"
+	FileTXT  FileType = "txt"
+	FileMP3  FileType = "mp3"
+	FileHTML FileType = "html"
+	FileCSS  FileType = "css"
+	FileXML  FileType = "xml"
+	FileJS   FileType = "js"
+)
+
+// Category maps a file type to its content category.
+func (f FileType) Category() Category {
+	switch f {
+	case FileFLV, FileMP4, FileMPG, FileAVI, FileWMV:
+		return CategoryVideo
+	case FileJPG, FilePNG, FileGIF, FileTIFF, FileBMP:
+		return CategoryImage
+	default:
+		return CategoryOther
+	}
+}
+
+// VideoTypes, ImageTypes and OtherTypes enumerate the known file types per
+// category, for generators and validators.
+func VideoTypes() []FileType { return []FileType{FileFLV, FileMP4, FileMPG, FileAVI, FileWMV} }
+
+// ImageTypes enumerates the image file types.
+func ImageTypes() []FileType { return []FileType{FileJPG, FilePNG, FileGIF, FileTIFF, FileBMP} }
+
+// OtherTypes enumerates the non-multimedia file types.
+func OtherTypes() []FileType {
+	return []FileType{FileTXT, FileMP3, FileHTML, FileCSS, FileXML, FileJS}
+}
+
+// CacheStatus is the CDN edge cache outcome recorded with each response.
+type CacheStatus int
+
+// Cache statuses. A HIT means the object was served from the edge cache; a
+// MISS means it was fetched from the origin (and typically admitted).
+const (
+	CacheUnknown CacheStatus = iota
+	CacheHit
+	CacheMiss
+)
+
+// String returns the log token for the cache status.
+func (s CacheStatus) String() string {
+	switch s {
+	case CacheHit:
+		return "HIT"
+	case CacheMiss:
+		return "MISS"
+	default:
+		return "-"
+	}
+}
+
+// ParseCacheStatus parses a log token produced by CacheStatus.String.
+func ParseCacheStatus(s string) (CacheStatus, error) {
+	switch strings.ToUpper(s) {
+	case "HIT":
+		return CacheHit, nil
+	case "MISS":
+		return CacheMiss, nil
+	case "-", "":
+		return CacheUnknown, nil
+	default:
+		return CacheUnknown, fmt.Errorf("trace: unknown cache status %q", s)
+	}
+}
+
+// Record is one HTTP request/response pair in the CDN access log.
+type Record struct {
+	// Timestamp is the UTC time the CDN received the request.
+	Timestamp time.Time
+	// Publisher identifies the content publisher (website), e.g. "V-1".
+	Publisher string
+	// ObjectID is the hashed URL of the requested object. Video chunks of
+	// the same title carry distinct ObjectIDs ("the CDN treats video
+	// chunks as separate objects for the sake of caching").
+	ObjectID uint64
+	// FileType is the object's file extension.
+	FileType FileType
+	// ObjectSize is the full size of the requested object in bytes.
+	ObjectSize int64
+	// BytesServed is the number of bytes in this response; less than
+	// ObjectSize for range (206) responses, zero for 304/403/416.
+	BytesServed int64
+	// UserID is the anonymized end-user identity (hashed client IP +
+	// agent).
+	UserID uint64
+	// UserAgent is the raw User-Agent header.
+	UserAgent string
+	// Region is the coarse geography of the client, used to convert
+	// timestamps to local time.
+	Region timeutil.Region
+	// StatusCode is the HTTP response status (200, 206, 304, 403, 416...).
+	StatusCode int
+	// Cache is the edge cache outcome for the request.
+	Cache CacheStatus
+}
+
+// Category returns the record's content category.
+func (r *Record) Category() Category { return r.FileType.Category() }
+
+// Validate reports the first structural problem with the record, or nil.
+func (r *Record) Validate() error {
+	switch {
+	case r.Timestamp.IsZero():
+		return fmt.Errorf("trace: record has zero timestamp")
+	case r.Publisher == "":
+		return fmt.Errorf("trace: record has empty publisher")
+	case r.FileType == "":
+		return fmt.Errorf("trace: record has empty file type")
+	case r.ObjectSize < 0:
+		return fmt.Errorf("trace: negative object size %d", r.ObjectSize)
+	case r.BytesServed < 0:
+		return fmt.Errorf("trace: negative bytes served %d", r.BytesServed)
+	case r.StatusCode < 100 || r.StatusCode > 599:
+		return fmt.Errorf("trace: implausible status code %d", r.StatusCode)
+	}
+	return nil
+}
+
+// Reader yields trace records in timestamp order (or log order).
+type Reader interface {
+	// Read returns the next record, or io.EOF after the last one.
+	Read() (*Record, error)
+}
+
+// Writer persists trace records.
+type Writer interface {
+	// Write appends one record.
+	Write(*Record) error
+}

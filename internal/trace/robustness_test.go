@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Readers must never panic on arbitrary garbage: they either parse,
+// skip, or return an error.
+func TestReadersNeverPanicOnGarbage(t *testing.T) {
+	f := func(data []byte) bool {
+		for _, mk := range []func(io.Reader) Reader{
+			func(r io.Reader) Reader { return NewBinaryReader(r) },
+			func(r io.Reader) Reader { return NewTextReader(r) },
+			func(r io.Reader) Reader { return NewJSONReader(r) },
+		} {
+			r := mk(bytes.NewReader(data))
+			for i := 0; i < 100; i++ {
+				_, err := r.Read()
+				if err != nil {
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Truncating a valid binary stream at any byte offset yields EOF,
+// ErrTruncated or a validation error — never a panic or a bogus record
+// beyond the cut.
+func TestBinaryReaderEveryTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	var want int
+	for i := 0; i < 20; i++ {
+		if err := bw.Write(randomRecord(rng)); err != nil {
+			t.Fatal(err)
+		}
+		want++
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut <= len(full); cut++ {
+		r := NewBinaryReader(bytes.NewReader(full[:cut]))
+		n := 0
+		for {
+			_, err := r.Read()
+			if err != nil {
+				break
+			}
+			n++
+			if n > want {
+				t.Fatalf("cut %d: produced %d records from a %d-record stream", cut, n, want)
+			}
+		}
+	}
+}
+
+// Corrupting any single byte of a text stream never panics and yields at
+// most the original number of records.
+func TestTextReaderSingleByteCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	var buf bytes.Buffer
+	tw := NewTextWriter(&buf)
+	const want = 10
+	for i := 0; i < want; i++ {
+		if err := tw.Write(randomRecord(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	original := buf.String()
+	for pos := 0; pos < len(original); pos += 7 { // sample positions
+		corrupted := []byte(original)
+		corrupted[pos] ^= 0x5a
+		tr := NewTextReader(strings.NewReader(string(corrupted)))
+		good := 0
+		for {
+			_, skipped, err := tr.ReadSkippingErrors()
+			_ = skipped
+			if err != nil {
+				break
+			}
+			good++
+			if good > want {
+				t.Fatalf("pos %d: corruption created records", pos)
+			}
+		}
+	}
+}
+
+// A round-trip through every codec preserves record count under random
+// interleavings of writers (no cross-contamination of buffered state).
+func TestInterleavedWriters(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var b1, b2 bytes.Buffer
+	w1, w2 := NewBinaryWriter(&b1), NewBinaryWriter(&b2)
+	var n1, n2 int
+	for i := 0; i < 500; i++ {
+		r := randomRecord(rng)
+		if rng.Intn(2) == 0 {
+			if err := w1.Write(r); err != nil {
+				t.Fatal(err)
+			}
+			n1++
+		} else {
+			if err := w2.Write(r); err != nil {
+				t.Fatal(err)
+			}
+			n2++
+		}
+	}
+	w1.Flush()
+	w2.Flush()
+	got1, err := ReadAll(NewBinaryReader(&b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadAll(NewBinaryReader(&b2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got1) != n1 || len(got2) != n2 {
+		t.Errorf("interleaved counts: %d/%d, want %d/%d", len(got1), len(got2), n1, n2)
+	}
+}

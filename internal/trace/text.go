@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"trafficscope/internal/timeutil"
+)
+
+// textHeader is the first line of the text log format. The version suffix
+// lets future field additions stay parseable.
+const textHeader = "#trafficscope-log v1"
+
+// textFieldCount is the number of tab-separated fields per record line.
+const textFieldCount = 11
+
+// TextWriter writes records as tab-separated text, one record per line,
+// with a leading header line. The format is human-greppable and stable:
+//
+//	ts_unix_micros \t publisher \t object_id \t file_type \t object_size \t
+//	bytes_served \t user_id \t region \t status \t cache \t user_agent
+//
+// UserAgent is the last field because it may contain any byte except tab
+// and newline (tabs and newlines inside agents are replaced by spaces).
+type TextWriter struct {
+	w           *bufio.Writer
+	wroteHeader bool
+}
+
+var _ Writer = (*TextWriter)(nil)
+
+// NewTextWriter wraps w. Call Flush when done.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write appends one record line, emitting the header first if needed.
+func (tw *TextWriter) Write(r *Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if !tw.wroteHeader {
+		if _, err := tw.w.WriteString(textHeader + "\n"); err != nil {
+			return err
+		}
+		tw.wroteHeader = true
+	}
+	ua := strings.Map(func(c rune) rune {
+		if c == '\t' || c == '\n' || c == '\r' {
+			return ' '
+		}
+		return c
+	}, r.UserAgent)
+
+	var b strings.Builder
+	b.Grow(160 + len(ua))
+	b.WriteString(strconv.FormatInt(r.Timestamp.UnixMicro(), 10))
+	b.WriteByte('\t')
+	b.WriteString(r.Publisher)
+	b.WriteByte('\t')
+	b.WriteString(strconv.FormatUint(r.ObjectID, 16))
+	b.WriteByte('\t')
+	b.WriteString(string(r.FileType))
+	b.WriteByte('\t')
+	b.WriteString(strconv.FormatInt(r.ObjectSize, 10))
+	b.WriteByte('\t')
+	b.WriteString(strconv.FormatInt(r.BytesServed, 10))
+	b.WriteByte('\t')
+	b.WriteString(strconv.FormatUint(r.UserID, 16))
+	b.WriteByte('\t')
+	b.WriteString(r.Region.String())
+	b.WriteByte('\t')
+	b.WriteString(strconv.Itoa(r.StatusCode))
+	b.WriteByte('\t')
+	b.WriteString(r.Cache.String())
+	b.WriteByte('\t')
+	b.WriteString(ua)
+	b.WriteByte('\n')
+	_, err := tw.w.WriteString(b.String())
+	return err
+}
+
+// Flush writes any buffered data to the underlying writer.
+func (tw *TextWriter) Flush() error { return tw.w.Flush() }
+
+// TextReader parses the text log format. Malformed lines produce errors
+// carrying the line number; callers that want to skip corruption can use
+// ReadSkippingErrors.
+type TextReader struct {
+	s       *bufio.Scanner
+	line    int
+	started bool
+}
+
+var _ Reader = (*TextReader)(nil)
+
+// NewTextReader wraps r.
+func NewTextReader(r io.Reader) *TextReader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &TextReader{s: s}
+}
+
+// ParseError describes a malformed log line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("trace: line %d: %s", e.Line, e.Msg)
+}
+
+// Read returns the next record, io.EOF at end of input, or a *ParseError
+// for a malformed line.
+func (tr *TextReader) Read() (*Record, error) {
+	for {
+		if !tr.s.Scan() {
+			if err := tr.s.Err(); err != nil {
+				return nil, err
+			}
+			return nil, io.EOF
+		}
+		tr.line++
+		line := tr.s.Text()
+		if !tr.started {
+			tr.started = true
+			if line == textHeader {
+				continue
+			}
+			// Headerless input is accepted for composability with
+			// standard text tooling (e.g. grep output).
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseTextLine(line, tr.line)
+		if err != nil {
+			return nil, err
+		}
+		return rec, nil
+	}
+}
+
+// ReadSkippingErrors reads the next well-formed record, counting and
+// skipping malformed lines. It returns the record, the number of lines
+// skipped before it, and io.EOF at end of input.
+func (tr *TextReader) ReadSkippingErrors() (*Record, int, error) {
+	skipped := 0
+	for {
+		rec, err := tr.Read()
+		if err == nil {
+			return rec, skipped, nil
+		}
+		var pe *ParseError
+		if errorsAs(err, &pe) {
+			skipped++
+			continue
+		}
+		return nil, skipped, err
+	}
+}
+
+// errorsAs is a tiny local wrapper to avoid importing errors in two places.
+func errorsAs(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func parseTextLine(line string, lineNo int) (*Record, error) {
+	fields := strings.SplitN(line, "\t", textFieldCount)
+	if len(fields) != textFieldCount {
+		return nil, &ParseError{Line: lineNo, Msg: fmt.Sprintf("want %d fields, got %d", textFieldCount, len(fields))}
+	}
+	fail := func(field, val string, err error) (*Record, error) {
+		return nil, &ParseError{Line: lineNo, Msg: fmt.Sprintf("bad %s %q: %v", field, val, err)}
+	}
+	tsMicro, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return fail("timestamp", fields[0], err)
+	}
+	objectID, err := strconv.ParseUint(fields[2], 16, 64)
+	if err != nil {
+		return fail("object_id", fields[2], err)
+	}
+	objectSize, err := strconv.ParseInt(fields[4], 10, 64)
+	if err != nil {
+		return fail("object_size", fields[4], err)
+	}
+	bytesServed, err := strconv.ParseInt(fields[5], 10, 64)
+	if err != nil {
+		return fail("bytes_served", fields[5], err)
+	}
+	userID, err := strconv.ParseUint(fields[6], 16, 64)
+	if err != nil {
+		return fail("user_id", fields[6], err)
+	}
+	region, err := timeutil.ParseRegion(fields[7])
+	if err != nil {
+		return fail("region", fields[7], err)
+	}
+	status, err := strconv.Atoi(fields[8])
+	if err != nil {
+		return fail("status", fields[8], err)
+	}
+	cache, err := ParseCacheStatus(fields[9])
+	if err != nil {
+		return fail("cache", fields[9], err)
+	}
+	rec := &Record{
+		Timestamp:   time.UnixMicro(tsMicro).UTC(),
+		Publisher:   fields[1],
+		ObjectID:    objectID,
+		FileType:    FileType(fields[3]),
+		ObjectSize:  objectSize,
+		BytesServed: bytesServed,
+		UserID:      userID,
+		Region:      region,
+		StatusCode:  status,
+		Cache:       cache,
+		UserAgent:   fields[10],
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+	}
+	return rec, nil
+}

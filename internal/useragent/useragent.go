@@ -1,0 +1,213 @@
+// Package useragent classifies HTTP User-Agent strings into the device,
+// operating-system and browser categories used by the paper's device-mix
+// analysis (§III: "We use the user agent field to distinguish between
+// different device types, operating systems, and web browsers").
+//
+// The classifier is a pragmatic substring matcher over the dominant token
+// patterns of the 2015-era browser population; it intentionally mirrors
+// the coarse Desktop / Android / iOS / Misc breakdown of Figure 4.
+package useragent
+
+import "strings"
+
+// Device is the coarse device-type category of Figure 4.
+type Device int
+
+// Device categories. Misc covers tablets, smart TVs, consoles, bots and
+// anything unrecognized.
+const (
+	DeviceDesktop Device = iota + 1
+	DeviceAndroid
+	DeviceIOS
+	DeviceMisc
+)
+
+// String returns the device label used in reports.
+func (d Device) String() string {
+	switch d {
+	case DeviceDesktop:
+		return "desktop"
+	case DeviceAndroid:
+		return "android"
+	case DeviceIOS:
+		return "ios"
+	case DeviceMisc:
+		return "misc"
+	default:
+		return "unknown"
+	}
+}
+
+// AllDevices returns the device categories in display order.
+func AllDevices() []Device {
+	return []Device{DeviceDesktop, DeviceAndroid, DeviceIOS, DeviceMisc}
+}
+
+// OS is the operating-system family parsed from the agent string.
+type OS int
+
+// OS families.
+const (
+	OSWindows OS = iota + 1
+	OSMacOS
+	OSLinux
+	OSAndroid
+	OSIOS
+	OSOther
+)
+
+// String returns the OS label.
+func (o OS) String() string {
+	switch o {
+	case OSWindows:
+		return "windows"
+	case OSMacOS:
+		return "macos"
+	case OSLinux:
+		return "linux"
+	case OSAndroid:
+		return "android"
+	case OSIOS:
+		return "ios"
+	default:
+		return "other"
+	}
+}
+
+// Browser is the browser family parsed from the agent string.
+type Browser int
+
+// Browser families.
+const (
+	BrowserChrome Browser = iota + 1
+	BrowserFirefox
+	BrowserSafari
+	BrowserIE
+	BrowserOpera
+	BrowserOther
+)
+
+// String returns the browser label.
+func (b Browser) String() string {
+	switch b {
+	case BrowserChrome:
+		return "chrome"
+	case BrowserFirefox:
+		return "firefox"
+	case BrowserSafari:
+		return "safari"
+	case BrowserIE:
+		return "ie"
+	case BrowserOpera:
+		return "opera"
+	default:
+		return "other"
+	}
+}
+
+// Info is the full classification of one User-Agent string.
+type Info struct {
+	Device  Device
+	OS      OS
+	Browser Browser
+	Mobile  bool // true for phone-class devices
+	Tablet  bool // true for tablet-class devices
+}
+
+// Parse classifies a User-Agent string. It never fails: unrecognized
+// agents classify as Misc/Other.
+func Parse(ua string) Info {
+	s := strings.ToLower(ua)
+	info := Info{Device: DeviceMisc, OS: OSOther, Browser: BrowserOther}
+
+	// Operating system / platform.
+	switch {
+	case strings.Contains(s, "ipad"):
+		info.OS = OSIOS
+		info.Tablet = true
+	case strings.Contains(s, "iphone"), strings.Contains(s, "ipod"):
+		info.OS = OSIOS
+		info.Mobile = true
+	case strings.Contains(s, "android"):
+		info.OS = OSAndroid
+		// Android tablets omit "mobile" from the UA token.
+		if strings.Contains(s, "mobile") {
+			info.Mobile = true
+		} else {
+			info.Tablet = true
+		}
+	case strings.Contains(s, "windows phone"):
+		info.OS = OSOther
+		info.Mobile = true
+	case strings.Contains(s, "windows"):
+		info.OS = OSWindows
+	case strings.Contains(s, "mac os x"), strings.Contains(s, "macintosh"):
+		info.OS = OSMacOS
+	case strings.Contains(s, "x11"), strings.Contains(s, "linux"):
+		info.OS = OSLinux
+	}
+
+	// Browser. Order matters: Chrome UAs contain "safari", Opera contains
+	// "chrome", IE11 hides behind "trident".
+	switch {
+	case strings.Contains(s, "opr/"), strings.Contains(s, "opera"):
+		info.Browser = BrowserOpera
+	case strings.Contains(s, "edge/"):
+		info.Browser = BrowserIE
+	case strings.Contains(s, "chrome/"), strings.Contains(s, "crios/"):
+		info.Browser = BrowserChrome
+	case strings.Contains(s, "firefox/"), strings.Contains(s, "fxios/"):
+		info.Browser = BrowserFirefox
+	case strings.Contains(s, "msie"), strings.Contains(s, "trident/"):
+		info.Browser = BrowserIE
+	case strings.Contains(s, "safari/"):
+		info.Browser = BrowserSafari
+	}
+
+	// Device category per Figure 4: smartphone Android and iOS get their
+	// own buckets; desktop OSes are Desktop; tablets and everything else
+	// (consoles, TVs, bots, feature phones) land in Misc.
+	switch {
+	case info.Mobile && info.OS == OSAndroid:
+		info.Device = DeviceAndroid
+	case info.Mobile && info.OS == OSIOS:
+		info.Device = DeviceIOS
+	case info.Tablet:
+		info.Device = DeviceMisc
+	case info.OS == OSWindows, info.OS == OSMacOS, info.OS == OSLinux:
+		info.Device = DeviceDesktop
+	default:
+		info.Device = DeviceMisc
+	}
+	return info
+}
+
+// Canonical agent strings for the synthetic trace generator, one per
+// device category. These are representative 2015-era strings.
+var canonicalAgents = map[Device][]string{
+	DeviceDesktop: {
+		"Mozilla/5.0 (Windows NT 6.1; WOW64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/45.0.2454.101 Safari/537.36",
+		"Mozilla/5.0 (Windows NT 10.0; WOW64; rv:41.0) Gecko/20100101 Firefox/41.0",
+		"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_10_5) AppleWebKit/600.8.9 (KHTML, like Gecko) Version/8.0.8 Safari/600.8.9",
+		"Mozilla/5.0 (Windows NT 6.1; Trident/7.0; rv:11.0) like Gecko",
+		"Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/45.0.2454.85 Safari/537.36",
+	},
+	DeviceAndroid: {
+		"Mozilla/5.0 (Linux; Android 5.1.1; SM-G920F Build/LMY47X) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/45.0.2454.94 Mobile Safari/537.36",
+		"Mozilla/5.0 (Linux; Android 4.4.2; GT-I9505 Build/KOT49H) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/44.0.2403.133 Mobile Safari/537.36",
+	},
+	DeviceIOS: {
+		"Mozilla/5.0 (iPhone; CPU iPhone OS 9_0_2 like Mac OS X) AppleWebKit/601.1.46 (KHTML, like Gecko) Version/9.0 Mobile/13A452 Safari/601.1",
+		"Mozilla/5.0 (iPhone; CPU iPhone OS 8_4 like Mac OS X) AppleWebKit/600.1.4 (KHTML, like Gecko) CriOS/45.0.2454.89 Mobile/12H143 Safari/600.1.4",
+	},
+	DeviceMisc: {
+		"Mozilla/5.0 (iPad; CPU OS 9_0 like Mac OS X) AppleWebKit/601.1.46 (KHTML, like Gecko) Version/9.0 Mobile/13A344 Safari/601.1",
+		"Mozilla/5.0 (Linux; Android 5.0.2; SM-T530 Build/LRX22G) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/45.0.2454.94 Safari/537.36",
+		"Mozilla/5.0 (PlayStation 4 3.00) AppleWebKit/537.73 (KHTML, like Gecko)",
+	},
+}
+
+// CanonicalAgents returns representative User-Agent strings that Parse
+// classifies into the given device category. The returned slice is shared;
+// callers must not modify it.
+func CanonicalAgents(d Device) []string { return canonicalAgents[d] }
