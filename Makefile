@@ -1,0 +1,28 @@
+# Build/verify entry points. `make check` is the CI gate: vet plus
+# race-enabled tests over every package with concurrent paths (synth's
+# parallel generator, the pipeline worker pool, the CDN parallel replay,
+# and the trace mergers), then the full suite.
+
+GO ?= go
+
+.PHONY: all build test check vet race bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the concurrent packages; these must stay race-clean.
+race:
+	$(GO) test -race ./internal/synth/... ./internal/pipeline/... ./internal/cdn/... ./internal/trace/...
+
+check: vet race test
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

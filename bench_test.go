@@ -12,6 +12,7 @@ package trafficscope
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"trafficscope/internal/cdn"
 	"trafficscope/internal/core"
 	"trafficscope/internal/dtw"
+	"trafficscope/internal/pipeline"
 	"trafficscope/internal/synth"
 	"trafficscope/internal/timeutil"
 	"trafficscope/internal/trace"
@@ -757,6 +759,57 @@ func BenchmarkGenerator(b *testing.B) {
 		}
 		b.SetBytes(int64(len(recs)))
 	}
+}
+
+// BenchmarkGeneratorParallel compares sequential Generate with the
+// parallel (site, hour)-sharded path at several worker counts. The
+// outputs are byte-identical; only the schedule differs.
+func BenchmarkGeneratorParallel(b *testing.B) {
+	gen, err := synth.NewGenerator(synth.Config{Seed: 42, Scale: 0.01, Salt: "bench-par"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var recs []*trace.Record
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			recs, err = gen.Generate()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(recs)))
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				recs, err = gen.GenerateParallel(synth.ParallelOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(recs)))
+		})
+	}
+}
+
+// BenchmarkGenerateAnalyzeOnePass measures the fused generate-and-analyze
+// path: parallel shard generation streaming through the time-ordered
+// merge straight into the pipeline worker pool, no materialized trace.
+func BenchmarkGenerateAnalyzeOnePass(b *testing.B) {
+	gen, err := synth.NewGenerator(synth.Config{Seed: 42, Scale: 0.01, Salt: "bench-par"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var n int64
+	for i := 0; i < b.N; i++ {
+		acc, err := pipeline.GenerateAndRun(gen, synth.ParallelOptions{},
+			func() *pipeline.Count { return &pipeline.Count{} }, pipeline.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = acc.N
+	}
+	b.SetBytes(n)
 }
 
 // BenchmarkCDNReplay measures CDN replay throughput on the shared trace.

@@ -5,10 +5,15 @@
 //
 //	tsgen -out trace.bin [-format binary|text|json] [-scale 0.01]
 //	      [-seed 42] [-sites V-1,P-2] [-salt s] [-profiles custom.json]
-//	      [-dump-profiles profiles.json]
+//	      [-dump-profiles profiles.json] [-parallel] [-workers N]
 //
 // Output format defaults to the file extension (.bin/.txt/.jsonl, with
 // an optional .gz suffix for compression); "-" writes text to stdout.
+//
+// -parallel generates (site, hour) shards concurrently and streams them
+// through a time-ordered merge, producing the same bytes as a sequential
+// run of the same seed with bounded memory — the preferred path for
+// large -scale runs.
 package main
 
 import (
@@ -41,6 +46,8 @@ func run() error {
 		dumpProfiles = flag.String("dump-profiles", "", "write the built-in site profiles to this JSON file and exit")
 		stream       = flag.Bool("stream", false, "stream generation through an external sort (bounded memory; for large -scale runs)")
 		sortMem      = flag.Int("sort-mem", 1_000_000, "records held in RAM during the external sort (with -stream)")
+		parallel     = flag.Bool("parallel", false, "generate (site,hour) shards concurrently with a streaming time-ordered merge (bounded memory, same bytes as sequential)")
+		workers      = flag.Int("workers", 0, "shard-generation goroutines with -parallel (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -85,6 +92,13 @@ func run() error {
 	gen, err := synth.NewGenerator(cfg)
 	if err != nil {
 		return err
+	}
+
+	if *parallel {
+		if *stream {
+			return fmt.Errorf("-parallel already streams in sorted order; drop -stream")
+		}
+		return parallelGenerate(gen, *out, *format, synth.ParallelOptions{Workers: *workers})
 	}
 
 	if *stream {
@@ -133,6 +147,48 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "tsgen: wrote %d records (%d sites, scale %g, seed %d)\n",
 		len(recs), len(gen.Populations()), *scale, *seed)
+	return nil
+}
+
+// parallelGenerate writes the trace with concurrent shard generation:
+// the generator's streaming time-ordered merge yields records already
+// globally sorted, so they go straight to the writer without an external
+// sort or an in-memory trace.
+func parallelGenerate(gen *synth.Generator, out, format string, opts synth.ParallelOptions) error {
+	var n int64
+	sink := func(w trace.Writer) func(*trace.Record) error {
+		return func(r *trace.Record) error {
+			n++
+			return w.Write(r)
+		}
+	}
+	if out == "-" {
+		tw := trace.NewTextWriter(os.Stdout)
+		if err := gen.GenerateParallelTo(opts, sink(tw)); err != nil {
+			return err
+		}
+		return tw.Flush()
+	}
+	var f trace.Format
+	if format != "" {
+		var err error
+		f, err = trace.ParseFormat(format)
+		if err != nil {
+			return err
+		}
+	}
+	fw, err := trace.CreateFile(out, f)
+	if err != nil {
+		return err
+	}
+	if err := gen.GenerateParallelTo(opts, sink(fw)); err != nil {
+		fw.Close()
+		return err
+	}
+	if err := fw.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tsgen: streamed %d records to %s (parallel)\n", n, out)
 	return nil
 }
 

@@ -1,0 +1,14 @@
+package pipeline
+
+import "trafficscope/internal/synth"
+
+// GenerateAndRun folds a synthetic trace into an accumulator in one
+// pass, without materializing the trace: shard generation (one goroutine
+// per site and hour-of-week, see synth.ParallelOptions) streams through
+// the time-ordered merge straight into the worker pool. This is the
+// generate-and-analyze path for traces too large to hold in memory.
+func GenerateAndRun[T Accumulator[T]](g *synth.Generator, gopts synth.ParallelOptions, newAcc func() T, opts Options) (T, error) {
+	r := g.ParallelReader(gopts)
+	defer r.Close()
+	return Run(r, newAcc, opts)
+}

@@ -80,7 +80,9 @@ func Run[T Accumulator[T]](r trace.Reader, newAcc func() T, opts Options) (T, er
 			batch = make([]*trace.Record, 0, batchSize)
 		}
 	}
-	if len(batch) > 0 {
+	// Skip the final flush after a read error: the run's result is
+	// discarded, so folding the partial batch would be wasted work.
+	if readErr == nil && len(batch) > 0 {
 		batches <- batch
 	}
 	close(batches)

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"trafficscope/internal/synth"
 	"trafficscope/internal/timeutil"
 	"trafficscope/internal/trace"
 )
@@ -110,6 +111,56 @@ func TestRunEmptyInput(t *testing.T) {
 	}
 	if got.N != 0 {
 		t.Errorf("N = %d", got.N)
+	}
+}
+
+// A reader failing mid-stream must not dispatch the partial batch: the
+// run's result is discarded, so folding records read before the failure
+// would be wasted work.
+func TestRunSkipsPartialBatchOnError(t *testing.T) {
+	var n int64
+	_, err := Run(&failingReader{n: 10}, func() atomicCount { return atomicCount{n: &n} },
+		Options{Workers: 2, BatchSize: 1024})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := atomic.LoadInt64(&n); got != 0 {
+		t.Errorf("%d records folded after a read error, want 0", got)
+	}
+}
+
+// Full batches dispatched before the failure are still processed — only
+// the partial batch held at failure time is dropped.
+func TestRunErrorDropsOnlyPartialBatch(t *testing.T) {
+	var n int64
+	_, err := Run(&failingReader{n: 10}, func() atomicCount { return atomicCount{n: &n} },
+		Options{Workers: 2, BatchSize: 4})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := atomic.LoadInt64(&n); got != 8 {
+		t.Errorf("folded %d records, want the 8 from the two full batches", got)
+	}
+}
+
+// GenerateAndRun folds a parallel-generated trace in one pass; the count
+// must match a materialized Generate of the same seed.
+func TestGenerateAndRunMatchesGenerate(t *testing.T) {
+	g, err := synth.NewGenerator(synth.Config{Seed: 21, Scale: 0.002, Salt: "pipe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GenerateAndRun(g, synth.ParallelOptions{Workers: 4},
+		func() *Count { return &Count{} }, Options{Workers: 2, BatchSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != int64(len(recs)) {
+		t.Errorf("one-pass count = %d, want %d", got.N, len(recs))
 	}
 }
 

@@ -36,15 +36,25 @@ type Config struct {
 var DefaultWeekStart = time.Date(2015, 10, 3, 0, 0, 0, 0, time.UTC)
 
 // Generator produces synthetic traces. Create one with NewGenerator.
+//
+// All mutable state (object populations, user pools, per-hour request
+// intensities) is materialized at construction; the Generate* methods
+// only read it, so one Generator may serve concurrent generation calls.
+// Randomness is organized into streams derived from (Seed, site, hour)
+// — see rng.go — which makes every (site, hour) shard an independent,
+// deterministic unit of work: the parallel path produces a byte-identical
+// trace to the sequential one.
 type Generator struct {
 	cfg     Config
 	anon    *trace.Anonymizer
 	pops    []*Population
 	prof    []SiteProfile
+	plans   []*sitePlan        // per-site generation plans, nil for idle sites
 	private map[uint64]*Object // private-audience objects, by ID
 }
 
-// NewGenerator validates the config and materializes object populations.
+// NewGenerator validates the config and materializes object populations,
+// user pools and per-hour request intensities.
 func NewGenerator(cfg Config) (*Generator, error) {
 	if cfg.Scale == 0 {
 		cfg.Scale = 0.01
@@ -73,6 +83,13 @@ func NewGenerator(cfg Config) (*Generator, error) {
 		g.pops = append(g.pops, pop)
 		g.prof = append(g.prof, *p)
 	}
+	for i := range g.pops {
+		plan, err := g.buildSitePlan(i)
+		if err != nil {
+			return nil, err
+		}
+		g.plans = append(g.plans, plan)
+	}
 	return g, nil
 }
 
@@ -94,8 +111,17 @@ func (g *Generator) IsIncognito(site string, userID uint64) bool {
 	return false
 }
 
+// userIsIncognito compares a hash-derived uniform variate against the
+// profile fraction, so arbitrary fractions are honored without the 1/1000
+// quantization a userID%1000 threshold would impose.
 func userIsIncognito(userID uint64, frac float64) bool {
-	return float64(userID%1000) < frac*1000
+	if frac <= 0 {
+		return false
+	}
+	if frac >= 1 {
+		return true
+	}
+	return hashUnit(userID) < frac
 }
 
 // Generate produces the full trace, sorted by timestamp.
@@ -113,19 +139,28 @@ func (g *Generator) Generate() ([]*trace.Record, error) {
 }
 
 // GenerateTo streams records to sink. Records arrive grouped by site and
-// roughly time-ordered within a site; use Generate for a globally sorted
-// trace.
+// hour shard, roughly time-ordered within a site; use Generate for a
+// fully sorted in-memory trace or GenerateParallelTo for a sorted stream.
 func (g *Generator) GenerateTo(sink func(*trace.Record) error) error {
 	for i := range g.pops {
-		rng := rand.New(rand.NewSource(g.cfg.Seed ^ int64(i+1)*0x5e3779b97f4a7c15))
-		if err := g.generateSite(&g.prof[i], g.pops[i], rng, sink); err != nil {
-			return err
+		plan := g.plans[i]
+		if plan == nil {
+			continue
+		}
+		cum := make([]float64, len(plan.objs))
+		for _, h := range plan.hours {
+			rng := newStream(g.cfg.Seed, i, h)
+			if err := g.generateHour(plan, h, rng, cum, sink); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// userState tracks a user's per-site browsing habits.
+// userState tracks a user's per-site browsing habits. It is immutable
+// once the site plan is built, which is what lets hour shards generate
+// concurrently.
 type userState struct {
 	id           uint64
 	device       useragent.Device
@@ -135,96 +170,150 @@ type userState struct {
 	favIntensity float64 // probability a draw goes to the favorite
 }
 
-func (g *Generator) generateSite(p *SiteProfile, pop *Population, rng *rand.Rand, sink func(*trace.Record) error) error {
+// sitePlan is the precomputed, read-only generation state of one site:
+// everything an hour shard needs except its RNG stream.
+type sitePlan struct {
+	prof *SiteProfile
+	pop  *Population
+	// objs snapshots pop.Objects after private-audience objects are
+	// registered; expected[i] is objs[i]'s expected weekly request count.
+	objs     []*Object
+	expected []float64
+	// hourTotal is the expected request count per local hour-of-week;
+	// hours lists the hours with positive intensity, ascending.
+	hourTotal [timeutil.HoursPerWeek]float64
+	hours     []int
+	users     []*userState
+	userCum   []float64 // cumulative activity weights for weighted draws
+	iatMu     float64
+	iatSigma  float64
+}
+
+// buildSitePlan materializes site i's plan, or nil when the scaled
+// request volume rounds to zero.
+func (g *Generator) buildSitePlan(i int) (*sitePlan, error) {
+	p := &g.prof[i]
+	pop := g.pops[i]
 	totalRequests := float64(p.WeeklyRequests) * g.cfg.Scale
 	if totalRequests < 1 {
-		return nil
+		return nil, nil
+	}
+
+	// User pool first: it may register private-audience objects with the
+	// population, and the expected-request vector below must cover those.
+	// Pool size keeps the mean requests/user/week target; per-user
+	// activity is heavy-tailed (a few users issue hundreds of requests,
+	// most issue a handful).
+	poolRNG := newStream(g.cfg.Seed, i, streamUserPool)
+	poolSize := int(math.Max(4, totalRequests/p.RequestsPerUserWeek))
+	users, userCum := g.buildUserPool(p, pop, poolSize, poolRNG)
+
+	plan := &sitePlan{
+		prof:    p,
+		pop:     pop,
+		objs:    pop.Objects,
+		users:   users,
+		userCum: userCum,
 	}
 
 	// Per-object expected request totals: category request share split by
-	// popularity weight.
-	expected := make(map[*Object]float64, len(pop.Objects))
+	// popularity weight. Accumulated in pop.Objects slice order so the
+	// floating-point summation order — and therefore every Poisson
+	// intensity — is identical across runs (map iteration order is not).
+	var catTotal, catWeight [trace.CategoryOther + 1]float64
 	for _, cat := range trace.AllCategories() {
-		cp, ok := p.Categories[cat]
-		if !ok {
-			continue
+		if cp, ok := p.Categories[cat]; ok {
+			catTotal[cat] = totalRequests * cp.RequestFrac
 		}
-		objs := pop.ByCategory[cat]
-		var wsum float64
-		for _, o := range objs {
-			wsum += o.Weight
-		}
-		if wsum == 0 {
-			continue
-		}
-		catTotal := totalRequests * cp.RequestFrac
-		for _, o := range objs {
-			expected[o] = catTotal * o.Weight / wsum
+	}
+	for _, o := range plan.objs {
+		catWeight[o.Category()] += o.Weight
+	}
+	plan.expected = make([]float64, len(plan.objs))
+	for oi, o := range plan.objs {
+		if w := catWeight[o.Category()]; w > 0 {
+			plan.expected[oi] = catTotal[o.Category()] * o.Weight / w
 		}
 	}
 
-	// Hourly intensity per local hour-of-week; per-hour object choice
-	// distributions are built lazily per hour.
-	var hourTotal [timeutil.HoursPerWeek]float64
-	for o, e := range expected {
+	// Hourly intensity per local hour-of-week, again in slice order.
+	for oi, o := range plan.objs {
+		e := plan.expected[oi]
+		if e == 0 {
+			continue
+		}
 		for h := 0; h < timeutil.HoursPerWeek; h++ {
 			if o.Shape[h] > 0 {
-				hourTotal[h] += e * o.Shape[h]
+				plan.hourTotal[h] += e * o.Shape[h]
 			}
 		}
 	}
-
-	// User pool. Pool size keeps the mean requests/user/week target;
-	// per-user activity is heavy-tailed (a few users issue hundreds of
-	// requests, most issue a handful).
-	poolSize := int(math.Max(4, totalRequests/p.RequestsPerUserWeek))
-	users, userCum := g.buildUserPool(p, pop, poolSize, rng)
-	pickUser := func() *userState {
-		i := sort.SearchFloat64s(userCum, rng.Float64()*userCum[len(userCum)-1])
-		if i >= len(users) {
-			i = len(users) - 1
-		}
-		return users[i]
-	}
-
-	meanSession := p.MeanRequestsPerSession
-	iatMu, iatSigma, err := stats.LogNormalFromMedianP90(p.SessionIATSeconds, p.SessionIATSeconds*5)
-	if err != nil {
-		return fmt.Errorf("synth: %s: session IAT params: %w", p.Name, err)
-	}
-
-	// Objects sorted per category once; the hourly categorical
-	// distribution reuses this ordering.
-	objs := pop.Objects
-	cum := make([]float64, len(objs))
-
 	for h := 0; h < timeutil.HoursPerWeek; h++ {
-		if hourTotal[h] <= 0 {
-			continue
+		if plan.hourTotal[h] > 0 {
+			plan.hours = append(plan.hours, h)
 		}
-		// Build the cumulative object distribution for this hour.
-		var acc float64
-		for oi, o := range objs {
-			acc += expected[o] * o.Shape[h]
-			cum[oi] = acc
+	}
+
+	g.assignFavorites(plan, totalRequests, newStream(g.cfg.Seed, i, streamFavorites))
+
+	var err error
+	plan.iatMu, plan.iatSigma, err = stats.LogNormalFromMedianP90(p.SessionIATSeconds, p.SessionIATSeconds*5)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %s: session IAT params: %w", p.Name, err)
+	}
+	return plan, nil
+}
+
+// generateHour emits local hour h of the plan's site: a Poisson request
+// budget split into user sessions. Sink errors abort generation.
+func (g *Generator) generateHour(plan *sitePlan, h int, rng *rand.Rand, cum []float64, sink func(*trace.Record) error) error {
+	// Cumulative object distribution for this hour.
+	var acc float64
+	for oi, o := range plan.objs {
+		acc += plan.expected[oi] * o.Shape[h]
+		cum[oi] = acc
+	}
+	if acc <= 0 {
+		return nil
+	}
+	pickUser := func() *userState {
+		i := sort.SearchFloat64s(plan.userCum, rng.Float64()*plan.userCum[len(plan.userCum)-1])
+		if i >= len(plan.users) {
+			i = len(plan.users) - 1
 		}
-		if acc <= 0 {
-			continue
+		return plan.users[i]
+	}
+	// Number of requests this local hour (Poisson via normal approx for
+	// large means, exact for small).
+	n := samplePoisson(rng, plan.hourTotal[h])
+	for n > 0 {
+		// One session: size capped by remaining budget.
+		size := 1 + sampleGeometric(rng, plan.prof.MeanRequestsPerSession-1)
+		if size > n {
+			size = n
 		}
-		// Number of requests this local hour (Poisson via normal approx
-		// for large means, exact for small).
-		n := samplePoisson(rng, hourTotal[h])
-		for n > 0 {
-			// One session: size capped by remaining budget.
-			size := 1 + sampleGeometric(rng, meanSession-1)
-			if size > n {
-				size = n
-			}
-			n -= size
-			g.emitSession(p, pickUser(), h, size, objs, cum, acc, rng, iatMu, iatSigma, sink)
+		n -= size
+		if err := g.emitSession(plan, pickUser(), h, size, cum, acc, rng, sink); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// generateShard produces local hour h of site i as a time-sorted slice —
+// the parallel path's unit of work.
+func (g *Generator) generateShard(i, h int) []*trace.Record {
+	plan := g.plans[i]
+	cum := make([]float64, len(plan.objs))
+	var recs []*trace.Record
+	rng := newStream(g.cfg.Seed, i, h)
+	// The sink cannot fail; generateHour only errors on sink errors.
+	_ = g.generateHour(plan, h, rng, cum, func(r *trace.Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	trace.SortByTime(recs)
+	return recs
 }
 
 // buildUserPool creates the site's users with device, agent and region
@@ -283,6 +372,61 @@ func (g *Generator) buildUserPool(p *SiteProfile, pop *Population, n int, rng *r
 	return users, cum
 }
 
+// assignFavorites gives ordinary users their repeat habit (Fig. 13/14) at
+// build time, so user state stays immutable during generation. Each user
+// draws one candidate object from the week-aggregate popularity
+// distribution and adopts it with probability 1-(1-AddictFrac)^E[draws] —
+// the chance that at least one of the user's expected draws would have
+// triggered the per-draw adoption the paper's addiction model implies.
+// Active users therefore almost surely develop a habit while one-shot
+// visitors rarely do, matching the request-weighted adoption a per-draw
+// process produces.
+func (g *Generator) assignFavorites(plan *sitePlan, totalRequests float64, rng *rand.Rand) {
+	aggCum := make([]float64, len(plan.objs))
+	var aggTotal float64
+	for oi := range plan.objs {
+		aggTotal += plan.expected[oi]
+		aggCum[oi] = aggTotal
+	}
+	if aggTotal <= 0 {
+		return
+	}
+	weightTotal := plan.userCum[len(plan.userCum)-1]
+	prev := 0.0
+	for ui, u := range plan.users {
+		w := plan.userCum[ui] - prev
+		prev = plan.userCum[ui]
+		if u.favorite != nil {
+			continue // super-addicts keep their build-time fixation
+		}
+		idx := sort.SearchFloat64s(aggCum, rng.Float64()*aggTotal)
+		if idx >= len(plan.objs) {
+			idx = len(plan.objs) - 1
+		}
+		o := plan.objs[idx]
+		cp, ok := plan.prof.Categories[o.Category()]
+		if !ok || cp.AddictFrac <= 0 {
+			continue
+		}
+		draws := totalRequests * w / weightTotal
+		if rng.Float64() >= 1-math.Pow(1-cp.AddictFrac, draws) {
+			continue
+		}
+		u.favorite = o
+		// Re-request intensity scales with the category's addiction
+		// strength (mean extra repeats m implies a per-draw return
+		// probability near m/(m+1), damped for ordinary addicts).
+		// A small super-addict tail produces the Fig. 13 outliers
+		// whose request counts dwarf their unique-user counts.
+		base := cp.AddictRepeatMean / (cp.AddictRepeatMean + 1)
+		if rng.Float64() < 0.1 {
+			u.favIntensity = 0.95 * base
+		} else {
+			u.favIntensity = 0.35 * base
+		}
+	}
+}
+
 // newPrivateObject creates a private-audience object for one addicted
 // user and registers it with the population at zero popularity weight:
 // the shared popularity draw never selects it, so nearly all of its
@@ -326,17 +470,19 @@ func (g *Generator) newPrivateObject(p *SiteProfile, pop *Population, userIdx in
 // Sessions whose UTC start falls outside the observation window are
 // dropped, and sessions running past the window end are truncated —
 // matching how a hard one-week log window clips boundary sessions.
-func (g *Generator) emitSession(p *SiteProfile, u *userState, localHour, size int, objs []*Object, cum []float64, cumTotal float64, rng *rand.Rand, iatMu, iatSigma float64, sink func(*trace.Record) error) error {
+// A sink failure aborts the session and propagates to the caller.
+func (g *Generator) emitSession(plan *sitePlan, u *userState, localHour, size int, cum []float64, cumTotal float64, rng *rand.Rand, sink func(*trace.Record) error) error {
 	localOffset := time.Duration(rng.Float64() * float64(time.Hour))
 	utc := g.cfg.Week.HourStart(localHour).Add(localOffset).Add(-u.region.UTCOffset())
 	if !g.cfg.Week.Contains(utc) {
 		return nil
 	}
 
+	p := plan.prof
 	t := utc
 	for i := 0; i < size; i++ {
 		if i > 0 {
-			gap := stats.LogNormal(rng, iatMu, iatSigma)
+			gap := stats.LogNormal(rng, plan.iatMu, plan.iatSigma)
 			if gap > 3600 {
 				gap = 3600
 			}
@@ -345,7 +491,7 @@ func (g *Generator) emitSession(p *SiteProfile, u *userState, localHour, size in
 				return nil
 			}
 		}
-		o := g.pickObject(p, u, localHour, objs, cum, cumTotal, rng)
+		o := pickObject(u, localHour, plan.objs, cum, cumTotal, rng)
 		rec := &trace.Record{
 			Timestamp:   t,
 			Publisher:   p.Name,
@@ -370,12 +516,13 @@ func (g *Generator) emitSession(p *SiteProfile, u *userState, localHour, size in
 }
 
 // pickObject draws the session's next object: the user's habitual
-// favorite with probability AddictFrac (once established), otherwise a
-// fresh draw from the hour's popularity distribution. Favorites are only
+// favorite with the user's adoption intensity, otherwise a fresh draw
+// from the hour's popularity distribution. Favorites are only
 // re-requested while the object is still live (its shape has mass at the
 // current hour): addiction concentrates repeats, it does not resurrect
-// retired content (Fig. 7's aging curve would flatten otherwise).
-func (g *Generator) pickObject(p *SiteProfile, u *userState, localHour int, objs []*Object, cum []float64, cumTotal float64, rng *rand.Rand) *Object {
+// retired content (Fig. 7's aging curve would flatten otherwise). The
+// user state is never written, so concurrent hour shards can share it.
+func pickObject(u *userState, localHour int, objs []*Object, cum []float64, cumTotal float64, rng *rand.Rand) *Object {
 	if u.favorite != nil && u.favorite.Shape[localHour] > 0 {
 		if rng.Float64() < u.favIntensity {
 			return u.favorite
@@ -385,24 +532,7 @@ func (g *Generator) pickObject(p *SiteProfile, u *userState, localHour int, objs
 	if idx >= len(objs) {
 		idx = len(objs) - 1
 	}
-	o := objs[idx]
-	if u.favorite == nil {
-		if cp, ok := p.Categories[o.Category()]; ok && rng.Float64() < cp.AddictFrac {
-			u.favorite = o
-			// Re-request intensity scales with the category's addiction
-			// strength (mean extra repeats m implies a per-draw return
-			// probability near m/(m+1), damped for ordinary addicts).
-			// A small super-addict tail produces the Fig. 13 outliers
-			// whose request counts dwarf their unique-user counts.
-			base := cp.AddictRepeatMean / (cp.AddictRepeatMean + 1)
-			if rng.Float64() < 0.1 {
-				u.favIntensity = 0.95 * base
-			} else {
-				u.favIntensity = 0.35 * base
-			}
-		}
-	}
-	return o
+	return objs[idx]
 }
 
 // bytesForRequest decides how many bytes the response carries before CDN

@@ -1,0 +1,260 @@
+package synth
+
+import (
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// ParallelOptions configures parallel trace generation.
+type ParallelOptions struct {
+	// Workers is the total number of shard-generation goroutines spread
+	// over the sites (each site always gets at least one); values < 1
+	// default to GOMAXPROCS.
+	Workers int
+	// Lookahead bounds how many hour shards per site may be generated
+	// ahead of the slowest point of the time-ordered merge — the
+	// memory/parallelism trade-off. Values < 1 default to 4.
+	Lookahead int
+}
+
+// maxRegionLead is the largest amount by which a local hour-of-week
+// shard can precede its nominal UTC hour start: a shard's earliest
+// record is HourStart(h) minus the largest positive region UTC offset.
+// Later shards can therefore never produce records before
+// HourStart(h) - maxRegionLead, which is the merge watermark.
+func maxRegionLead() time.Duration {
+	var lead time.Duration
+	for _, r := range timeutil.AllRegions() {
+		if off := r.UTCOffset(); off > lead {
+			lead = off
+		}
+	}
+	return lead
+}
+
+// siteWorkers splits the worker budget over the active sites in
+// proportion to their expected request volume, at least one each.
+func (g *Generator) siteWorkers(total int) []int {
+	weights := make([]float64, len(g.plans))
+	var sum float64
+	for i, plan := range g.plans {
+		if plan == nil {
+			continue
+		}
+		for _, h := range plan.hours {
+			weights[i] += plan.hourTotal[h]
+		}
+		sum += weights[i]
+	}
+	out := make([]int, len(g.plans))
+	for i, plan := range g.plans {
+		if plan == nil {
+			continue
+		}
+		out[i] = 1
+		if sum > 0 {
+			if n := int(math.Round(float64(total) * weights[i] / sum)); n > 1 {
+				out[i] = n
+			}
+		}
+	}
+	return out
+}
+
+// ParallelReader is a trace.Reader producing the generator's full trace
+// in global timestamp order, generated concurrently. Read returns io.EOF
+// after the last record; Close releases the generation goroutines early
+// (Read does so automatically at EOF).
+type ParallelReader struct {
+	merge     *trace.MergeReader
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+var _ trace.Reader = (*ParallelReader)(nil)
+
+// Read returns the next record in global timestamp order.
+func (r *ParallelReader) Read() (*trace.Record, error) {
+	rec, err := r.merge.Read()
+	if err != nil {
+		r.Close()
+	}
+	return rec, err
+}
+
+// Close stops the generation goroutines. Safe to call multiple times.
+func (r *ParallelReader) Close() error {
+	r.closeOnce.Do(func() { close(r.done) })
+	return nil
+}
+
+// ParallelReader starts concurrent generation and returns the sorted
+// record stream. One pipeline runs per site: a pool of workers generates
+// (site, hour) shards — each an independent RNG stream, see rng.go —
+// which a per-site sequencer consumes in hour order, releasing the
+// merged prefix no later shard can undercut (trace.RunMerger). The site
+// streams are combined by a k-way heap merge with stable tie-breaking,
+// so the result is byte-identical to sequential Generate for the same
+// seed and config, without ever buffering the whole trace.
+func (g *Generator) ParallelReader(opts ParallelOptions) *ParallelReader {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	lookahead := opts.Lookahead
+	if lookahead < 1 {
+		lookahead = 4
+	}
+	done := make(chan struct{})
+	perSite := g.siteWorkers(workers)
+	lead := maxRegionLead()
+
+	var sources []trace.Reader
+	for i := range g.plans {
+		if g.plans[i] == nil {
+			continue
+		}
+		out := make(chan []*trace.Record, 2)
+		g.runSitePipeline(i, perSite[i], lookahead, lead, out, done)
+		sources = append(sources, &batchReader{ch: out})
+	}
+	return &ParallelReader{merge: trace.NewMergeReader(sources...), done: done}
+}
+
+// runSitePipeline spawns site i's shard workers and sequencer. Sorted
+// batches arrive on out, which is closed when the site is exhausted.
+func (g *Generator) runSitePipeline(i, workers, lookahead int, lead time.Duration, out chan<- []*trace.Record, done <-chan struct{}) {
+	plan := g.plans[i]
+	hours := plan.hours
+	tasks := make(chan int)
+	results := make([]chan []*trace.Record, len(hours))
+	for j := range results {
+		results[j] = make(chan []*trace.Record, 1)
+	}
+	sem := make(chan struct{}, lookahead)
+
+	// Feeder: dispatches shard indices in hour order, never letting more
+	// than lookahead shards run ahead of the sequencer.
+	go func() {
+		defer close(tasks)
+		for j := range hours {
+			select {
+			case sem <- struct{}{}:
+			case <-done:
+				return
+			}
+			select {
+			case tasks <- j:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range tasks {
+				recs := g.generateShard(i, hours[j])
+				select {
+				case results[j] <- recs:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
+	// Sequencer: consumes shards in hour order and releases the merged
+	// prefix below the next shard's earliest possible timestamp.
+	go func() {
+		defer close(out)
+		var merger trace.RunMerger
+		for j := range hours {
+			var recs []*trace.Record
+			select {
+			case recs = <-results[j]:
+			case <-done:
+				return
+			}
+			<-sem
+			merger.Add(recs)
+			if j+1 < len(hours) {
+				wm := g.cfg.Week.HourStart(hours[j+1]).Add(-lead)
+				if batch := merger.Emit(wm); len(batch) > 0 {
+					select {
+					case out <- batch:
+					case <-done:
+						return
+					}
+				}
+			}
+		}
+		if batch := merger.Rest(); len(batch) > 0 {
+			select {
+			case out <- batch:
+			case <-done:
+			}
+		}
+	}()
+}
+
+// batchReader adapts a channel of sorted record batches to trace.Reader.
+type batchReader struct {
+	ch  <-chan []*trace.Record
+	cur []*trace.Record
+	pos int
+}
+
+func (b *batchReader) Read() (*trace.Record, error) {
+	for b.pos >= len(b.cur) {
+		batch, ok := <-b.ch
+		if !ok {
+			return nil, io.EOF
+		}
+		b.cur, b.pos = batch, 0
+	}
+	rec := b.cur[b.pos]
+	b.pos++
+	return rec, nil
+}
+
+// GenerateParallelTo streams the full trace to sink in global timestamp
+// order, generating shards concurrently. A sink error stops generation
+// and is returned.
+func (g *Generator) GenerateParallelTo(opts ParallelOptions, sink func(*trace.Record) error) error {
+	r := g.ParallelReader(opts)
+	defer r.Close()
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := sink(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// GenerateParallel produces the full trace, sorted by timestamp, using
+// concurrent generation. The result is byte-identical to Generate for
+// the same seed and config.
+func (g *Generator) GenerateParallel(opts ParallelOptions) ([]*trace.Record, error) {
+	var all []*trace.Record
+	err := g.GenerateParallelTo(opts, func(r *trace.Record) error {
+		all = append(all, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return all, nil
+}

@@ -131,7 +131,14 @@ func TestObjectInvariants(t *testing.T) {
 			if o.Size < 256 {
 				t.Errorf("%s: object size %d too small", pop.Site, o.Size)
 			}
-			if o.Weight <= 0 {
+			if _, private := g.private[o.ID]; private {
+				// Private-audience objects are registered at zero
+				// weight so the shared popularity draw never picks
+				// them; only their owner requests them.
+				if o.Weight != 0 {
+					t.Errorf("%s: private object with weight %v", pop.Site, o.Weight)
+				}
+			} else if o.Weight <= 0 {
 				t.Errorf("%s: nonpositive weight", pop.Site)
 			}
 			if o.InjectHour >= timeutil.HoursPerWeek {

@@ -165,7 +165,15 @@ type mergeHeap []mergeItem
 
 func (h mergeHeap) Len() int { return len(h) }
 func (h mergeHeap) Less(i, j int) bool {
-	return h[i].rec.Timestamp.Before(h[j].rec.Timestamp)
+	ti, tj := h[i].rec.Timestamp, h[j].rec.Timestamp
+	if ti.Equal(tj) {
+		// Break timestamp ties by source index so the merge is stable:
+		// the output matches a stable sort of the concatenated sources,
+		// which is what makes parallel generation byte-identical to the
+		// sequential path.
+		return h[i].src < h[j].src
+	}
+	return ti.Before(tj)
 }
 func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }

@@ -1,0 +1,70 @@
+package trace
+
+import "time"
+
+// RunMerger incrementally merges time-sorted runs into one globally
+// sorted stream without buffering every run: as soon as the caller knows
+// a lower bound (watermark) on all timestamps future runs can contain,
+// the merged prefix below that bound is released. This is how the
+// parallel trace generator turns per-hour shards — whose sessions spill
+// past shard boundaries — into a sorted stream with bounded memory.
+//
+// Runs must each be sorted by timestamp. Ties across runs resolve in run
+// insertion order, and ties within a run keep the run's order, matching
+// what a stable sort of the concatenated input would produce.
+type RunMerger struct {
+	pending []*Record
+}
+
+// Add merges one sorted run into the pending set.
+func (m *RunMerger) Add(run []*Record) {
+	if len(run) == 0 {
+		return
+	}
+	if len(m.pending) == 0 {
+		m.pending = append(m.pending, run...)
+		return
+	}
+	merged := make([]*Record, 0, len(m.pending)+len(run))
+	a, b := m.pending, run
+	for len(a) > 0 && len(b) > 0 {
+		// Ties favor the earlier run (a), keeping the merge stable.
+		if !b[0].Timestamp.Before(a[0].Timestamp) {
+			merged = append(merged, a[0])
+			a = a[1:]
+		} else {
+			merged = append(merged, b[0])
+			b = b[1:]
+		}
+	}
+	merged = append(merged, a...)
+	merged = append(merged, b...)
+	m.pending = merged
+}
+
+// Emit releases the merged records with timestamps strictly before
+// watermark. Callers must only pass watermarks no future run can
+// undercut.
+func (m *RunMerger) Emit(watermark time.Time) []*Record {
+	n := 0
+	for n < len(m.pending) && m.pending[n].Timestamp.Before(watermark) {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := m.pending[:n:n]
+	m.pending = m.pending[n:]
+	return out
+}
+
+// Rest releases everything still pending; call after the final run.
+func (m *RunMerger) Rest() []*Record {
+	out := m.pending
+	m.pending = nil
+	return out
+}
+
+// Pending reports the number of buffered records, for tests and memory
+// accounting.
+func (m *RunMerger) Pending() int { return len(m.pending) }
