@@ -1,16 +1,26 @@
-# Build/verify entry points. `make check` is the CI gate: vet plus
-# race-enabled tests over every package with concurrent paths (synth's
-# parallel generator, the pipeline worker pool, the CDN parallel replay,
-# and the trace mergers), then the full suite.
+# Build/verify entry points. `make check` is the CI gate: vet, a build
+# of every cmd/* binary, race-enabled tests over every package with
+# concurrent paths (synth's parallel generator, the pipeline worker
+# pool, the CDN parallel replay, and the trace mergers), then the full
+# suite. `make bench` records a local baseline in BENCH_local.txt.
 
 GO ?= go
+BIN ?= bin
+CMDS := tsgen tsanalyze tscdnsim tsreport tscrawl
 
-.PHONY: all build test check vet race bench
+.PHONY: all build test check vet race bench tools
 
 all: build test
 
 build:
 	$(GO) build ./...
+
+# Build every CLI binary into $(BIN); catches link-time breakage that
+# `go build ./...` alone would miss reporting paths for.
+tools:
+	@mkdir -p $(BIN)
+	@for c in $(CMDS); do $(GO) build -o $(BIN)/$$c ./cmd/$$c || exit 1; done
+	@echo "built: $(CMDS:%=$(BIN)/%)"
 
 test:
 	$(GO) test ./...
@@ -20,9 +30,9 @@ vet:
 
 # Race-check the concurrent packages; these must stay race-clean.
 race:
-	$(GO) test -race ./internal/synth/... ./internal/pipeline/... ./internal/cdn/... ./internal/trace/...
+	$(GO) test -race ./internal/synth/... ./internal/pipeline/... ./internal/cdn/... ./internal/trace/... ./internal/obs/...
 
-check: vet race test
+check: vet tools race test
 
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -count=3 ./... | tee BENCH_local.txt

@@ -21,6 +21,7 @@ import (
 	"trafficscope/internal/cdn"
 	"trafficscope/internal/core"
 	"trafficscope/internal/dtw"
+	"trafficscope/internal/obs"
 	"trafficscope/internal/pipeline"
 	"trafficscope/internal/synth"
 	"trafficscope/internal/timeutil"
@@ -810,6 +811,31 @@ func BenchmarkGenerateAnalyzeOnePass(b *testing.B) {
 		n = acc.N
 	}
 	b.SetBytes(n)
+}
+
+// BenchmarkPipelineRun measures the parallel fold framework itself: the
+// shared replayed trace streamed through pipeline.Run into a trivial
+// accumulator, with telemetry off (the default) and on. Batch slices are
+// recycled through a sync.Pool, so B/op stays flat as the trace grows;
+// the metrics-on variant bounds the telemetry layer's overhead.
+func BenchmarkPipelineRun(b *testing.B) {
+	benchSetup(b)
+	run := func(b *testing.B, m *obs.Registry) {
+		for i := 0; i < b.N; i++ {
+			acc, err := pipeline.Run(trace.NewSliceReader(benchReplay),
+				func() *pipeline.Count { return &pipeline.Count{} },
+				pipeline.Options{Workers: 4, BatchSize: 1024, Metrics: m})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if acc.N != int64(len(benchReplay)) {
+				b.Fatalf("folded %d records, want %d", acc.N, len(benchReplay))
+			}
+		}
+		b.SetBytes(int64(len(benchReplay)))
+	}
+	b.Run("metrics-off", func(b *testing.B) { run(b, nil) })
+	b.Run("metrics-on", func(b *testing.B) { run(b, obs.NewRegistry()) })
 }
 
 // BenchmarkCDNReplay measures CDN replay throughput on the shared trace.

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	tsanalyze -in trace.bin [-format binary|text] [-figures 1,3,11]
-//	          [-replay] [-csv]
+//	          [-replay] [-csv] [-debug-addr :6060] [-progress]
+//	          [-manifest run.json]
 //
 // Without -replay the trace is analyzed as-is (cache columns require a
 // trace that already carries cache verdicts); with -replay it is first
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"trafficscope/internal/core"
+	"trafficscope/internal/obs/cliobs"
 	"trafficscope/internal/report"
 	"trafficscope/internal/trace"
 )
@@ -40,7 +42,17 @@ func run() error {
 		scale   = flag.Float64("scale", 0.01, "scale hint for CDN cache sizing when -replay is set")
 		workers = flag.Int("workers", 0, "analysis parallelism (0 = GOMAXPROCS)")
 	)
+	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := obsFlags.Start("tsanalyze")
+	if err != nil {
+		return err
+	}
+	extra := map[string]any{"in": *in, "replay": *replay}
+	defer sess.Finish(extra)
+	// ETA tracks on-disk input bytes consumed (compressed bytes for .gz).
+	sess.SetProgress(sess.ReadProgress(cliobs.FileSize(*in)))
 
 	var r trace.Reader
 	if *in == "-" {
@@ -62,7 +74,7 @@ func run() error {
 		r = fr
 	}
 
-	study, err := core.NewStudy(core.Config{Scale: *scale, Workers: *workers})
+	study, err := core.NewStudy(core.Config{Scale: *scale, Workers: *workers, Metrics: sess.Registry()})
 	if err != nil {
 		return err
 	}
@@ -97,7 +109,8 @@ func run() error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "tsanalyze: %d records analyzed\n", results.Records)
-	return nil
+	extra["records"] = results.Records
+	return sess.Finish(extra)
 }
 
 // tableWanted matches a rendered table title against requested figure

@@ -7,6 +7,7 @@
 //
 //	tscdnsim -in trace.bin [-policies lru,lfu,fifo,slru,split]
 //	         [-capacity 1073741824] [-chunk 2097152] [-out replayed.bin]
+//	         [-debug-addr :6060] [-progress] [-manifest run.json]
 package main
 
 import (
@@ -16,7 +17,10 @@ import (
 	"strings"
 
 	"trafficscope/internal/cdn"
+	"trafficscope/internal/obs"
+	"trafficscope/internal/obs/cliobs"
 	"trafficscope/internal/report"
+	"trafficscope/internal/timeutil"
 	"trafficscope/internal/trace"
 )
 
@@ -36,26 +40,40 @@ func run() error {
 		chunk    = flag.Int64("chunk", 2<<20, "video chunk size in bytes (negative disables chunking)")
 		out      = flag.String("out", "", "optionally write the replayed trace (last policy) here")
 	)
+	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
 
+	sess, err := obsFlags.Start("tscdnsim")
+	if err != nil {
+		return err
+	}
+	extra := map[string]any{"in": *in, "policies": *policies, "capacity": *capacity}
+	defer sess.Finish(extra)
+
 	recs, err := loadTrace(*in, *format)
 	if err != nil {
 		return err
 	}
+	extra["records"] = len(recs)
+	policyList := strings.Split(*policies, ",")
+	// Each policy replays the trace twice (warm-up + measured); the
+	// per-DC request counters are shared across policies, so their sum
+	// tracks overall progress.
+	sess.SetProgress(requestProgress(sess.Registry(), float64(2*len(policyList)*len(recs))))
 
 	tab := report.NewTable("CDN cache policy comparison",
 		"policy", "requests", "hit ratio", "origin traffic", "egress traffic")
 	var lastReplay []*trace.Record
-	for _, name := range strings.Split(*policies, ",") {
+	for _, name := range policyList {
 		name = strings.TrimSpace(name)
 		factory, err := cacheFactory(name, *capacity)
 		if err != nil {
 			return err
 		}
-		network := cdn.New(cdn.Config{NewCache: factory, ChunkBytes: *chunk})
+		network := cdn.New(cdn.Config{NewCache: factory, ChunkBytes: *chunk, Metrics: sess.Registry()})
 		// Warm-up pass models the steady-state CDN, then measure.
 		replayed, err := network.WarmedReplay(recs)
 		if err != nil {
@@ -84,7 +102,23 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "tscdnsim: wrote replayed trace to %s\n", *out)
 	}
-	return nil
+	return sess.Finish(extra)
+}
+
+// requestProgress sums the per-DC request counters into one progress
+// signal for the replay loop.
+func requestProgress(reg *obs.Registry, total float64) obs.ProgressFunc {
+	var counters []*obs.Counter
+	for _, r := range timeutil.AllRegions() {
+		counters = append(counters, reg.Counter(obs.Name("cdn_requests_total", "dc", r.String())))
+	}
+	return func() (float64, float64, string) {
+		var done int64
+		for _, c := range counters {
+			done += c.Value()
+		}
+		return float64(done), total, "requests"
+	}
 }
 
 func loadTrace(path, format string) ([]*trace.Record, error) {

@@ -6,6 +6,7 @@
 //	tsgen -out trace.bin [-format binary|text|json] [-scale 0.01]
 //	      [-seed 42] [-sites V-1,P-2] [-salt s] [-profiles custom.json]
 //	      [-dump-profiles profiles.json] [-parallel] [-workers N]
+//	      [-debug-addr :6060] [-progress] [-manifest run.json]
 //
 // Output format defaults to the file extension (.bin/.txt/.jsonl, with
 // an optional .gz suffix for compression); "-" writes text to stdout.
@@ -23,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"trafficscope/internal/obs/cliobs"
 	"trafficscope/internal/synth"
 	"trafficscope/internal/trace"
 )
@@ -49,6 +51,7 @@ func run() error {
 		parallel     = flag.Bool("parallel", false, "generate (site,hour) shards concurrently with a streaming time-ordered merge (bounded memory, same bytes as sequential)")
 		workers      = flag.Int("workers", 0, "shard-generation goroutines with -parallel (0 = GOMAXPROCS)")
 	)
+	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *dumpProfiles != "" {
@@ -94,24 +97,49 @@ func run() error {
 		return err
 	}
 
+	sess, err := obsFlags.Start("tsgen")
+	if err != nil {
+		return err
+	}
+	extra := map[string]any{
+		"seed": *seed, "scale": *scale, "out": *out,
+		"expected_records": gen.ExpectedRecords(),
+	}
+	defer sess.Finish(extra)
+
 	if *parallel {
 		if *stream {
 			return fmt.Errorf("-parallel already streams in sorted order; drop -stream")
 		}
-		return parallelGenerate(gen, *out, *format, synth.ParallelOptions{Workers: *workers})
+		sess.SetProgress(sess.CounterProgress("synth_records_total", gen.ExpectedRecords(), "records"))
+		n, err := parallelGenerate(gen, *out, *format,
+			synth.ParallelOptions{Workers: *workers, Metrics: sess.Registry()})
+		if err != nil {
+			return err
+		}
+		extra["records"] = n
+		return sess.Finish(extra)
 	}
 
 	if *stream {
 		if *out == "-" {
 			return fmt.Errorf("-stream requires a file output")
 		}
-		return streamGenerate(gen, *out, *format, *sortMem)
+		sess.SetProgress(sess.CounterProgress("trace_write_records_total", gen.ExpectedRecords(), "records"))
+		n, err := streamGenerate(gen, *out, *format, *sortMem)
+		if err != nil {
+			return err
+		}
+		extra["records"] = n
+		return sess.Finish(extra)
 	}
 
 	recs, err := gen.Generate()
 	if err != nil {
 		return err
 	}
+	extra["records"] = len(recs)
+	sess.SetProgress(sess.CounterProgress("trace_write_records_total", float64(len(recs)), "records"))
 
 	if *out == "-" {
 		tw := trace.NewTextWriter(os.Stdout)
@@ -147,14 +175,14 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "tsgen: wrote %d records (%d sites, scale %g, seed %d)\n",
 		len(recs), len(gen.Populations()), *scale, *seed)
-	return nil
+	return sess.Finish(extra)
 }
 
 // parallelGenerate writes the trace with concurrent shard generation:
 // the generator's streaming time-ordered merge yields records already
 // globally sorted, so they go straight to the writer without an external
 // sort or an in-memory trace.
-func parallelGenerate(gen *synth.Generator, out, format string, opts synth.ParallelOptions) error {
+func parallelGenerate(gen *synth.Generator, out, format string, opts synth.ParallelOptions) (int64, error) {
 	var n int64
 	sink := func(w trace.Writer) func(*trace.Record) error {
 		return func(r *trace.Record) error {
@@ -165,49 +193,49 @@ func parallelGenerate(gen *synth.Generator, out, format string, opts synth.Paral
 	if out == "-" {
 		tw := trace.NewTextWriter(os.Stdout)
 		if err := gen.GenerateParallelTo(opts, sink(tw)); err != nil {
-			return err
+			return n, err
 		}
-		return tw.Flush()
+		return n, tw.Flush()
 	}
 	var f trace.Format
 	if format != "" {
 		var err error
 		f, err = trace.ParseFormat(format)
 		if err != nil {
-			return err
+			return 0, err
 		}
 	}
 	fw, err := trace.CreateFile(out, f)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if err := gen.GenerateParallelTo(opts, sink(fw)); err != nil {
 		fw.Close()
-		return err
+		return n, err
 	}
 	if err := fw.Close(); err != nil {
-		return err
+		return n, err
 	}
 	fmt.Fprintf(os.Stderr, "tsgen: streamed %d records to %s (parallel)\n", n, out)
-	return nil
+	return n, nil
 }
 
 // streamGenerate writes the trace without ever holding it in memory:
 // records stream from the generator into spill files and are k-way
 // merged into timestamp order on the way to the output. This is the path
 // for paper-scale (-scale 1) runs.
-func streamGenerate(gen *synth.Generator, out, format string, sortMem int) error {
+func streamGenerate(gen *synth.Generator, out, format string, sortMem int) (int64, error) {
 	var f trace.Format
 	if format != "" {
 		var err error
 		f, err = trace.ParseFormat(format)
 		if err != nil {
-			return err
+			return 0, err
 		}
 	}
 	fw, err := trace.CreateFile(out, f)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var n int64
 	// The generator's stream is unsorted across sites; pipe it through
@@ -219,13 +247,13 @@ func streamGenerate(gen *synth.Generator, out, format string, sortMem int) error
 	})
 	if err := trace.ExternalSort(gr, countingSink, trace.ExternalSortOptions{MaxInMemory: sortMem}); err != nil {
 		fw.Close()
-		return err
+		return n, err
 	}
 	if err := fw.Close(); err != nil {
-		return err
+		return n, err
 	}
 	fmt.Fprintf(os.Stderr, "tsgen: streamed %d records to %s\n", n, out)
-	return nil
+	return n, nil
 }
 
 // writerFunc adapts a function to trace.Writer.

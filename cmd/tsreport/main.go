@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tsreport [-scale 0.02] [-seed 42] [-csv] [-summary]
+//	         [-debug-addr :6060] [-progress] [-manifest run.json]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"trafficscope/internal/core"
+	"trafficscope/internal/obs/cliobs"
 	"trafficscope/internal/report"
 	"trafficscope/internal/trace"
 )
@@ -37,10 +39,18 @@ func run() error {
 		verify  = flag.Bool("verify", false, "append the calibration-verification table; exit 1 if any check fails")
 		outDir  = flag.String("outdir", "", "also write every table as a CSV file into this directory")
 	)
+	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	sess, err := obsFlags.Start("tsreport")
+	if err != nil {
+		return err
+	}
+	extra := map[string]any{"seed": *seed, "scale": *scale}
+	defer sess.Finish(extra)
+
 	start := time.Now()
-	study, err := core.NewStudy(core.Config{Seed: *seed, Scale: *scale, Workers: *workers})
+	study, err := core.NewStudy(core.Config{Seed: *seed, Scale: *scale, Workers: *workers, Metrics: sess.Registry()})
 	if err != nil {
 		return err
 	}
@@ -48,6 +58,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	extra["records"] = len(recs)
+	// Progress tracks the analysis pipeline (the final pass over the
+	// replayed trace); the CDN warm-up/measured replays before it show
+	// as rate-only activity on the /metrics page.
+	sess.SetProgress(sess.CounterProgress("pipeline_records_total", float64(len(recs)), "records"))
 	results, err := study.RunOn(trace.NewSliceReader(recs))
 	if err != nil {
 		return err
@@ -102,5 +117,7 @@ func run() error {
 	if !allPass {
 		return fmt.Errorf("calibration verification failed (see table above)")
 	}
-	return nil
+	extra["cdn_requests"] = results.CDNStats.Requests
+	extra["elapsed_seconds"] = elapsed.Seconds()
+	return sess.Finish(extra)
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"trafficscope/internal/obs"
 	"trafficscope/internal/timeutil"
 	"trafficscope/internal/trace"
 )
@@ -47,6 +48,12 @@ type Config struct {
 	// configuration and performance for individual publishers", §V).
 	// Publishers not listed share the DC's default cache.
 	PublisherCaches map[string]func() Cache
+	// Metrics receives live replay telemetry: per-DC request/hit/miss
+	// and origin/egress byte counters plus cache occupancy gauges, and
+	// per-cache (per-shard for ShardedCache) hit/miss/eviction counters.
+	// nil — the default — disables instrumentation entirely; caches are
+	// then not wrapped and the serve path pays only nil checks.
+	Metrics *obs.Registry
 }
 
 // DataCenter is one simulated edge location.
@@ -59,6 +66,24 @@ type DataCenter struct {
 	PublisherCache map[string]Cache
 	// Stats accumulates this DC's counters.
 	Stats DCStats
+
+	// met carries the DC's live metric handles; all nil (no-op) when
+	// the CDN was built without a Metrics registry.
+	met dcMetrics
+}
+
+// dcMetrics is one data center's set of live metric handles. Counters
+// update per request during replay, so the /metrics page shows per-DC
+// hit-rate and traffic dynamics over replay time rather than only the
+// end-of-run DCStats totals.
+type dcMetrics struct {
+	requests    *obs.Counter
+	hits        *obs.Counter
+	misses      *obs.Counter
+	originBytes *obs.Counter
+	egressBytes *obs.Counter
+	cacheObjs   *obs.Gauge
+	cacheBytes  *obs.Gauge
 }
 
 // cacheFor returns the cache serving a publisher at this DC.
@@ -154,6 +179,30 @@ func New(cfg Config) *CDN {
 		for pub, mk := range cfg.PublisherCaches {
 			dc.PublisherCache[pub] = mk()
 		}
+		if reg := cfg.Metrics; reg != nil {
+			name := r.String()
+			dc.met = dcMetrics{
+				requests:    reg.Counter(obs.Name("cdn_requests_total", "dc", name)),
+				hits:        reg.Counter(obs.Name("cdn_hits_total", "dc", name)),
+				misses:      reg.Counter(obs.Name("cdn_misses_total", "dc", name)),
+				originBytes: reg.Counter(obs.Name("cdn_origin_bytes_total", "dc", name)),
+				egressBytes: reg.Counter(obs.Name("cdn_egress_bytes_total", "dc", name)),
+				cacheObjs:   reg.Gauge(obs.Name("cdn_cache_objects", "dc", name)),
+				cacheBytes:  reg.Gauge(obs.Name("cdn_cache_bytes", "dc", name)),
+			}
+			if sharded, ok := dc.Cache.(*ShardedCache); ok {
+				sharded.Instrument(reg, "dc", name)
+			} else {
+				dc.Cache = NewInstrumentedCache(dc.Cache, reg, "dc", name, "cache", "default")
+			}
+			for pub, pc := range dc.PublisherCache {
+				if sharded, ok := pc.(*ShardedCache); ok {
+					sharded.Instrument(reg, "dc", name, "cache", pub)
+				} else {
+					dc.PublisherCache[pub] = NewInstrumentedCache(pc, reg, "dc", name, "cache", pub)
+				}
+			}
+		}
 		c.dcs[r] = dc
 	}
 	return c
@@ -248,6 +297,7 @@ func (c *CDN) serve(r *trace.Record, clients *clientState) *trace.Record {
 		dc = c.dcs[timeutil.RegionNorthAmerica]
 	}
 	dc.Stats.Requests++
+	dc.met.requests.Inc()
 
 	seq := clients.reqSeq[r.UserID]
 	clients.reqSeq[r.UserID] = seq + 1
@@ -352,11 +402,21 @@ func (c *CDN) accessChunks(dc *DataCenter, r *trace.Record, bytesWanted int64) (
 func (c *CDN) recordCache(dc *DataCenter, hit bool, originBytes, egress int64) {
 	if hit {
 		dc.Stats.Hits++
+		dc.met.hits.Inc()
 	} else {
 		dc.Stats.Misses++
+		dc.met.misses.Inc()
 	}
 	dc.Stats.OriginBytes += originBytes
 	dc.Stats.EgressBytes += egress
+	dc.met.originBytes.Add(originBytes)
+	dc.met.egressBytes.Add(egress)
+	// Gauges track the default cache's occupancy live; the one nil check
+	// keeps the instrumented-off path from paying the Len/Bytes calls.
+	if dc.met.cacheObjs != nil {
+		dc.met.cacheObjs.Set(float64(dc.Cache.Len()))
+		dc.met.cacheBytes.Set(float64(dc.Cache.Bytes()))
+	}
 }
 
 // Replay streams records from r through the CDN, passing each finalized

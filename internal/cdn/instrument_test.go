@@ -1,0 +1,66 @@
+package cdn
+
+import (
+	"testing"
+	"time"
+
+	"trafficscope/internal/obs"
+)
+
+func TestInstrumentedCacheCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewInstrumentedCache(NewLRU(2000), reg, "dc", "NA")
+	now := time.Unix(0, 0)
+
+	if c.Access(1, 1000, now) {
+		t.Fatal("cold access should miss")
+	}
+	if !c.Access(1, 1000, now) {
+		t.Fatal("second access should hit")
+	}
+	// 1000 + 1000 + 1000 > 2000: admitting key 3 evicts key 1 (LRU).
+	c.Access(2, 1000, now)
+	c.Access(3, 1000, now)
+
+	if v := reg.Counter(obs.Name("cdn_cache_hits_total", "dc", "NA")).Value(); v != 1 {
+		t.Errorf("hits = %d, want 1", v)
+	}
+	if v := reg.Counter(obs.Name("cdn_cache_misses_total", "dc", "NA")).Value(); v != 3 {
+		t.Errorf("misses = %d, want 3", v)
+	}
+	if v := reg.Counter(obs.Name("cdn_cache_evictions_total", "dc", "NA")).Value(); v < 1 {
+		t.Errorf("evictions = %d, want >= 1", v)
+	}
+	if v := reg.Gauge(obs.Name("cdn_cache_objects", "dc", "NA")).Value(); v != float64(c.Len()) {
+		t.Errorf("objects gauge = %g, want %d", v, c.Len())
+	}
+	if v := reg.Gauge(obs.Name("cdn_cache_bytes", "dc", "NA")).Value(); v != float64(c.Bytes()) {
+		t.Errorf("bytes gauge = %g, want %d", v, c.Bytes())
+	}
+}
+
+// An instrumented sharded cache behaves identically to the bare one and
+// reports per-shard series.
+func TestShardedCacheInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	sc, err := NewShardedCache(4, 32, func() Cache { return NewLRU(1 << 20) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Instrument(reg, "dc", "EU")
+	now := time.Unix(0, 0)
+	for key := uint64(0); key < 100; key++ {
+		sc.Access(key, 100, now)
+		if !sc.Contains(key) {
+			t.Fatalf("key %d not admitted", key)
+		}
+	}
+	var misses int64
+	for i := 0; i < 4; i++ {
+		name := obs.Name("cdn_cache_misses_total", "dc", "EU", "shard", string(rune('0'+i)))
+		misses += reg.Counter(name).Value()
+	}
+	if misses != 100 {
+		t.Errorf("summed per-shard misses = %d, want 100", misses)
+	}
+}

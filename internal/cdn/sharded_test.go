@@ -71,6 +71,80 @@ func TestHashRingMinimalRemapping(t *testing.T) {
 	}
 }
 
+// With >= 128 vnodes per shard the ring's load split must stay tight:
+// the most loaded shard may not exceed the mean by more than 30%, across
+// several independent key populations.
+func TestHashRingSkewBoundAcrossSeeds(t *testing.T) {
+	const (
+		shards  = 8
+		vnodes  = 128
+		keys    = 100_000
+		maxSkew = 1.30 // max/mean bound
+	)
+	r, err := NewHashRing(shards, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 7, 42, 1337, 99991} {
+		counts := make([]int, shards)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < keys; i++ {
+			counts[r.Shard(rng.Uint64())]++
+		}
+		mean := float64(keys) / shards
+		for s, c := range counts {
+			if skew := float64(c) / mean; skew > maxSkew {
+				t.Errorf("seed %d: shard %d holds %.2fx the mean load (bound %.2fx)",
+					seed, s, skew, maxSkew)
+			}
+		}
+	}
+}
+
+// Removing one shard must remap only ~1/n of keys: every key on the
+// removed shard moves (its owner is gone), and nearly nothing else does.
+// Ring point hashes depend only on (shard, vnode), so a ring built over
+// n-1 shards IS the n-shard ring with the last shard's points removed.
+func TestHashRingRemoveShardRemapping(t *testing.T) {
+	const (
+		shards = 8
+		vnodes = 128
+		keys   = 50_000
+	)
+	rn, err := NewHashRing(shards, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := NewHashRing(shards-1, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	var moved, onRemoved int
+	for i := 0; i < keys; i++ {
+		key := rng.Uint64()
+		before := rn.Shard(key)
+		after := rm.Shard(key)
+		if before == shards-1 {
+			onRemoved++
+			continue // must move; its shard no longer exists
+		}
+		if before != after {
+			moved++
+		}
+	}
+	// Keys not owned by the removed shard should essentially never move.
+	if frac := float64(moved) / float64(keys); frac > 0.01 {
+		t.Errorf("%.2f%% of keys on surviving shards moved; consistent hashing should move none", frac*100)
+	}
+	// The removed shard held ~1/n of keys, so total remapping is ~1/n.
+	fracRemoved := float64(onRemoved) / float64(keys)
+	want := 1.0 / shards
+	if fracRemoved < want/2 || fracRemoved > want*2 {
+		t.Errorf("removed shard held %.1f%% of keys, want ~%.1f%%", fracRemoved*100, want*100)
+	}
+}
+
 func TestShardedCacheBasics(t *testing.T) {
 	sc, err := NewShardedCache(4, 32, func() Cache { return NewLRU(1000) })
 	if err != nil {

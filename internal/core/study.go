@@ -10,6 +10,7 @@ import (
 
 	"trafficscope/internal/analysis"
 	"trafficscope/internal/cdn"
+	"trafficscope/internal/obs"
 	"trafficscope/internal/pipeline"
 	"trafficscope/internal/synth"
 	"trafficscope/internal/timeutil"
@@ -46,6 +47,9 @@ type Config struct {
 	// P403, P416 and P204 are the CDN's error-path rates; zero values
 	// default to small paper-plausible rates (0.8%, 0.2%, 5%).
 	P403, P416, P204 float64
+	// Metrics receives live telemetry from the CDN replay and the
+	// analysis pipeline. nil disables instrumentation.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -227,6 +231,7 @@ func (s *Study) NewCDN() *cdn.CDN {
 		P403:        s.cfg.P403,
 		P416:        s.cfg.P416,
 		P204:        s.cfg.P204,
+		Metrics:     s.cfg.Metrics,
 	})
 }
 
@@ -274,7 +279,7 @@ func (s *Study) RunOn(r trace.Reader) (*Results, error) {
 	week := s.gen.Week()
 	acc, err := pipeline.Run(trace.NewSliceReader(replayed), func() *multiAcc {
 		return newMultiAcc(week, s.cfg.SessionTimeout)
-	}, pipeline.Options{Workers: s.cfg.Workers})
+	}, pipeline.Options{Workers: s.cfg.Workers, Metrics: s.cfg.Metrics})
 	if err != nil {
 		return nil, fmt.Errorf("core: analyze: %w", err)
 	}
@@ -303,7 +308,7 @@ func (s *Study) AnalyzeOnly(r trace.Reader) (*Results, error) {
 	week := s.gen.Week()
 	acc, err := pipeline.Run(r, func() *multiAcc {
 		return newMultiAcc(week, s.cfg.SessionTimeout)
-	}, pipeline.Options{Workers: s.cfg.Workers})
+	}, pipeline.Options{Workers: s.cfg.Workers, Metrics: s.cfg.Metrics})
 	if err != nil {
 		return nil, fmt.Errorf("core: analyze: %w", err)
 	}

@@ -1,0 +1,98 @@
+package cliobs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// All flags off: the session is inert and every method is a safe no-op.
+func TestStartWithFlagsOffIsInert(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Progress = false // the default depends on whether tests run on a TTY
+	sess, err := f.Start("testtool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Registry() != nil {
+		t.Error("flags-off session should have a nil registry")
+	}
+	sess.SetProgress(func() (float64, float64, string) { return 0, 0, "" })
+	if err := sess.Finish(map[string]any{"k": "v"}); err != nil {
+		t.Errorf("Finish on inert session: %v", err)
+	}
+	var nilSess *Session
+	if nilSess.Registry() != nil || nilSess.Finish(nil) != nil {
+		t.Error("nil session must be safe")
+	}
+}
+
+// -manifest alone activates the registry and writes the manifest with
+// the tool's extras on Finish.
+func TestStartManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse([]string{"-manifest", path}); err != nil {
+		t.Fatal(err)
+	}
+	f.Progress = false
+	sess, err := f.Start("testtool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := sess.Registry()
+	if reg == nil {
+		t.Fatal("manifest flag should activate the registry")
+	}
+	reg.Counter("test_records_total").Add(7)
+	if err := sess.Finish(map[string]any{"records": 7}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Tool    string         `json:"tool"`
+		Extra   map[string]any `json:"extra"`
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "testtool" {
+		t.Errorf("tool = %q", m.Tool)
+	}
+	if got := m.Extra["records"]; got != float64(7) {
+		t.Errorf("extra records = %v", got)
+	}
+	if m.Metrics.Counters["test_records_total"] != 7 {
+		t.Errorf("snapshot counter = %d", m.Metrics.Counters["test_records_total"])
+	}
+	// Second Finish is a no-op and must not rewrite or fail.
+	if err := sess.Finish(nil); err != nil {
+		t.Errorf("second Finish: %v", err)
+	}
+}
+
+func TestFileSize(t *testing.T) {
+	if FileSize("-") != 0 || FileSize("") != 0 || FileSize("/does/not/exist") != 0 {
+		t.Error("unknown inputs should report 0")
+	}
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, make([]byte, 123), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := FileSize(path); got != 123 {
+		t.Errorf("FileSize = %d, want 123", got)
+	}
+}

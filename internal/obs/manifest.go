@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest is the end-of-run record that makes an experiment
+// reproducible from its artifact: the exact flags, seed-bearing
+// configuration, build provenance, resource usage and the final metric
+// snapshot. EXPERIMENTS.md entries reference manifests instead of
+// hand-copied command lines.
+type Manifest struct {
+	Tool  string            `json:"tool"`
+	Args  []string          `json:"args"`
+	Flags map[string]string `json:"flags"`
+
+	GoVersion  string `json:"go_version"`
+	Module     string `json:"module,omitempty"`
+	Revision   string `json:"vcs_revision,omitempty"`
+	VCSTime    string `json:"vcs_time,omitempty"`
+	VCSDirty   bool   `json:"vcs_dirty,omitempty"`
+	Hostname   string `json:"hostname,omitempty"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Start            time.Time `json:"start"`
+	WallSeconds      float64   `json:"wall_seconds"`
+	CPUUserSeconds   float64   `json:"cpu_user_seconds,omitempty"`
+	CPUSystemSeconds float64   `json:"cpu_system_seconds,omitempty"`
+	MaxRSSBytes      int64     `json:"max_rss_bytes,omitempty"`
+
+	Metrics Snapshot       `json:"metrics"`
+	Extra   map[string]any `json:"extra,omitempty"`
+}
+
+// NewManifest starts a manifest for the named tool, capturing argv, the
+// full flag state (flag.CommandLine; call after flag.Parse) and build
+// provenance from debug.ReadBuildInfo.
+func NewManifest(tool string) *Manifest {
+	m := &Manifest{
+		Tool:       tool,
+		Args:       append([]string(nil), os.Args[1:]...),
+		Flags:      map[string]string{},
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Start:      time.Now(),
+	}
+	flag.CommandLine.VisitAll(func(f *flag.Flag) {
+		m.Flags[f.Name] = f.Value.String()
+	})
+	if host, err := os.Hostname(); err == nil {
+		m.Hostname = host
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		m.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.Revision = s.Value
+			case "vcs.time":
+				m.VCSTime = s.Value
+			case "vcs.modified":
+				m.VCSDirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// Finalize stamps wall/CPU time, peak RSS and the registry's final
+// snapshot (nil registry yields an empty snapshot), merging extra
+// tool-specific facts (record counts, output paths, ...).
+func (m *Manifest) Finalize(reg *Registry, extra map[string]any) {
+	m.WallSeconds = time.Since(m.Start).Seconds()
+	m.CPUUserSeconds, m.CPUSystemSeconds, m.MaxRSSBytes = resourceUsage()
+	m.Metrics = reg.Snapshot()
+	if len(extra) > 0 {
+		if m.Extra == nil {
+			m.Extra = map[string]any{}
+		}
+		for k, v := range extra {
+			m.Extra[k] = v
+		}
+	}
+}
+
+// Write stores the manifest as indented JSON at path.
+func (m *Manifest) Write(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

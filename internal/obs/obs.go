@@ -1,0 +1,377 @@
+// Package obs is the repository's run-wide telemetry layer: a
+// dependency-free metrics registry (atomic counters, gauges and
+// fixed-bucket histograms), a Prometheus-style text exposition, a debug
+// HTTP endpoint (pprof, expvar, /metrics), a periodic progress line and
+// an end-of-run JSON manifest.
+//
+// The layer is built to cost nothing when unused: every accessor and
+// mutator is nil-safe, so instrumented code unconditionally calls
+// reg.Counter(...).Add(1) against a possibly-nil *Registry and pays only
+// a predictable nil-check branch when observability is off. Hot paths
+// should fetch metric handles once and hold them; handle lookups take a
+// registry lock, mutations are single atomic operations.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; a nil Counter silently discards updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; zero on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that can go up or down. The zero value
+// is ready to use; a nil Gauge silently discards updates.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by delta (CAS loop). No-op on a nil receiver.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; zero on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets (cumulative
+// Prometheus semantics: bucket i counts observations <= Bounds[i], with
+// an implicit +Inf bucket). A nil Histogram discards observations.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramValue is a point-in-time histogram reading.
+type HistogramValue struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // per bucket, +Inf last
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+func (h *Histogram) value() HistogramValue {
+	out := HistogramValue{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		out.Counts[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// ExpBuckets returns n bucket upper bounds starting at start and growing
+// by factor — the usual latency-histogram layout.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Name formats a metric name with label pairs in Prometheus text syntax:
+// Name("cdn_hits_total", "dc", "NA") -> `cdn_hits_total{dc="NA"}`.
+// Registry names are plain strings, so labeled series are just distinct
+// entries that render natively on the /metrics page.
+func Name(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry is a named collection of metrics. A nil *Registry is the
+// no-op default: its accessors return nil handles whose mutators do
+// nothing, so "observability off" costs only nil checks.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a valid no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (bounds must be sorted ascending;
+// they are ignored on later lookups). Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(bounds)+1)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric. Each individual
+// metric is read atomically; the set as a whole is weakly consistent
+// (counters may advance between reads), which is the usual contract of
+// a live metrics endpoint.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every registered metric. A nil
+// registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramValue{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.value()
+	}
+	return s
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (one line per series, histograms as cumulative _bucket series,
+// one # TYPE header per metric family).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	typed := map[string]bool{}
+	writeType := func(name, kind string) error {
+		base := baseName(name)
+		if typed[base] {
+			return nil
+		}
+		typed[base] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
+	var names []string
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writeType(name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writeType(name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		if err := writeType(name, "histogram"); err != nil {
+			return err
+		}
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%g", h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", histSeries(name, le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n%s %d\n",
+			suffixName(name, "_sum"), h.Sum, suffixName(name, "_count"), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// baseName strips a label block from a series name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// suffixName appends a suffix to the metric name, before any label block.
+func suffixName(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// histSeries renders one cumulative bucket series with its le label
+// merged into any existing label block.
+func histSeries(name, le string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return fmt.Sprintf("%s_bucket%s,le=%q}", name[:i], strings.TrimSuffix(name[i:], "}"), le)
+	}
+	return fmt.Sprintf("%s_bucket{le=%q}", name, le)
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProgressFunc samples the work done so far. total <= 0 means the total
+// is unknown: the line shows count and rate but no percentage or ETA.
+// unit names what is being counted ("records", "bytes", ...).
+type ProgressFunc func() (done, total float64, unit string)
+
+// IsTerminal reports whether f is attached to a character device — the
+// progress line defaults to on only for interactive runs.
+func IsTerminal(f *os.File) bool {
+	fi, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+// Progress periodically renders a one-line status (count, percentage,
+// rate, ETA) to a writer. On a TTY the line rewrites itself in place;
+// otherwise each tick appends a plain line, which is what scripted runs
+// capture.
+type Progress struct {
+	w        io.Writer
+	tool     string
+	fn       ProgressFunc
+	tty      bool
+	interval time.Duration
+
+	start    time.Time
+	lastDone float64
+	lastAt   time.Time
+
+	stop     chan struct{}
+	done     sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// StartProgress begins emitting progress lines every interval until Stop
+// is called. tty selects in-place carriage-return rendering.
+func StartProgress(w io.Writer, tool string, interval time.Duration, tty bool, fn ProgressFunc) *Progress {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	now := time.Now()
+	p := &Progress{
+		w: w, tool: tool, fn: fn, tty: tty, interval: interval,
+		start: now, lastAt: now,
+		stop: make(chan struct{}),
+	}
+	p.done.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *Progress) loop() {
+	defer p.done.Done()
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			p.render(false)
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// Stop halts the ticker and prints one final line (newline-terminated).
+// Safe to call multiple times; a nil Progress is a no-op.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		p.done.Wait()
+		p.render(true)
+	})
+}
+
+func (p *Progress) render(final bool) {
+	done, total, unit := p.fn()
+	now := time.Now()
+
+	// Instantaneous rate over the last tick for display; the all-run
+	// average drives the ETA, which is much less jumpy.
+	rate := 0.0
+	if dt := now.Sub(p.lastAt).Seconds(); dt > 0 {
+		rate = (done - p.lastDone) / dt
+	}
+	avg := 0.0
+	if el := now.Sub(p.start).Seconds(); el > 0 {
+		avg = done / el
+	}
+	p.lastDone, p.lastAt = done, now
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s %s", p.tool, humanCount(done), unit)
+	if total > 0 {
+		fmt.Fprintf(&b, " (%.1f%%)", 100*done/total)
+	}
+	fmt.Fprintf(&b, " %s/s", humanCount(rate))
+	if total > 0 && avg > 0 && done < total {
+		eta := time.Duration((total - done) / avg * float64(time.Second))
+		fmt.Fprintf(&b, " ETA %s", eta.Round(time.Second))
+	}
+	if final {
+		fmt.Fprintf(&b, " (%s elapsed)", now.Sub(p.start).Round(time.Millisecond))
+	}
+	if p.tty {
+		fmt.Fprintf(p.w, "\r\x1b[K%s", b.String())
+		if final {
+			fmt.Fprintln(p.w)
+		}
+	} else {
+		fmt.Fprintln(p.w, b.String())
+	}
+}
+
+// humanCount renders a count with K/M/G suffixes.
+func humanCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

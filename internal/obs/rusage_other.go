@@ -1,0 +1,8 @@
+//go:build !unix
+
+package obs
+
+// resourceUsage is unavailable off unix; the manifest omits CPU and RSS.
+func resourceUsage() (userSec, sysSec float64, maxRSSBytes int64) {
+	return 0, 0, 0
+}

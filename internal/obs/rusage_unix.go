@@ -1,0 +1,29 @@
+//go:build unix
+
+package obs
+
+import (
+	"runtime"
+	"syscall"
+	"time"
+)
+
+// resourceUsage reads the process's CPU time and peak RSS from getrusage.
+func resourceUsage() (userSec, sysSec float64, maxRSSBytes int64) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0, 0
+	}
+	userSec = tvSeconds(ru.Utime)
+	sysSec = tvSeconds(ru.Stime)
+	// ru_maxrss is KiB on Linux, bytes on Darwin.
+	maxRSSBytes = int64(ru.Maxrss)
+	if runtime.GOOS != "darwin" {
+		maxRSSBytes *= 1024
+	}
+	return userSec, sysSec, maxRSSBytes
+}
+
+func tvSeconds(tv syscall.Timeval) float64 {
+	return float64(tv.Sec) + float64(tv.Usec)/float64(time.Second/time.Microsecond)
+}

@@ -11,7 +11,10 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"trafficscope/internal/obs"
 	"trafficscope/internal/trace"
 )
 
@@ -32,10 +35,24 @@ type Options struct {
 	// BatchSize is the number of records handed to a worker at once;
 	// values < 1 default to 1024.
 	BatchSize int
+	// Metrics receives live pipeline telemetry (batches/records
+	// dispatched, per-batch fold time, queue depth, backpressure
+	// stalls). nil — the default — disables instrumentation; the hot
+	// path then pays only nil checks.
+	Metrics *obs.Registry
 }
 
 // Run streams records from r through parallel workers. newAcc creates one
 // accumulator per worker; the final merged accumulator is returned.
+//
+// Batch slices are recycled through a sync.Pool: workers hand their
+// batch back after folding it, so steady-state runs allocate a bounded
+// set of batch backing arrays instead of one per 1024 records.
+//
+// On a mid-stream read error the run aborts promptly: queued batches
+// are abandoned (their accumulators would be discarded anyway), workers
+// finish only the batch they are currently folding, and the error is
+// returned.
 func Run[T Accumulator[T]](r trace.Reader, newAcc func() T, opts Options) (T, error) {
 	workers := opts.Workers
 	if workers < 1 {
@@ -46,8 +63,33 @@ func Run[T Accumulator[T]](r trace.Reader, newAcc func() T, opts Options) (T, er
 		batchSize = 1024
 	}
 
+	m := opts.Metrics
+	batchesTotal := m.Counter("pipeline_batches_total")
+	recordsTotal := m.Counter("pipeline_records_total")
+	stallsTotal := m.Counter("pipeline_backpressure_stalls_total")
+	queueDepth := m.Gauge("pipeline_queue_depth")
+	m.Gauge("pipeline_workers").Set(float64(workers))
+	var foldSeconds *obs.Histogram
+	if m != nil {
+		foldSeconds = m.Histogram("pipeline_fold_seconds", obs.ExpBuckets(1e-5, 4, 10))
+	}
+
 	var zero T
 	batches := make(chan []*trace.Record, workers)
+	pool := sync.Pool{New: func() any {
+		s := make([]*trace.Record, 0, batchSize)
+		return &s
+	}}
+	recycle := func(batch []*trace.Record) {
+		clear(batch) // drop record pointers so reuse doesn't pin them
+		batch = batch[:0]
+		pool.Put(&batch)
+	}
+
+	// aborted tells workers to stop folding: set on a read error, after
+	// which every result is discarded, so already-queued batches are
+	// recycled unprocessed and failed runs terminate promptly.
+	var aborted atomic.Bool
 	accs := make([]T, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -56,15 +98,41 @@ func Run[T Accumulator[T]](r trace.Reader, newAcc func() T, opts Options) (T, er
 		go func(acc T) {
 			defer wg.Done()
 			for batch := range batches {
+				if aborted.Load() {
+					recycle(batch)
+					continue
+				}
+				var t0 time.Time
+				if foldSeconds != nil {
+					t0 = time.Now()
+				}
 				for _, rec := range batch {
 					acc.Add(rec)
 				}
+				if foldSeconds != nil {
+					foldSeconds.Observe(time.Since(t0).Seconds())
+				}
+				recycle(batch)
 			}
 		}(accs[w])
 	}
 
+	dispatch := func(batch []*trace.Record) {
+		select {
+		case batches <- batch:
+		default:
+			// Channel full: every worker is busy and the queue is at
+			// capacity. Count the stall, then block.
+			stallsTotal.Inc()
+			batches <- batch
+		}
+		batchesTotal.Inc()
+		recordsTotal.Add(int64(len(batch)))
+		queueDepth.Set(float64(len(batches)))
+	}
+
 	var readErr error
-	batch := make([]*trace.Record, 0, batchSize)
+	batch := (*pool.Get().(*[]*trace.Record))[:0]
 	for {
 		rec, err := r.Read()
 		if errors.Is(err, io.EOF) {
@@ -76,14 +144,19 @@ func Run[T Accumulator[T]](r trace.Reader, newAcc func() T, opts Options) (T, er
 		}
 		batch = append(batch, rec)
 		if len(batch) == batchSize {
-			batches <- batch
-			batch = make([]*trace.Record, 0, batchSize)
+			dispatch(batch)
+			batch = (*pool.Get().(*[]*trace.Record))[:0]
 		}
 	}
 	// Skip the final flush after a read error: the run's result is
-	// discarded, so folding the partial batch would be wasted work.
-	if readErr == nil && len(batch) > 0 {
-		batches <- batch
+	// discarded, so folding the partial batch would be wasted work —
+	// and flag the workers so they abandon whatever is still queued.
+	if readErr == nil {
+		if len(batch) > 0 {
+			dispatch(batch)
+		}
+	} else {
+		aborted.Store(true)
 	}
 	close(batches)
 	wg.Wait()

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"trafficscope/internal/obs"
 	"trafficscope/internal/synth"
 	"trafficscope/internal/timeutil"
 	"trafficscope/internal/trace"
@@ -129,17 +130,79 @@ func TestRunSkipsPartialBatchOnError(t *testing.T) {
 	}
 }
 
-// Full batches dispatched before the failure are still processed — only
-// the partial batch held at failure time is dropped.
-func TestRunErrorDropsOnlyPartialBatch(t *testing.T) {
+// After a mid-stream read error the run is abandoned: the partial batch
+// is never dispatched, and queued batches are skipped. Whatever a worker
+// was already folding may complete, so anywhere from 0 to 8 of the
+// pre-error records fold — but never the 2 from the partial batch.
+func TestRunErrorDropsPartialAndQueuedBatches(t *testing.T) {
 	var n int64
 	_, err := Run(&failingReader{n: 10}, func() atomicCount { return atomicCount{n: &n} },
 		Options{Workers: 2, BatchSize: 4})
 	if err == nil {
 		t.Fatal("want error")
 	}
-	if got := atomic.LoadInt64(&n); got != 8 {
-		t.Errorf("folded %d records, want the 8 from the two full batches", got)
+	if got := atomic.LoadInt64(&n); got > 8 {
+		t.Errorf("folded %d records, want at most the 8 from the two full batches", got)
+	}
+}
+
+// slowCount sleeps per record, modelling an expensive accumulator.
+type slowCount struct {
+	n     *int64
+	delay time.Duration
+}
+
+func (s slowCount) Add(*trace.Record) { time.Sleep(s.delay); atomic.AddInt64(s.n, 1) }
+func (s slowCount) Merge(slowCount)   {}
+
+// A failed run must terminate promptly: batches still queued when the
+// read error hits are abandoned, not folded into accumulators that will
+// be discarded. With 4 slow workers and a queue that holds 4 more
+// batches, the error (hit microseconds after dispatch, while the first
+// folds are tens of milliseconds from done) must cut the folded total to
+// the in-flight batches only.
+func TestRunAbandonsQueuedBatchesOnError(t *testing.T) {
+	const (
+		workers   = 4
+		batchSize = 64
+		// 8 full batches fill the workers and the queue; the 513th read
+		// returns the error before a 9th batch forms.
+		preError = 2 * workers * batchSize
+	)
+	var n int64
+	_, err := Run(&failingReader{n: preError},
+		func() slowCount { return slowCount{n: &n, delay: 500 * time.Microsecond} },
+		Options{Workers: workers, BatchSize: batchSize})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	got := atomic.LoadInt64(&n)
+	if got > int64(workers*batchSize+batchSize) {
+		t.Errorf("folded %d records after the read error; queued batches were not abandoned (in-flight bound: %d)",
+			got, workers*batchSize)
+	}
+}
+
+// Run with a Metrics registry reports dispatched batches and records.
+func TestRunReportsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	recs := makeRecords(1000)
+	got, err := Run(trace.NewSliceReader(recs), func() *Count { return &Count{} },
+		Options{Workers: 3, BatchSize: 128, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 1000 {
+		t.Fatalf("N = %d", got.N)
+	}
+	if v := reg.Counter("pipeline_records_total").Value(); v != 1000 {
+		t.Errorf("pipeline_records_total = %d, want 1000", v)
+	}
+	if v := reg.Counter("pipeline_batches_total").Value(); v != 8 {
+		t.Errorf("pipeline_batches_total = %d, want 8", v)
+	}
+	if v := reg.Snapshot().Histograms["pipeline_fold_seconds"].Count; v != 8 {
+		t.Errorf("pipeline_fold_seconds count = %d, want 8", v)
 	}
 }
 

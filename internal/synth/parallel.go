@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"trafficscope/internal/obs"
 	"trafficscope/internal/timeutil"
 	"trafficscope/internal/trace"
 )
@@ -21,6 +22,40 @@ type ParallelOptions struct {
 	// ahead of the slowest point of the time-ordered merge — the
 	// memory/parallelism trade-off. Values < 1 default to 4.
 	Lookahead int
+	// Metrics receives live generation telemetry: shards done/total,
+	// records generated (total and per site), per-site merge pending
+	// depth and watermark lag, and the k-way merge heap depth. nil —
+	// the default — disables instrumentation.
+	Metrics *obs.Registry
+}
+
+// ExpectedRecords estimates the number of records a full generation run
+// will emit (the sum of every site's hourly Poisson intensities). The
+// realized count differs by sampling noise and window clipping; the
+// estimate anchors progress percentages and ETAs.
+func (g *Generator) ExpectedRecords() float64 {
+	var total float64
+	for _, plan := range g.plans {
+		if plan == nil {
+			continue
+		}
+		for _, h := range plan.hours {
+			total += plan.hourTotal[h]
+		}
+	}
+	return total
+}
+
+// ShardCount reports the number of (site, hour) generation shards — the
+// parallel path's units of work.
+func (g *Generator) ShardCount() int {
+	var n int
+	for _, plan := range g.plans {
+		if plan != nil {
+			n += len(plan.hours)
+		}
+	}
+	return n
 }
 
 // maxRegionLead is the largest amount by which a local hour-of-week
@@ -115,21 +150,48 @@ func (g *Generator) ParallelReader(opts ParallelOptions) *ParallelReader {
 	perSite := g.siteWorkers(workers)
 	lead := maxRegionLead()
 
+	m := opts.Metrics
+	m.Gauge("synth_shards_total").Set(float64(g.ShardCount()))
+	m.Gauge("synth_expected_records").Set(g.ExpectedRecords())
+
 	var sources []trace.Reader
 	for i := range g.plans {
 		if g.plans[i] == nil {
 			continue
 		}
 		out := make(chan []*trace.Record, 2)
-		g.runSitePipeline(i, perSite[i], lookahead, lead, out, done)
+		site := g.prof[i].Name
+		g.runSitePipeline(i, perSite[i], lookahead, lead, out, done, shardMetrics{
+			shardsDone:   m.Counter("synth_shards_done_total"),
+			records:      m.Counter("synth_records_total"),
+			siteRecords:  m.Counter(obs.Name("synth_site_records_total", "site", site)),
+			mergePending: m.Gauge(obs.Name("synth_merge_pending_records", "site", site)),
+			mergeLag:     m.Gauge(obs.Name("synth_merge_watermark_lag_seconds", "site", site)),
+		})
 		sources = append(sources, &batchReader{ch: out})
 	}
-	return &ParallelReader{merge: trace.NewMergeReader(sources...), done: done}
+	merge := trace.NewMergeReader(sources...)
+	if m != nil {
+		merge.SetHeapGauge(m.Gauge("synth_merge_heap_depth"))
+	}
+	return &ParallelReader{merge: merge, done: done}
+}
+
+// shardMetrics carries one site pipeline's telemetry handles. The
+// handles are nil (no-op) when observability is off; every update is a
+// per-shard — not per-record — operation, so the instrumented path stays
+// off the generation hot loop.
+type shardMetrics struct {
+	shardsDone   *obs.Counter
+	records      *obs.Counter
+	siteRecords  *obs.Counter
+	mergePending *obs.Gauge
+	mergeLag     *obs.Gauge
 }
 
 // runSitePipeline spawns site i's shard workers and sequencer. Sorted
 // batches arrive on out, which is closed when the site is exhausted.
-func (g *Generator) runSitePipeline(i, workers, lookahead int, lead time.Duration, out chan<- []*trace.Record, done <-chan struct{}) {
+func (g *Generator) runSitePipeline(i, workers, lookahead int, lead time.Duration, out chan<- []*trace.Record, done <-chan struct{}, met shardMetrics) {
 	plan := g.plans[i]
 	hours := plan.hours
 	tasks := make(chan int)
@@ -161,6 +223,9 @@ func (g *Generator) runSitePipeline(i, workers, lookahead int, lead time.Duratio
 		go func() {
 			for j := range tasks {
 				recs := g.generateShard(i, hours[j])
+				met.shardsDone.Inc()
+				met.records.Add(int64(len(recs)))
+				met.siteRecords.Add(int64(len(recs)))
 				select {
 				case results[j] <- recs:
 				case <-done:
@@ -192,6 +257,12 @@ func (g *Generator) runSitePipeline(i, workers, lookahead int, lead time.Duratio
 					case <-done:
 						return
 					}
+				}
+				met.mergePending.Set(float64(merger.Pending()))
+				if newest := merger.NewestPending(); !newest.IsZero() {
+					met.mergeLag.Set(newest.Sub(wm).Seconds())
+				} else {
+					met.mergeLag.Set(0)
 				}
 			}
 		}

@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"strings"
+
+	"trafficscope/internal/obs"
 )
 
 // Format identifies an on-disk trace encoding.
@@ -34,8 +36,11 @@ func ParseFormat(s string) (Format, error) {
 }
 
 // DetectFormat guesses the format from a file name, honoring a trailing
-// .gz suffix: trace.bin.gz -> binary, trace.jsonl -> json. Unknown
-// extensions default to binary.
+// .gz suffix: trace.bin.gz -> binary, trace.jsonl -> json, trace.tsv.gz
+// -> text. Matching is case-insensitive. Any unknown extension —
+// including a bare ".gz" with no inner extension, or no extension at
+// all — falls back to binary, the format whose reader self-validates
+// via a magic header and so fails loudly on a wrong guess.
 func DetectFormat(path string) Format {
 	p := strings.TrimSuffix(strings.ToLower(path), ".gz")
 	switch {
@@ -68,8 +73,14 @@ func OpenFile(path string, format Format) (*FileReader, error) {
 	}
 	fr := &FileReader{f: f}
 	var src io.Reader = f
+	reg := obsRegistry.Load()
+	if reg != nil {
+		// Count compressed (on-disk) bytes so progress tracked against
+		// the file size is accurate for .gz traces too.
+		src = &countingReader{r: src, c: reg.Counter("trace_read_bytes_total")}
+	}
 	if strings.HasSuffix(strings.ToLower(path), ".gz") {
-		gz, err := gzip.NewReader(f)
+		gz, err := gzip.NewReader(src)
 		if err != nil {
 			f.Close()
 			return nil, fmt.Errorf("trace: %s: %w", path, err)
@@ -87,6 +98,13 @@ func OpenFile(path string, format Format) (*FileReader, error) {
 	default:
 		f.Close()
 		return nil, fmt.Errorf("trace: unknown format %d", format)
+	}
+	if reg != nil {
+		fr.Reader = &countingRecordReader{
+			inner: fr.Reader,
+			recs:  reg.Counter("trace_read_records_total"),
+			errs:  reg.Counter("trace_decode_errors_total"),
+		}
 	}
 	return fr, nil
 }
@@ -119,8 +137,13 @@ func CreateFile(path string, format Format) (*FileWriter, error) {
 	}
 	fw := &FileWriter{f: f}
 	var dst io.Writer = f
+	reg := obsRegistry.Load()
+	if reg != nil {
+		// Count on-disk bytes (before the gzip wrapper grabs dst).
+		dst = &countingWriter{w: dst, c: reg.Counter("trace_write_bytes_total")}
+	}
 	if strings.HasSuffix(strings.ToLower(path), ".gz") {
-		fw.gz = gzip.NewWriter(f)
+		fw.gz = gzip.NewWriter(dst)
 		dst = fw.gz
 	}
 	switch format {
@@ -136,6 +159,12 @@ func CreateFile(path string, format Format) (*FileWriter, error) {
 	default:
 		f.Close()
 		return nil, fmt.Errorf("trace: unknown format %d", format)
+	}
+	if reg != nil {
+		fw.Writer = &countingRecordWriter{
+			inner: fw.Writer,
+			recs:  reg.Counter("trace_write_records_total"),
+		}
 	}
 	return fw, nil
 }
@@ -192,6 +221,7 @@ type MergeReader struct {
 	sources []Reader
 	heap    mergeHeap
 	started bool
+	depth   *obs.Gauge // optional live heap-depth gauge
 }
 
 var _ Reader = (*MergeReader)(nil)
@@ -200,6 +230,10 @@ var _ Reader = (*MergeReader)(nil)
 func NewMergeReader(sources ...Reader) *MergeReader {
 	return &MergeReader{sources: sources}
 }
+
+// SetHeapGauge publishes the merge heap depth (number of sources with a
+// buffered head record) to g on every read. Pass nil to disable.
+func (m *MergeReader) SetHeapGauge(g *obs.Gauge) { m.depth = g }
 
 // Read returns the next record in global timestamp order.
 func (m *MergeReader) Read() (*Record, error) {
@@ -226,6 +260,9 @@ func (m *MergeReader) Read() (*Record, error) {
 		heap.Push(&m.heap, mergeItem{rec: next, src: it.src})
 	} else if err != io.EOF {
 		return nil, err
+	}
+	if m.depth != nil {
+		m.depth.Set(float64(len(m.heap)))
 	}
 	return it.rec, nil
 }

@@ -71,7 +71,12 @@ func TestParseFormat(t *testing.T) {
 		{"TSV", FormatText, true},
 		{"json", FormatJSON, true},
 		{"jsonl", FormatJSON, true},
+		{"Binary", FormatBinary, true},
+		{"JSON", FormatJSON, true},
+		{"TeXt", FormatText, true},
 		{"xml", 0, false},
+		{"", 0, false},
+		{"binary ", 0, false}, // no trimming: flag values arrive clean
 	}
 	for _, tt := range tests {
 		got, err := ParseFormat(tt.in)
@@ -96,6 +101,23 @@ func TestDetectFormat(t *testing.T) {
 		{"trace.jsonl", FormatJSON},
 		{"trace.json.gz", FormatJSON},
 		{"whatever", FormatBinary},
+		// Case-insensitive matching: shell completion and copy-pasted
+		// paths often arrive upper- or mixed-case.
+		{"TRACE.BIN", FormatBinary},
+		{"TRACE.TXT", FormatText},
+		{"Trace.JsonL.GZ", FormatJSON},
+		{"trace.TSV.gz", FormatText},
+		// tsv is a first-class text extension, compressed or not.
+		{"trace.tsv", FormatText},
+		{"trace.tsv.gz", FormatText},
+		// Unknown or missing inner extensions fall back to binary, whose
+		// reader self-validates via a magic header and fails loudly on a
+		// wrong guess (see the DetectFormat doc comment).
+		{".gz", FormatBinary},
+		{"trace.gz", FormatBinary},
+		{"trace.xml", FormatBinary},
+		{"trace.xml.gz", FormatBinary},
+		{"", FormatBinary},
 	}
 	for _, tt := range tests {
 		if got := DetectFormat(tt.path); got != tt.want {

@@ -68,3 +68,14 @@ func (m *RunMerger) Rest() []*Record {
 // Pending reports the number of buffered records, for tests and memory
 // accounting.
 func (m *RunMerger) Pending() int { return len(m.pending) }
+
+// NewestPending returns the timestamp of the newest buffered record, or
+// the zero time when nothing is pending. The span between a watermark
+// and NewestPending is the merger's buffered lead — the telemetry layer
+// publishes it as watermark lag.
+func (m *RunMerger) NewestPending() time.Time {
+	if len(m.pending) == 0 {
+		return time.Time{}
+	}
+	return m.pending[len(m.pending)-1].Timestamp
+}
