@@ -6,9 +6,9 @@
 
 GO ?= go
 BIN ?= bin
-CMDS := tsgen tsanalyze tscdnsim tsreport tscrawl
+CMDS := tsgen tsanalyze tscdnsim tsreport tscrawl tsserve tsload
 
-.PHONY: all build test check vet race bench tools
+.PHONY: all build test check vet race bench tools fmt-check serve-demo
 
 all: build test
 
@@ -30,9 +30,32 @@ vet:
 
 # Race-check the concurrent packages; these must stay race-clean.
 race:
-	$(GO) test -race ./internal/synth/... ./internal/pipeline/... ./internal/cdn/... ./internal/trace/... ./internal/obs/...
+	$(GO) test -race ./internal/synth/... ./internal/pipeline/... ./internal/cdn/... ./internal/trace/... ./internal/obs/... ./internal/edge/... ./internal/loadgen/...
+
+# Fail if any file is not gofmt-clean (CI runs this before check).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 check: vet tools race test
 
 bench:
 	$(GO) test -bench=. -benchmem -count=3 ./... | tee BENCH_local.txt
+
+# Live serving demo: generate a trace, start the HTTP edge in the
+# background, replay the trace against it over loopback, then SIGINT the
+# server to exercise graceful drain. Both run manifests (RPS, hit ratio,
+# p50/p99 latency) land in $(DEMO_DIR).
+DEMO_DIR ?= demo
+DEMO_SCALE ?= 0.02
+DEMO_ADDR ?= 127.0.0.1:8098
+DEMO_WORKERS ?= 16
+
+serve-demo: tools
+	@mkdir -p $(DEMO_DIR)
+	$(BIN)/tsgen -scale $(DEMO_SCALE) -seed 42 -out $(DEMO_DIR)/trace.bin.gz
+	@$(BIN)/tsserve -addr $(DEMO_ADDR) -capacity 2147483648 \
+		-manifest $(DEMO_DIR)/serve-manifest.json & \
+	srv=$$!; sleep 1; \
+	$(BIN)/tsload -in $(DEMO_DIR)/trace.bin.gz -target http://$(DEMO_ADDR) \
+		-workers $(DEMO_WORKERS) -manifest $(DEMO_DIR)/load-manifest.json; rc=$$?; \
+	kill -INT $$srv; wait $$srv; exit $$rc

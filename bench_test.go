@@ -13,7 +13,11 @@ package trafficscope
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,6 +25,7 @@ import (
 	"trafficscope/internal/cdn"
 	"trafficscope/internal/core"
 	"trafficscope/internal/dtw"
+	"trafficscope/internal/edge"
 	"trafficscope/internal/obs"
 	"trafficscope/internal/pipeline"
 	"trafficscope/internal/synth"
@@ -848,6 +853,50 @@ func BenchmarkCDNReplay(b *testing.B) {
 		}
 	}
 	b.SetBytes(int64(len(benchRecs)))
+}
+
+// BenchmarkEdgeServe measures the live serving path end to end: trace
+// records encoded as HTTP requests (edge wire format), served over a
+// loopback socket from the CDN cache model, fanned out across parallel
+// keep-alive clients — the request rate behind `make serve-demo`.
+func BenchmarkEdgeServe(b *testing.B) {
+	benchSetup(b)
+	network := cdn.New(cdn.Config{
+		NewCache:   func() cdn.Cache { return cdn.NewLRU(ablationCapacity) },
+		ChunkBytes: 2 << 20,
+	})
+	srv, err := edge.New(edge.Config{CDN: network})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	paths := make([]string, len(benchRecs))
+	for i, r := range benchRecs {
+		paths[i] = ts.URL + edge.RequestPath(r)
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: 64,
+	}}
+	var served atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p := paths[served.Add(1)%int64(len(paths))]
+			resp, err := client.Get(p)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+	b.StopTimer()
+	stats := srv.TotalStats()
+	if stats.Requests > 0 {
+		b.ReportMetric(stats.HitRatio()*100, "hit-%")
+	}
 }
 
 // BenchmarkEndToEndStudy measures the full pipeline at a small scale.

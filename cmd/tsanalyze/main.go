@@ -45,6 +45,9 @@ func run() error {
 	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	ctx, stop := cliobs.SignalContext()
+	defer stop()
+
 	sess, err := obsFlags.Start("tsanalyze")
 	if err != nil {
 		return err
@@ -73,6 +76,9 @@ func run() error {
 		defer fr.Close()
 		r = fr
 	}
+	// SIGINT/SIGTERM unwinds the analysis via the reader; the deferred
+	// Finish still writes the manifest.
+	r = trace.NewContextReader(ctx, r)
 
 	study, err := core.NewStudy(core.Config{Scale: *scale, Workers: *workers, Metrics: sess.Registry()})
 	if err != nil {

@@ -46,6 +46,9 @@ func run() error {
 		return fmt.Errorf("-in is required")
 	}
 
+	ctx, stop := cliobs.SignalContext()
+	defer stop()
+
 	sess, err := obsFlags.Start("tscdnsim")
 	if err != nil {
 		return err
@@ -69,13 +72,21 @@ func run() error {
 	var lastReplay []*trace.Record
 	for _, name := range policyList {
 		name = strings.TrimSpace(name)
-		factory, err := cacheFactory(name, *capacity)
+		factory, err := cdn.PolicyFactory(name, *capacity)
 		if err != nil {
 			return err
 		}
 		network := cdn.New(cdn.Config{NewCache: factory, ChunkBytes: *chunk, Metrics: sess.Registry()})
-		// Warm-up pass models the steady-state CDN, then measure.
-		replayed, err := network.WarmedReplay(recs)
+		// Warm-up pass models the steady-state CDN, then measure. Both
+		// passes read through a ContextReader so SIGINT unwinds the
+		// replay and the deferred Finish still writes the manifest.
+		discard := func(*trace.Record) error { return nil }
+		if err := network.Replay(trace.NewContextReader(ctx, trace.NewSliceReader(recs)), discard); err != nil {
+			return err
+		}
+		network.ResetStats()
+		network.ResetClientState()
+		replayed, err := network.ReplayAll(trace.NewContextReader(ctx, trace.NewSliceReader(recs)))
 		if err != nil {
 			return err
 		}
@@ -141,45 +152,4 @@ func loadTrace(path, format string) ([]*trace.Record, error) {
 	}
 	trace.SortByTime(recs)
 	return recs, nil
-}
-
-func cacheFactory(name string, capacity int64) (func() cdn.Cache, error) {
-	switch name {
-	case "lru":
-		return func() cdn.Cache { return cdn.NewLRU(capacity) }, nil
-	case "lfu":
-		return func() cdn.Cache { return cdn.NewLFU(capacity) }, nil
-	case "fifo":
-		return func() cdn.Cache { return cdn.NewFIFO(capacity) }, nil
-	case "slru":
-		return func() cdn.Cache {
-			c, err := cdn.NewSLRU(capacity, 0.8)
-			if err != nil {
-				panic(err) // static parameters
-			}
-			return c
-		}, nil
-	case "gdsf":
-		return func() cdn.Cache { return cdn.NewGDSF(capacity) }, nil
-	case "2q":
-		return func() cdn.Cache {
-			c, err := cdn.NewTwoQ(capacity, 0.25, 4096)
-			if err != nil {
-				panic(err) // static parameters
-			}
-			return c
-		}, nil
-	case "split":
-		return func() cdn.Cache {
-			small := cdn.NewLRU(capacity / 12)
-			large := cdn.NewLRU(capacity - capacity/12)
-			c, err := cdn.NewSplitCache(small, large, 1<<20)
-			if err != nil {
-				panic(err) // static parameters
-			}
-			return c
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q (want lru, lfu, fifo, slru, gdsf, 2q or split)", name)
-	}
 }

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -97,6 +98,9 @@ func run() error {
 		return err
 	}
 
+	ctx, stop := cliobs.SignalContext()
+	defer stop()
+
 	sess, err := obsFlags.Start("tsgen")
 	if err != nil {
 		return err
@@ -112,7 +116,7 @@ func run() error {
 			return fmt.Errorf("-parallel already streams in sorted order; drop -stream")
 		}
 		sess.SetProgress(sess.CounterProgress("synth_records_total", gen.ExpectedRecords(), "records"))
-		n, err := parallelGenerate(gen, *out, *format,
+		n, err := parallelGenerate(ctx, gen, *out, *format,
 			synth.ParallelOptions{Workers: *workers, Metrics: sess.Registry()})
 		if err != nil {
 			return err
@@ -126,7 +130,7 @@ func run() error {
 			return fmt.Errorf("-stream requires a file output")
 		}
 		sess.SetProgress(sess.CounterProgress("trace_write_records_total", gen.ExpectedRecords(), "records"))
-		n, err := streamGenerate(gen, *out, *format, *sortMem)
+		n, err := streamGenerate(ctx, gen, *out, *format, *sortMem)
 		if err != nil {
 			return err
 		}
@@ -143,7 +147,10 @@ func run() error {
 
 	if *out == "-" {
 		tw := trace.NewTextWriter(os.Stdout)
-		for _, r := range recs {
+		for i, r := range recs {
+			if i%4096 == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			if err := tw.Write(r); err != nil {
 				return err
 			}
@@ -163,7 +170,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		for _, r := range recs {
+		for i, r := range recs {
+			if i%4096 == 0 && ctx.Err() != nil {
+				fw.Close()
+				return ctx.Err()
+			}
 			if err := fw.Write(r); err != nil {
 				fw.Close()
 				return err
@@ -182,10 +193,13 @@ func run() error {
 // the generator's streaming time-ordered merge yields records already
 // globally sorted, so they go straight to the writer without an external
 // sort or an in-memory trace.
-func parallelGenerate(gen *synth.Generator, out, format string, opts synth.ParallelOptions) (int64, error) {
+func parallelGenerate(ctx context.Context, gen *synth.Generator, out, format string, opts synth.ParallelOptions) (int64, error) {
 	var n int64
 	sink := func(w trace.Writer) func(*trace.Record) error {
 		return func(r *trace.Record) error {
+			if n%4096 == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			n++
 			return w.Write(r)
 		}
@@ -224,7 +238,7 @@ func parallelGenerate(gen *synth.Generator, out, format string, opts synth.Paral
 // records stream from the generator into spill files and are k-way
 // merged into timestamp order on the way to the output. This is the path
 // for paper-scale (-scale 1) runs.
-func streamGenerate(gen *synth.Generator, out, format string, sortMem int) (int64, error) {
+func streamGenerate(ctx context.Context, gen *synth.Generator, out, format string, sortMem int) (int64, error) {
 	var f trace.Format
 	if format != "" {
 		var err error
@@ -242,6 +256,9 @@ func streamGenerate(gen *synth.Generator, out, format string, sortMem int) (int6
 	// the external sorter.
 	gr := newGeneratorReader(gen)
 	countingSink := writerFunc(func(r *trace.Record) error {
+		if n%4096 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
 		n++
 		return fw.Write(r)
 	})

@@ -42,6 +42,9 @@ func run() error {
 	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
+	ctx, stop := cliobs.SignalContext()
+	defer stop()
+
 	sess, err := obsFlags.Start("tsreport")
 	if err != nil {
 		return err
@@ -63,7 +66,7 @@ func run() error {
 	// replayed trace); the CDN warm-up/measured replays before it show
 	// as rate-only activity on the /metrics page.
 	sess.SetProgress(sess.CounterProgress("pipeline_records_total", float64(len(recs)), "records"))
-	results, err := study.RunOn(trace.NewSliceReader(recs))
+	results, err := study.RunOn(trace.NewContextReader(ctx, trace.NewSliceReader(recs)))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,169 @@
+// Command tsserve runs the live HTTP edge: it serves trace objects from
+// the in-process CDN cache model over real sockets, simulating origin
+// fetches on miss. Pair it with tsload replaying a tsgen trace for an
+// end-to-end serving benchmark.
+//
+// Usage:
+//
+//	tsserve [-addr :8080] [-policy lru] [-capacity 1073741824]
+//	        [-shards 0] [-publisher-caches V-1=268435456,...]
+//	        [-chunk 2097152] [-origin-latency 0] [-origin-bw 0]
+//	        [-max-body 4096] [-max-conns 0] [-max-inflight 0]
+//	        [-read-timeout 5s] [-write-timeout 30s] [-idle-timeout 2m]
+//	        [-drain 10s] [-debug-addr :6060] [-progress] [-manifest run.json]
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener closes,
+// in-flight requests finish (bounded by -drain), and the run manifest
+// is written with final serving statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"trafficscope/internal/cdn"
+	"trafficscope/internal/edge"
+	"trafficscope/internal/obs/cliobs"
+	"trafficscope/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tsserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", ":8080", "TCP listen address")
+		policy      = flag.String("policy", "lru", "per-DC eviction policy (lru, lfu, fifo, slru, gdsf, 2q, split)")
+		capacity    = flag.Int64("capacity", 1<<30, "per-datacenter cache capacity in bytes")
+		shards      = flag.Int("shards", 0, "consistent-hash shards per DC cache (0 = unsharded; capacity splits evenly)")
+		pubCaches   = flag.String("publisher-caches", "", "dedicated per-publisher partitions, e.g. V-1=268435456,P-1=134217728")
+		chunk       = flag.Int64("chunk", 2<<20, "video chunk size in bytes (negative disables chunking)")
+		originLat   = flag.Duration("origin-latency", 0, "simulated origin round-trip added to every miss")
+		originBW    = flag.Int64("origin-bw", 0, "simulated origin fill bandwidth in bytes/s (0 = infinite)")
+		maxBody     = flag.Int64("max-body", edge.DefaultMaxBodyBytes, "max on-wire body bytes per response (logical size travels in X-TS-Bytes; negative = no body)")
+		maxConns    = flag.Int("max-conns", 0, "max concurrently accepted TCP connections (0 = unlimited)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently served requests; excess get 503 (0 = unlimited)")
+		readTO      = flag.Duration("read-timeout", 5*time.Second, "HTTP read timeout")
+		writeTO     = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+		idleTO      = flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful drain budget on shutdown")
+	)
+	obsFlags := cliobs.AddFlags(flag.CommandLine)
+	flag.Parse()
+
+	ctx, stop := cliobs.SignalContext()
+	defer stop()
+
+	sess, err := obsFlags.Start("tsserve")
+	if err != nil {
+		return err
+	}
+	extra := map[string]any{"addr": *addr, "policy": *policy, "capacity": *capacity, "shards": *shards}
+	defer sess.Finish(extra)
+
+	factory, err := cacheFactory(*policy, *capacity, *shards)
+	if err != nil {
+		return err
+	}
+	pubFactories, err := parsePublisherCaches(*pubCaches, *policy)
+	if err != nil {
+		return err
+	}
+	network := cdn.New(cdn.Config{
+		NewCache:        factory,
+		ChunkBytes:      *chunk,
+		PublisherCaches: pubFactories,
+		Metrics:         sess.Registry(),
+	})
+	srv, err := edge.New(edge.Config{
+		CDN:             network,
+		OriginLatency:   *originLat,
+		OriginBandwidth: *originBW,
+		MaxBodyBytes:    *maxBody,
+		MaxInflight:     *maxInflight,
+		Metrics:         sess.Registry(),
+	})
+	if err != nil {
+		return err
+	}
+	sess.SetProgress(sess.CounterProgress("edge_requests_total", 0, "requests"))
+
+	serveErr := srv.ListenAndServe(ctx, edge.ListenConfig{
+		Addr:         *addr,
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+		IdleTimeout:  *idleTO,
+		MaxConns:     *maxConns,
+		DrainTimeout: *drain,
+		OnReady: func(a string) {
+			fmt.Fprintf(os.Stderr, "tsserve: serving on http://%s (%s, %s per DC; endpoints: /o/ /stats /healthz)\n",
+				a, *policy, report.Bytes(*capacity))
+		},
+	})
+
+	stats := srv.TotalStats()
+	extra["requests"] = stats.Requests
+	extra["hit_ratio"] = stats.HitRatio()
+	extra["origin_bytes"] = stats.OriginBytes
+	extra["egress_bytes"] = stats.EgressBytes
+	fmt.Fprintf(os.Stderr, "tsserve: served %d requests, hit ratio %.1f%%, egress %s\n",
+		stats.Requests, 100*stats.HitRatio(), report.Bytes(stats.EgressBytes))
+	if serveErr != nil {
+		sess.Finish(extra)
+		return serveErr
+	}
+	return sess.Finish(extra)
+}
+
+// cacheFactory builds the per-DC cache constructor, optionally sharding
+// the policy across a consistent-hash ring.
+func cacheFactory(policy string, capacity int64, shards int) (func() cdn.Cache, error) {
+	if shards <= 1 {
+		return cdn.PolicyFactory(policy, capacity)
+	}
+	perShard, err := cdn.PolicyFactory(policy, capacity/int64(shards))
+	if err != nil {
+		return nil, err
+	}
+	// Validate ring parameters once so the factory cannot fail later.
+	if _, err := cdn.NewShardedCache(shards, 64, perShard); err != nil {
+		return nil, err
+	}
+	return func() cdn.Cache {
+		c, _ := cdn.NewShardedCache(shards, 64, perShard) // validated above
+		return c
+	}, nil
+}
+
+// parsePublisherCaches parses "site=bytes,site=bytes" into dedicated
+// cache partitions using the same eviction policy as the default cache.
+func parsePublisherCaches(spec, policy string) (map[string]func() cdn.Cache, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string]func() cdn.Cache{}
+	for _, part := range strings.Split(spec, ",") {
+		site, sizeStr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || site == "" {
+			return nil, fmt.Errorf("bad -publisher-caches entry %q (want site=bytes)", part)
+		}
+		size, err := strconv.ParseInt(sizeStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -publisher-caches size %q: %v", sizeStr, err)
+		}
+		factory, err := cdn.PolicyFactory(policy, size)
+		if err != nil {
+			return nil, err
+		}
+		out[site] = factory
+	}
+	return out, nil
+}

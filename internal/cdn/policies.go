@@ -4,8 +4,68 @@ import (
 	"container/heap"
 	"container/list"
 	"fmt"
+	"strings"
 	"time"
 )
+
+// PolicyNames lists the eviction-policy names PolicyFactory accepts, in
+// display order.
+func PolicyNames() []string {
+	return []string{"lru", "lfu", "fifo", "slru", "gdsf", "2q", "split"}
+}
+
+// PolicyFactory returns a constructor for the named eviction policy at
+// the given per-cache byte capacity — the shared backend for every tool
+// that takes a -policy/-policies flag. Composite policies use the same
+// fixed parameters throughout the repository: slru protects 80% of
+// capacity, 2q probations 25% with a 4096-key ghost list, split routes
+// <=1 MiB objects to a 1/12-capacity small-object cache.
+func PolicyFactory(name string, capacity int64) (func() Cache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cdn: cache capacity must be positive, got %d", capacity)
+	}
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "lru":
+		return func() Cache { return NewLRU(capacity) }, nil
+	case "lfu":
+		return func() Cache { return NewLFU(capacity) }, nil
+	case "fifo":
+		return func() Cache { return NewFIFO(capacity) }, nil
+	case "slru":
+		if _, err := NewSLRU(capacity, 0.8); err != nil {
+			return nil, err
+		}
+		return func() Cache {
+			c, _ := NewSLRU(capacity, 0.8) // validated above
+			return c
+		}, nil
+	case "gdsf":
+		return func() Cache { return NewGDSF(capacity) }, nil
+	case "2q":
+		if _, err := NewTwoQ(capacity, 0.25, 4096); err != nil {
+			return nil, err
+		}
+		return func() Cache {
+			c, _ := NewTwoQ(capacity, 0.25, 4096) // validated above
+			return c
+		}, nil
+	case "split":
+		mk := func() (Cache, error) {
+			small := NewLRU(capacity / 12)
+			large := NewLRU(capacity - capacity/12)
+			return NewSplitCache(small, large, 1<<20)
+		}
+		if _, err := mk(); err != nil {
+			return nil, err
+		}
+		return func() Cache {
+			c, _ := mk() // validated above
+			return c
+		}, nil
+	default:
+		return nil, fmt.Errorf("cdn: unknown policy %q (want %s)", name, strings.Join(PolicyNames(), ", "))
+	}
+}
 
 // GDSF is a Greedy-Dual-Size-Frequency cache: eviction priority is
 // inflation + frequency/size, so small, frequently-used objects are

@@ -1,0 +1,353 @@
+// Package edge is the live serving path: an HTTP server that maps
+// request URLs to trace objects and serves them from the in-process CDN
+// cache model (internal/cdn), simulating origin fetches on miss with
+// configurable latency and bandwidth. It carries the production
+// robustness the offline simulator never needed — read/write/idle
+// timeouts, a max-connection listener, max-inflight load shedding with
+// 503s, and context-driven graceful drain — so a trace-replay load
+// generator (internal/loadgen) can measure hit ratios, egress and tail
+// latency end to end over a real network stack.
+//
+// All hit/miss/byte accounting goes through cdn.CDN.Serve, so a live
+// replay and an offline CDN.Replay of the same records (in the same
+// order) produce identical aggregate statistics.
+package edge
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"trafficscope/internal/cdn"
+	"trafficscope/internal/obs"
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// DefaultMaxBodyBytes caps how many body bytes a response actually puts
+// on the wire by default. The logical response size always travels in
+// the X-TS-Bytes header; truncating the body keeps loopback benchmarks
+// request-bound rather than memcpy-bound.
+const DefaultMaxBodyBytes = 4096
+
+// Config configures an edge Server.
+type Config struct {
+	// CDN is the cache model serving requests. Required. The Server
+	// serializes access to it (the cdn package is single-threaded).
+	CDN *cdn.CDN
+	// OriginLatency is the simulated origin round-trip added to every
+	// cache miss. Zero disables origin latency simulation.
+	OriginLatency time.Duration
+	// OriginBandwidth is the simulated origin fill bandwidth in
+	// bytes/second; a miss for n bytes stalls n/bandwidth beyond
+	// OriginLatency. Zero means infinite bandwidth.
+	OriginBandwidth int64
+	// MaxBodyBytes caps the on-wire body per response; the logical size
+	// is reported in X-TS-Bytes. Zero defaults to DefaultMaxBodyBytes;
+	// negative sends no body at all.
+	MaxBodyBytes int64
+	// MaxInflight bounds concurrently served object requests; excess
+	// requests are shed with 503 + Retry-After. Zero means unlimited.
+	MaxInflight int
+	// Metrics receives live serving telemetry (request/shed/error
+	// counters, latency histogram, inflight gauge). nil disables it.
+	Metrics *obs.Registry
+}
+
+// Server serves trace objects over HTTP from a CDN cache model.
+type Server struct {
+	cfg      Config
+	mu       sync.Mutex // serializes CDN access
+	cdn      *cdn.CDN
+	inflight chan struct{}
+	body     []byte // repeated payload chunk for body writes
+
+	reqs      *obs.Counter
+	shed      *obs.Counter
+	badReq    *obs.Counter
+	bodyBytes *obs.Counter
+	inflightG *obs.Gauge
+	latency   *obs.Histogram
+}
+
+// New validates the config and builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.CDN == nil {
+		return nil, errors.New("edge: Config.CDN is required")
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.OriginBandwidth < 0 {
+		return nil, errors.New("edge: negative OriginBandwidth")
+	}
+	s := &Server{cfg: cfg, cdn: cfg.CDN}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	// One fixed chunk is written repeatedly for larger bodies.
+	chunk := cfg.MaxBodyBytes
+	if chunk > 64<<10 {
+		chunk = 64 << 10
+	}
+	if chunk > 0 {
+		s.body = make([]byte, chunk)
+		for i := range s.body {
+			s.body[i] = byte('a' + i%26)
+		}
+	}
+	reg := cfg.Metrics
+	s.reqs = reg.Counter("edge_requests_total")
+	s.shed = reg.Counter("edge_shed_total")
+	s.badReq = reg.Counter("edge_bad_requests_total")
+	s.bodyBytes = reg.Counter("edge_body_bytes_total")
+	s.inflightG = reg.Gauge("edge_inflight")
+	s.latency = reg.Histogram("edge_request_seconds", obs.ExpBuckets(50e-6, 2, 22))
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler: /o/... serves objects,
+// /stats reports live per-DC counters as JSON, /healthz answers "ok".
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(ObjectPrefix, s.handleObject)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// TotalStats returns the CDN's aggregate counters (thread-safe).
+func (s *Server) TotalStats() cdn.DCStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cdn.TotalStats()
+}
+
+func (s *Server) handleObject(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			s.inflightG.Add(1)
+			defer func() {
+				<-s.inflight
+				s.inflightG.Add(-1)
+			}()
+		default:
+			// Shed load instead of queueing: an open-loop client is
+			// better served by a fast 503 than by a slow 200.
+			s.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	start := time.Now()
+	s.reqs.Inc()
+	rec, err := ParseRequest(req)
+	if err != nil {
+		s.badReq.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	out := s.cdn.Serve(rec)
+	s.mu.Unlock()
+
+	// Simulate the origin fetch outside the CDN lock so slow origins
+	// stall only their own request, not the whole edge.
+	if out.Cache == trace.CacheMiss {
+		if d := s.originDelay(out.BytesServed); d > 0 {
+			if !sleepCtx(req.Context(), d) {
+				return // client gave up mid-fetch
+			}
+		}
+	}
+
+	h := w.Header()
+	h.Set(HeaderCache, out.Cache.String())
+	h.Set(HeaderBytes, strconv.FormatInt(out.BytesServed, 10))
+	h.Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(out.StatusCode)
+	if req.Method == http.MethodGet && out.BytesServed > 0 && len(s.body) > 0 &&
+		out.StatusCode != cdn.StatusNotModified {
+		n := out.BytesServed
+		if n > s.cfg.MaxBodyBytes {
+			n = s.cfg.MaxBodyBytes
+		}
+		var written int64
+		for written < n {
+			chunk := s.body
+			if rem := n - written; rem < int64(len(chunk)) {
+				chunk = chunk[:rem]
+			}
+			m, err := w.Write(chunk)
+			written += int64(m)
+			if err != nil {
+				break
+			}
+		}
+		s.bodyBytes.Add(written)
+	}
+	s.latency.Observe(time.Since(start).Seconds())
+}
+
+// originDelay computes the simulated origin fetch time for a miss
+// serving n logical bytes.
+func (s *Server) originDelay(n int64) time.Duration {
+	d := s.cfg.OriginLatency
+	if s.cfg.OriginBandwidth > 0 && n > 0 {
+		d += time.Duration(float64(n) / float64(s.cfg.OriginBandwidth) * float64(time.Second))
+	}
+	return d
+}
+
+// sleepCtx sleeps d, returning false if ctx was cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// statsReply is the /stats JSON document.
+type statsReply struct {
+	Total    cdn.DCStats            `json:"total"`
+	HitRatio float64                `json:"hit_ratio"`
+	PerDC    map[string]cdn.DCStats `json:"per_dc"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	total := s.cdn.TotalStats()
+	perDC := map[string]cdn.DCStats{}
+	for _, r := range timeutil.AllRegions() {
+		if dc := s.cdn.DC(r); dc != nil {
+			perDC[r.String()] = dc.Stats
+		}
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(statsReply{Total: total, HitRatio: total.HitRatio(), PerDC: perDC})
+}
+
+// ListenConfig configures the networked serving loop.
+type ListenConfig struct {
+	// Addr is the TCP listen address (":8080", "127.0.0.1:0", ...).
+	Addr string
+	// ReadTimeout/WriteTimeout/IdleTimeout harden the http.Server; zero
+	// values default to 5s / 30s / 2m.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+	// MaxConns bounds concurrently accepted TCP connections at the
+	// listener (0 = unlimited).
+	MaxConns int
+	// DrainTimeout bounds the graceful drain after ctx is cancelled;
+	// zero defaults to 10s.
+	DrainTimeout time.Duration
+	// OnReady, if set, is called with the bound address once the
+	// listener is open — how callers learn the port of Addr ":0".
+	OnReady func(addr string)
+}
+
+// ListenAndServe serves until ctx is cancelled, then drains gracefully:
+// the listener closes, in-flight requests finish (bounded by
+// DrainTimeout), and nil is returned. A non-nil error means the listener
+// or server failed.
+func (s *Server) ListenAndServe(ctx context.Context, lc ListenConfig) error {
+	if lc.ReadTimeout == 0 {
+		lc.ReadTimeout = 5 * time.Second
+	}
+	if lc.WriteTimeout == 0 {
+		lc.WriteTimeout = 30 * time.Second
+	}
+	if lc.IdleTimeout == 0 {
+		lc.IdleTimeout = 2 * time.Minute
+	}
+	if lc.DrainTimeout == 0 {
+		lc.DrainTimeout = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", lc.Addr)
+	if err != nil {
+		return err
+	}
+	if lc.MaxConns > 0 {
+		ln = LimitListener(ln, lc.MaxConns)
+	}
+	if lc.OnReady != nil {
+		lc.OnReady(ln.Addr().String())
+	}
+	srv := &http.Server{
+		Handler:      s.Handler(),
+		ReadTimeout:  lc.ReadTimeout,
+		WriteTimeout: lc.WriteTimeout,
+		IdleTimeout:  lc.IdleTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		dctx, cancel := context.WithTimeout(context.Background(), lc.DrainTimeout)
+		defer cancel()
+		err := srv.Shutdown(dctx)
+		<-errc // srv.Serve returns http.ErrServerClosed
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		return nil
+	}
+}
+
+// LimitListener bounds the number of simultaneously accepted
+// connections on ln to n; further accepts block until a connection
+// closes. (Same contract as golang.org/x/net/netutil.LimitListener,
+// reimplemented to keep the repo dependency-free.)
+func LimitListener(ln net.Listener, n int) net.Listener {
+	return &limitListener{Listener: ln, sem: make(chan struct{}, n)}
+}
+
+type limitListener struct {
+	net.Listener
+	sem chan struct{}
+}
+
+func (l *limitListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	return &limitConn{Conn: c, sem: l.sem}, nil
+}
+
+type limitConn struct {
+	net.Conn
+	sem  chan struct{}
+	once sync.Once
+}
+
+func (c *limitConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(func() { <-c.sem })
+	return err
+}

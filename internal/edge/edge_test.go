@@ -1,0 +1,329 @@
+package edge
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"trafficscope/internal/cdn"
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+func testRecord() *trace.Record {
+	return &trace.Record{
+		Timestamp:   time.Date(2016, 4, 12, 9, 30, 0, 123456000, time.UTC),
+		Publisher:   "V-1",
+		ObjectID:    0xdeadbeefcafe,
+		FileType:    "mp4",
+		ObjectSize:  5 << 20,
+		BytesServed: 1 << 20,
+		UserID:      0xabc123,
+		Region:      timeutil.RegionEurope,
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	recs := []*trace.Record{
+		testRecord(),
+		{ // zero BytesServed: the bytes param stays off the wire
+			Timestamp:  time.Unix(0, 1000).UTC(),
+			Publisher:  "P-2",
+			ObjectID:   1,
+			FileType:   "jpg",
+			ObjectSize: 4096,
+			UserID:     7,
+			Region:     timeutil.RegionNorthAmerica,
+		},
+		{ // publisher needing path escaping
+			Timestamp:  time.Unix(1700000000, 0).UTC(),
+			Publisher:  "weird/site name",
+			ObjectID:   ^uint64(0),
+			FileType:   "html",
+			ObjectSize: 1,
+			UserID:     ^uint64(0),
+			Region:     timeutil.RegionAsia,
+		},
+	}
+	for _, want := range recs {
+		path := RequestPath(want)
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		got, err := ParseRequest(req)
+		if err != nil {
+			t.Fatalf("ParseRequest(%q): %v", path, err)
+		}
+		if !got.Timestamp.Equal(want.Timestamp) {
+			t.Errorf("%q: timestamp %v, want %v", path, got.Timestamp, want.Timestamp)
+		}
+		if got.Publisher != want.Publisher || got.ObjectID != want.ObjectID ||
+			got.FileType != want.FileType || got.ObjectSize != want.ObjectSize ||
+			got.BytesServed != want.BytesServed || got.UserID != want.UserID ||
+			got.Region != want.Region {
+			t.Errorf("%q: round trip mismatch:\n got %+v\nwant %+v", path, got, want)
+		}
+	}
+}
+
+func TestParseRequestRejectsBadInput(t *testing.T) {
+	good := RequestPath(testRecord())
+	bad := []string{
+		"/other/path",
+		ObjectPrefix + "nopublisher",
+		ObjectPrefix + "V-1/zzzz?ts=1&ft=mp4&size=1&user=1&region=0",
+		strings.Replace(good, "ts=", "ts=xx", 1),
+		strings.Replace(good, "size=", "size=-", 1),
+		strings.Replace(good, "user=", "user=zz", 1),
+		strings.Replace(good, "region=", "region=zz", 1),
+		strings.Replace(good, "ft=mp4", "ft=", 1),
+	}
+	for _, p := range bad {
+		req := httptest.NewRequest(http.MethodGet, p, nil)
+		if _, err := ParseRequest(req); err == nil {
+			t.Errorf("ParseRequest(%q): want error, got nil", p)
+		}
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.CDN == nil {
+		cfg.CDN = cdn.New(cdn.Config{
+			NewCache:   func() cdn.Cache { return cdn.NewLRU(64 << 20) },
+			ChunkBytes: -1,
+		})
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHandlerServesObject(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rec := testRecord()
+	// First request misses, second hits the same (non-chunked) object.
+	for i, want := range []string{trace.CacheMiss.String(), trace.CacheHit.String()} {
+		resp, err := http.Get(ts.URL + RequestPath(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPartialContent {
+			t.Fatalf("request %d: status %d, want %d", i, resp.StatusCode, http.StatusPartialContent)
+		}
+		if got := resp.Header.Get(HeaderCache); got != want {
+			t.Errorf("request %d: %s = %q, want %q", i, HeaderCache, got, want)
+		}
+		if got := resp.Header.Get(HeaderBytes); got != fmt.Sprint(rec.BytesServed) {
+			t.Errorf("request %d: %s = %q, want %d", i, HeaderBytes, got, rec.BytesServed)
+		}
+		// The logical size exceeds MaxBodyBytes, so the wire body is
+		// truncated to exactly the cap.
+		if int64(len(body)) != DefaultMaxBodyBytes {
+			t.Errorf("request %d: body %d bytes, want %d", i, len(body), DefaultMaxBodyBytes)
+		}
+	}
+	st := s.TotalStats()
+	if st.Requests != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 requests, 1 hit, 1 miss", st)
+	}
+}
+
+func TestHandlerRejects(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+RequestPath(testRecord()), "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d, want %d", resp.StatusCode, http.StatusMethodNotAllowed)
+	}
+
+	resp, err = http.Get(ts.URL + ObjectPrefix + "V-1/nothex?ts=1&ft=mp4&size=1&user=1&region=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad object id: status %d, want %d", resp.StatusCode, http.StatusBadRequest)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New without CDN: want error")
+	}
+	network := cdn.New(cdn.Config{NewCache: func() cdn.Cache { return cdn.NewLRU(1 << 20) }})
+	if _, err := New(Config{CDN: network, OriginBandwidth: -1}); err == nil {
+		t.Error("New with negative OriginBandwidth: want error")
+	}
+}
+
+func TestLoadShedding(t *testing.T) {
+	// MaxInflight 1 plus a slow origin: with two concurrent misses, one
+	// request must be shed with 503 + Retry-After.
+	s := newTestServer(t, Config{
+		MaxInflight:   1,
+		OriginLatency: 300 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rec1, rec2 := testRecord(), testRecord()
+	rec2.ObjectID++ // distinct objects so both requests miss and stall
+	var mu sync.Mutex
+	statuses := map[int]int{}
+	var wg sync.WaitGroup
+	for _, rec := range []*trace.Record{rec1, rec2} {
+		wg.Add(1)
+		go func(rec *trace.Record) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + RequestPath(rec))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			mu.Lock()
+			statuses[resp.StatusCode]++
+			if resp.StatusCode == http.StatusServiceUnavailable &&
+				resp.Header.Get("Retry-After") == "" {
+				t.Error("503 without Retry-After")
+			}
+			mu.Unlock()
+		}(rec)
+		time.Sleep(50 * time.Millisecond) // first request reaches the origin stall
+	}
+	wg.Wait()
+	if statuses[http.StatusServiceUnavailable] != 1 {
+		t.Errorf("statuses = %v, want exactly one 503", statuses)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, err := http.Get(ts.URL + RequestPath(testRecord())); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var reply struct {
+		Total    cdn.DCStats            `json:"total"`
+		HitRatio float64                `json:"hit_ratio"`
+		PerDC    map[string]cdn.DCStats `json:"per_dc"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Total.Requests != 1 {
+		t.Errorf("total.requests = %d, want 1", reply.Total.Requests)
+	}
+	if dc := reply.PerDC[timeutil.RegionEurope.String()]; dc.Requests != 1 {
+		t.Errorf("per_dc[Europe].requests = %d, want 1 (got %+v)", dc.Requests, reply.PerDC)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- s.ListenAndServe(ctx, ListenConfig{
+			Addr:         "127.0.0.1:0",
+			DrainTimeout: 2 * time.Second,
+			OnReady:      func(addr string) { ready <- addr },
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Errorf("drained server returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not drain after cancel")
+	}
+}
+
+func TestLimitListenerBoundsConns(t *testing.T) {
+	// With MaxConns 1 and keep-alive connections, a second dial must not
+	// complete its request until the first connection closes.
+	s := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	go s.ListenAndServe(ctx, ListenConfig{
+		Addr:     "127.0.0.1:0",
+		MaxConns: 1,
+		OnReady:  func(addr string) { ready <- addr },
+	})
+	addr := <-ready
+
+	c1 := &http.Client{Transport: &http.Transport{DisableKeepAlives: false}}
+	resp, err := c1.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// The first client's idle keep-alive connection still holds the slot:
+	// a fresh client's request should time out.
+	c2 := &http.Client{Timeout: 300 * time.Millisecond}
+	if _, err := c2.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("second connection served while limit held, want timeout")
+	}
+
+	// Releasing the first connection frees the slot.
+	c1.CloseIdleConnections()
+	c3 := &http.Client{Timeout: 2 * time.Second}
+	resp, err = c3.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

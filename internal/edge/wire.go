@@ -1,0 +1,125 @@
+package edge
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// The wire mapping between trace records and HTTP requests. A record is
+// addressed as
+//
+//	GET /o/<publisher>/<objectID hex>?ts=<µs>&ft=<ext>&size=<n>[&bytes=<n>]&user=<hex>&region=<n>
+//
+// carrying every field the CDN serve path consults (timestamp, object
+// identity and size, requested byte count, user identity, region), so a
+// loadgen replaying a trace over the network drives the edge's caches
+// exactly as an offline CDN.Replay of the same records would. Fields the
+// serve path ignores (the user agent) stay off the wire.
+
+// ObjectPrefix is the URL path prefix object requests live under.
+const ObjectPrefix = "/o/"
+
+// Response headers carrying the logical serve outcome. The on-wire body
+// may be truncated (see Config.MaxBodyBytes); these headers always hold
+// the full logical values.
+const (
+	// HeaderCache is the edge cache verdict: HIT, MISS or "-".
+	HeaderCache = "X-TS-Cache"
+	// HeaderBytes is the logical response size in bytes.
+	HeaderBytes = "X-TS-Bytes"
+)
+
+// RequestPath encodes a trace record as an edge request URI (path plus
+// query). ParseRequest inverts it.
+func RequestPath(r *trace.Record) string {
+	var b strings.Builder
+	b.Grow(96)
+	b.WriteString(ObjectPrefix)
+	b.WriteString(url.PathEscape(r.Publisher))
+	b.WriteByte('/')
+	fmt.Fprintf(&b, "%016x", r.ObjectID)
+	b.WriteString("?ts=")
+	b.WriteString(strconv.FormatInt(r.Timestamp.UnixMicro(), 10))
+	b.WriteString("&ft=")
+	b.WriteString(url.QueryEscape(string(r.FileType)))
+	b.WriteString("&size=")
+	b.WriteString(strconv.FormatInt(r.ObjectSize, 10))
+	if r.BytesServed > 0 {
+		b.WriteString("&bytes=")
+		b.WriteString(strconv.FormatInt(r.BytesServed, 10))
+	}
+	b.WriteString("&user=")
+	b.WriteString(strconv.FormatUint(r.UserID, 16))
+	b.WriteString("&region=")
+	b.WriteString(strconv.Itoa(int(r.Region)))
+	return b.String()
+}
+
+// ParseRequest decodes an edge request back into the trace record it was
+// encoded from. The record's response fields (StatusCode, Cache) are
+// zero; the CDN serve path fills them in.
+func ParseRequest(req *http.Request) (*trace.Record, error) {
+	// Split on the escaped form so a %2F inside the publisher name is
+	// not mistaken for the publisher/object separator.
+	rest, ok := strings.CutPrefix(req.URL.EscapedPath(), ObjectPrefix)
+	if !ok {
+		return nil, fmt.Errorf("edge: path %q outside %s", req.URL.Path, ObjectPrefix)
+	}
+	pubEsc, objHex, ok := strings.Cut(rest, "/")
+	if !ok || pubEsc == "" || objHex == "" {
+		return nil, fmt.Errorf("edge: path %q: want %s<publisher>/<objectID>", req.URL.Path, ObjectPrefix)
+	}
+	pub, err := url.PathUnescape(pubEsc)
+	if err != nil {
+		return nil, fmt.Errorf("edge: bad publisher %q: %v", pubEsc, err)
+	}
+	objectID, err := strconv.ParseUint(objHex, 16, 64)
+	if err != nil {
+		return nil, fmt.Errorf("edge: bad object id %q: %v", objHex, err)
+	}
+	q := req.URL.Query()
+	ts, err := strconv.ParseInt(q.Get("ts"), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("edge: bad ts %q: %v", q.Get("ts"), err)
+	}
+	size, err := strconv.ParseInt(q.Get("size"), 10, 64)
+	if err != nil || size < 0 {
+		return nil, fmt.Errorf("edge: bad size %q", q.Get("size"))
+	}
+	var bytesServed int64
+	if v := q.Get("bytes"); v != "" {
+		bytesServed, err = strconv.ParseInt(v, 10, 64)
+		if err != nil || bytesServed < 0 {
+			return nil, fmt.Errorf("edge: bad bytes %q", v)
+		}
+	}
+	userID, err := strconv.ParseUint(q.Get("user"), 16, 64)
+	if err != nil {
+		return nil, fmt.Errorf("edge: bad user %q: %v", q.Get("user"), err)
+	}
+	region, err := strconv.Atoi(q.Get("region"))
+	if err != nil {
+		return nil, fmt.Errorf("edge: bad region %q", q.Get("region"))
+	}
+	ft := trace.FileType(q.Get("ft"))
+	if ft == "" {
+		return nil, fmt.Errorf("edge: missing ft")
+	}
+	return &trace.Record{
+		Timestamp:   time.UnixMicro(ts).UTC(),
+		Publisher:   pub,
+		ObjectID:    objectID,
+		FileType:    ft,
+		ObjectSize:  size,
+		BytesServed: bytesServed,
+		UserID:      userID,
+		Region:      timeutil.Region(region),
+	}, nil
+}

@@ -1,0 +1,113 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"trafficscope/internal/cdn"
+	"trafficscope/internal/edge"
+	"trafficscope/internal/synth"
+	"trafficscope/internal/trace"
+)
+
+// newE2ECDN builds one CDN config used by both the offline replay and the
+// live edge. Both sides must be configured identically for the equality
+// assertion to be meaningful.
+func newE2ECDN() *cdn.CDN {
+	return cdn.New(cdn.Config{
+		NewCache:   func() cdn.Cache { return cdn.NewLRU(256 << 20) },
+		ChunkBytes: 2 << 20,
+	})
+}
+
+// TestLiveReplayMatchesOffline is the end-to-end acceptance test of the
+// live serving stack: loadgen replaying a synthetic trace over real HTTP
+// against an edge server must produce aggregate CDN statistics identical
+// to an offline CDN.Replay of the same records.
+//
+// The CDN model is order-sensitive (per-user request sequencing, cache
+// eviction order), so the live replay runs with one worker and no pacing
+// — same records, same order, different transport.
+func TestLiveReplayMatchesOffline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a few thousand records over HTTP")
+	}
+	gen, err := synth.NewGenerator(synth.Config{Seed: 42, Scale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.SortByTime(recs)
+	t.Logf("replaying %d records", len(recs))
+
+	// Offline pass: the reference statistics.
+	offline := newE2ECDN()
+	replayed, err := offline.ReplayAll(trace.NewSliceReader(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := offline.TotalStats()
+	wantBySite := map[string]int64{}
+	for _, r := range replayed {
+		wantBySite[r.Publisher]++
+	}
+
+	// Live pass: same records through an edge server over HTTP.
+	liveCDN := newE2ECDN()
+	srv, err := edge.New(edge.Config{CDN: liveCDN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	st, err := Run(context.Background(), Config{
+		Target:  ts.URL,
+		Workers: 1, // preserve record order — see doc comment
+		Speedup: 0,
+	}, trace.NewSliceReader(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("live replay had %d transport errors", st.Errors)
+	}
+	if st.Requests != int64(len(recs)) {
+		t.Fatalf("live replay completed %d requests, want %d", st.Requests, len(recs))
+	}
+	if st.Shed != 0 {
+		t.Fatalf("live replay had %d shed requests (no MaxInflight configured)", st.Shed)
+	}
+
+	// The edge's CDN counters must equal the offline replay's exactly.
+	gotTotal := srv.TotalStats()
+	if gotTotal != wantTotal {
+		t.Errorf("live CDN stats = %+v\nwant (offline)  %+v", gotTotal, wantTotal)
+	}
+
+	// Client-observed aggregates must agree with the CDN's own counters.
+	if st.Hits != wantTotal.Hits || st.Misses != wantTotal.Misses {
+		t.Errorf("client observed %d hits / %d misses, want %d / %d",
+			st.Hits, st.Misses, wantTotal.Hits, wantTotal.Misses)
+	}
+	if st.LogicalBytes != wantTotal.EgressBytes {
+		t.Errorf("client logical bytes = %d, want egress %d", st.LogicalBytes, wantTotal.EgressBytes)
+	}
+	if st.HitRatio() != wantTotal.HitRatio() {
+		t.Errorf("client hit ratio = %v, want %v", st.HitRatio(), wantTotal.HitRatio())
+	}
+
+	// Per-site request counts match the offline replay.
+	if len(st.BySite) != len(wantBySite) {
+		t.Errorf("live replay saw %d sites, want %d", len(st.BySite), len(wantBySite))
+	}
+	for site, want := range wantBySite {
+		if got := st.BySite[site]; got != want {
+			t.Errorf("site %s: %d requests, want %d", site, got, want)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package loadgen replays trace records over real HTTP against an edge
+// server (internal/edge), turning the repository's offline traces into
+// live traffic. It is an open-loop generator: a scheduler paces request
+// dispatch by the trace's own timestamps compressed through a virtual
+// clock (Speedup), and a worker pool issues the requests — so a slow
+// server faces a growing backlog instead of a politely waiting client,
+// which is how real user populations behave.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trafficscope/internal/edge"
+	"trafficscope/internal/obs"
+	"trafficscope/internal/trace"
+)
+
+// Config configures a load generation run.
+type Config struct {
+	// Target is the edge server's base URL (e.g. "http://127.0.0.1:8080").
+	Target string
+	// Speedup compresses trace time into wall time: 3600 replays an hour
+	// of trace per wall second. Zero or negative disables pacing —
+	// records dispatch as fast as the workers can send them.
+	Speedup float64
+	// Workers is the request worker pool size. Zero defaults to
+	// 2*GOMAXPROCS.
+	Workers int
+	// Timeout is the per-request deadline. Zero defaults to 10s.
+	Timeout time.Duration
+	// Retries is how many times a request is retried after a transport
+	// (connection) error; HTTP error statuses are never retried.
+	Retries int
+	// Backoff is the initial retry backoff, doubling per attempt. Zero
+	// defaults to 20ms.
+	Backoff time.Duration
+	// QueueDepth bounds the scheduler→worker dispatch buffer. Zero
+	// defaults to 4*Workers.
+	QueueDepth int
+	// Client overrides the HTTP client (tests); nil builds a keep-alive
+	// client sized to the worker pool.
+	Client *http.Client
+	// Metrics receives live telemetry (request/error/retry counters and
+	// the latency histogram). nil keeps telemetry internal; the final
+	// Stats are populated either way.
+	Metrics *obs.Registry
+}
+
+// latencyMetric is the histogram name the run records latencies under.
+const latencyMetric = "loadgen_latency_seconds"
+
+// Stats summarizes a completed (or interrupted) run. Requests counts
+// completed HTTP exchanges of any status; Errors counts records whose
+// request still failed at the transport level after retries.
+type Stats struct {
+	Requests     int64            `json:"requests"`
+	Errors       int64            `json:"errors"`
+	Retries      int64            `json:"retries"`
+	Hits         int64            `json:"hits"`
+	Misses       int64            `json:"misses"`
+	Shed         int64            `json:"shed"` // 503 responses from edge load shedding
+	LogicalBytes int64            `json:"logical_bytes"`
+	WireBytes    int64            `json:"wire_bytes"`
+	BySite       map[string]int64 `json:"by_site"`
+	ByStatus     map[int]int64    `json:"by_status"`
+	Duration     time.Duration    `json:"duration"`
+	// Latency holds the response-time histogram of completed exchanges;
+	// use Latency.Quantile for p50/p99.
+	Latency obs.HistogramValue `json:"latency"`
+}
+
+// RPS returns completed requests per wall-clock second.
+func (s *Stats) RPS() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Requests) / s.Duration.Seconds()
+}
+
+// HitRatio returns hits/(hits+misses) as observed from response headers.
+func (s *Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// run carries one run's shared state across scheduler and workers.
+type run struct {
+	cfg    Config
+	base   string
+	client *http.Client
+
+	requests, errors, retries   atomic.Int64
+	hits, misses, shed          atomic.Int64
+	logicalBytes, wireBytes     atomic.Int64
+	mu                          sync.Mutex // guards the maps below
+	bySite                      map[string]int64
+	byStatus                    map[int]int64
+	latency                     *obs.Histogram
+	sentC, errC, retryC, bytesC *obs.Counter
+}
+
+// Run replays records from r against cfg.Target until the trace ends or
+// ctx is cancelled. It always returns the Stats gathered so far; the
+// error is non-nil for a trace read failure, cancellation, or an
+// unusable config.
+func Run(ctx context.Context, cfg Config, r trace.Reader) (*Stats, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("loadgen: Config.Target is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 20 * time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry() // latency quantiles need a histogram either way
+	}
+	rn := &run{
+		cfg:      cfg,
+		base:     strings.TrimSuffix(cfg.Target, "/"),
+		client:   cfg.Client,
+		bySite:   map[string]int64{},
+		byStatus: map[int]int64{},
+		latency:  reg.Histogram(latencyMetric, obs.ExpBuckets(50e-6, 1.6, 40)),
+		sentC:    reg.Counter("loadgen_requests_total"),
+		errC:     reg.Counter("loadgen_errors_total"),
+		retryC:   reg.Counter("loadgen_retries_total"),
+		bytesC:   reg.Counter("loadgen_logical_bytes_total"),
+	}
+	if rn.client == nil {
+		rn.client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Workers + 2,
+				MaxIdleConnsPerHost: cfg.Workers + 2,
+				IdleConnTimeout:     time.Minute,
+			},
+		}
+	}
+
+	jobs := make(chan *trace.Record, cfg.QueueDepth)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rec := range jobs {
+				rn.one(ctx, rec)
+			}
+		}()
+	}
+
+	start := time.Now()
+	readErr := rn.schedule(ctx, r, jobs, start)
+	close(jobs)
+	wg.Wait()
+
+	st := rn.stats(time.Since(start), reg)
+	if readErr != nil {
+		return st, readErr
+	}
+	return st, ctx.Err()
+}
+
+// schedule reads records and dispatches them at their virtual send
+// times. It returns the first trace read error, nil otherwise.
+func (rn *run) schedule(ctx context.Context, r trace.Reader, jobs chan<- *trace.Record, start time.Time) error {
+	var t0 time.Time
+	first := true
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("loadgen: trace read: %w", err)
+		}
+		if rn.cfg.Speedup > 0 {
+			if first {
+				t0 = rec.Timestamp
+				first = false
+			}
+			target := start.Add(time.Duration(float64(rec.Timestamp.Sub(t0)) / rn.cfg.Speedup))
+			if d := time.Until(target); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return nil
+				}
+			}
+		}
+		select {
+		case jobs <- rec:
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// one issues a single record's request, retrying transport errors with
+// exponential backoff.
+func (rn *run) one(ctx context.Context, rec *trace.Record) {
+	url := rn.base + edge.RequestPath(rec)
+	backoff := rn.cfg.Backoff
+	for attempt := 0; ; attempt++ {
+		rctx, cancel := context.WithTimeout(ctx, rn.cfg.Timeout)
+		req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
+		if err != nil {
+			cancel()
+			rn.errors.Add(1)
+			rn.errC.Inc()
+			return
+		}
+		startReq := time.Now()
+		resp, err := rn.client.Do(req)
+		if err != nil {
+			cancel()
+			if ctx.Err() != nil || attempt >= rn.cfg.Retries {
+				rn.errors.Add(1)
+				rn.errC.Inc()
+				return
+			}
+			rn.retries.Add(1)
+			rn.retryC.Inc()
+			if !sleepCtx(ctx, backoff) {
+				rn.errors.Add(1)
+				rn.errC.Inc()
+				return
+			}
+			backoff *= 2
+			continue
+		}
+		wire, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		cancel()
+		rn.latency.Observe(time.Since(startReq).Seconds())
+		rn.record(rec, resp, wire)
+		return
+	}
+}
+
+// record folds one completed exchange into the run counters.
+func (rn *run) record(rec *trace.Record, resp *http.Response, wire int64) {
+	rn.requests.Add(1)
+	rn.sentC.Inc()
+	rn.wireBytes.Add(wire)
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		rn.shed.Add(1)
+	}
+	switch resp.Header.Get(edge.HeaderCache) {
+	case trace.CacheHit.String():
+		rn.hits.Add(1)
+	case trace.CacheMiss.String():
+		rn.misses.Add(1)
+	}
+	if v := resp.Header.Get(edge.HeaderBytes); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			rn.logicalBytes.Add(n)
+			rn.bytesC.Add(n)
+		}
+	}
+	rn.mu.Lock()
+	rn.bySite[rec.Publisher]++
+	rn.byStatus[resp.StatusCode]++
+	rn.mu.Unlock()
+}
+
+func (rn *run) stats(elapsed time.Duration, reg *obs.Registry) *Stats {
+	st := &Stats{
+		Requests:     rn.requests.Load(),
+		Errors:       rn.errors.Load(),
+		Retries:      rn.retries.Load(),
+		Hits:         rn.hits.Load(),
+		Misses:       rn.misses.Load(),
+		Shed:         rn.shed.Load(),
+		LogicalBytes: rn.logicalBytes.Load(),
+		WireBytes:    rn.wireBytes.Load(),
+		BySite:       map[string]int64{},
+		ByStatus:     map[int]int64{},
+		Duration:     elapsed,
+		Latency:      reg.Snapshot().Histograms[latencyMetric],
+	}
+	rn.mu.Lock()
+	for k, v := range rn.bySite {
+		st.BySite[k] = v
+	}
+	for k, v := range rn.byStatus {
+		st.ByStatus[k] = v
+	}
+	rn.mu.Unlock()
+	return st
+}
+
+// sleepCtx sleeps d, returning false if ctx was cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,212 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trafficscope/internal/edge"
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// makeRecords builds n well-formed records spaced dt apart in trace time.
+func makeRecords(n int, dt time.Duration) []*trace.Record {
+	t0 := time.Date(2016, 4, 12, 0, 0, 0, 0, time.UTC)
+	recs := make([]*trace.Record, n)
+	for i := range recs {
+		recs[i] = &trace.Record{
+			Timestamp:  t0.Add(time.Duration(i) * dt),
+			Publisher:  "V-1",
+			ObjectID:   uint64(i),
+			FileType:   "jpg",
+			ObjectSize: 1024,
+			UserID:     uint64(i % 3),
+			Region:     timeutil.RegionNorthAmerica,
+		}
+	}
+	return recs
+}
+
+// deadTarget returns a URL with nothing listening on it.
+func deadTarget(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return "http://" + addr
+}
+
+func TestRunRequiresTarget(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}, trace.NewSliceReader(nil)); err == nil {
+		t.Fatal("Run without Target: want error")
+	}
+}
+
+func TestRetriesAndErrors(t *testing.T) {
+	const n, retries = 4, 2
+	st, err := Run(context.Background(), Config{
+		Target:  deadTarget(t),
+		Workers: 2,
+		Retries: retries,
+		Backoff: time.Millisecond,
+		Timeout: time.Second,
+	}, trace.NewSliceReader(makeRecords(n, 0)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Errors != n {
+		t.Errorf("errors = %d, want %d (every record fails)", st.Errors, n)
+	}
+	if st.Requests != 0 {
+		t.Errorf("requests = %d, want 0 (nothing completed)", st.Requests)
+	}
+	if st.Retries != n*retries {
+		t.Errorf("retries = %d, want %d (%d per record)", st.Retries, n*retries, retries)
+	}
+}
+
+func TestStatusesAreNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	const n = 5
+	st, err := Run(context.Background(), Config{
+		Target:  ts.URL,
+		Retries: 3,
+	}, trace.NewSliceReader(makeRecords(n, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != n {
+		t.Errorf("server saw %d requests, want %d (HTTP errors must not retry)", got, n)
+	}
+	if st.Requests != n || st.Errors != 0 || st.Retries != 0 {
+		t.Errorf("stats = %+v, want %d completed requests and no errors/retries", st, n)
+	}
+	if st.ByStatus[http.StatusInternalServerError] != n {
+		t.Errorf("byStatus[500] = %d, want %d", st.ByStatus[http.StatusInternalServerError], n)
+	}
+}
+
+func TestResponseAccounting(t *testing.T) {
+	// A synthetic edge: odd object IDs hit with 100 logical bytes, even
+	// IDs are shed with 503.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec, err := edge.ParseRequest(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if rec.ObjectID%2 == 0 {
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set(edge.HeaderCache, trace.CacheHit.String())
+		w.Header().Set(edge.HeaderBytes, strconv.Itoa(100))
+		w.Write([]byte("hello"))
+	}))
+	defer ts.Close()
+
+	const n = 6
+	st, err := Run(context.Background(), Config{Target: ts.URL}, trace.NewSliceReader(makeRecords(n, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != n || st.Shed != n/2 || st.Hits != n/2 {
+		t.Errorf("stats = %+v, want %d requests, %d shed, %d hits", st, n, n/2, n/2)
+	}
+	if st.LogicalBytes != 100*(n/2) {
+		t.Errorf("logical bytes = %d, want %d", st.LogicalBytes, 100*(n/2))
+	}
+	if st.WireBytes != 5*(n/2)+int64(len("overloaded\n"))*(n/2) {
+		t.Errorf("wire bytes = %d", st.WireBytes)
+	}
+	if st.BySite["V-1"] != n {
+		t.Errorf("bySite = %v, want V-1:%d", st.BySite, n)
+	}
+	if st.Latency.Count != n {
+		t.Errorf("latency count = %d, want %d", st.Latency.Count, n)
+	}
+	if st.RPS() <= 0 {
+		t.Errorf("RPS = %v, want > 0", st.RPS())
+	}
+}
+
+func TestOpenLoopPacing(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	// 11 records spaced 1 trace-second apart at 25x speedup: the last
+	// dispatch happens 400ms after the first. Without pacing this trace
+	// replays in a few milliseconds.
+	start := time.Now()
+	st, err := Run(context.Background(), Config{
+		Target:  ts.URL,
+		Speedup: 25,
+		Workers: 4,
+	}, trace.NewSliceReader(makeRecords(11, time.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 11 {
+		t.Fatalf("requests = %d, want 11", st.Requests)
+	}
+	if elapsed := time.Since(start); elapsed < 350*time.Millisecond {
+		t.Errorf("paced replay finished in %v, want >= ~400ms", elapsed)
+	}
+}
+
+func TestCancelStopsDispatch(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		<-release
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var st *Stats
+	var runErr error
+	go func() {
+		defer close(done)
+		st, runErr = Run(ctx, Config{
+			Target:  ts.URL,
+			Workers: 1,
+			Timeout: 50 * time.Millisecond,
+			Speedup: 1, // trace spans 1000s: cancellation must cut it short
+		}, trace.NewSliceReader(makeRecords(1000, time.Second)))
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	if runErr != context.Canceled {
+		t.Errorf("Run returned %v, want context.Canceled", runErr)
+	}
+	if st == nil {
+		t.Fatal("Run returned nil stats on cancellation")
+	}
+	if total := st.Requests + st.Errors; total >= 1000 {
+		t.Errorf("replay completed %d records despite cancellation", total)
+	}
+}

@@ -7,14 +7,28 @@
 package cliobs
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"trafficscope/internal/obs"
 	"trafficscope/internal/trace"
 )
+
+// SignalContext returns a context cancelled on the first SIGINT or
+// SIGTERM. Tools thread it through their read/replay/serve loops (see
+// trace.NewContextReader and edge.Server.ListenAndServe) so an
+// interrupt unwinds the run instead of killing the process — deferred
+// Session.Finish still writes the run manifest, and tsserve drains its
+// in-flight requests. A second signal falls back to the default
+// behaviour (immediate death), keeping a hung tool killable.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
 
 // Flags holds the parsed observability flag values.
 type Flags struct {

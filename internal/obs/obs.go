@@ -129,6 +129,44 @@ func (h *Histogram) value() HistogramValue {
 	return out
 }
 
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the bucket
+// counts by linear interpolation within the containing bucket — the
+// standard Prometheus histogram_quantile estimator. Observations in the
+// +Inf bucket clamp to the highest finite bound, so tail quantiles are
+// lower bounds when the histogram saturates.
+func (v HistogramValue) Quantile(q float64) float64 {
+	if v.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(v.Count)
+	var cum, lower float64
+	for i, c := range v.Counts {
+		upper := math.Inf(1)
+		if i < len(v.Bounds) {
+			upper = v.Bounds[i]
+		}
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			if math.IsInf(upper, 1) {
+				return lower
+			}
+			frac := (rank - cum) / float64(c)
+			return lower + (upper-lower)*frac
+		}
+		cum = next
+		if i < len(v.Bounds) {
+			lower = v.Bounds[i]
+		}
+	}
+	return lower
+}
+
 // ExpBuckets returns n bucket upper bounds starting at start and growing
 // by factor — the usual latency-histogram layout.
 func ExpBuckets(start, factor float64, n int) []float64 {

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	var v HistogramValue
+	if got := v.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile(0.5) = %v, want 0", got)
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	// 100 observations spread uniformly over [0, 100) with bounds every
+	// 10: the interpolated quantiles should track q*100 closely.
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	v := reg.Snapshot().Histograms["lat"]
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99} {
+		got := v.Quantile(q)
+		want := q * 100
+		if math.Abs(got-want) > 10 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", q, got, want)
+		}
+	}
+	// Quantiles must be monotone in q.
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := v.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%v) = %v < %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestQuantileClampsToFiniteBounds(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{1, 2})
+	// All observations land in the +Inf bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	v := reg.Snapshot().Histograms["lat"]
+	if got := v.Quantile(0.99); got != 2 {
+		t.Errorf("saturated histogram Quantile(0.99) = %v, want highest finite bound 2", got)
+	}
+}
+
+func TestQuantileClampsQ(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{1, 2, 4})
+	h.Observe(1.5)
+	v := reg.Snapshot().Histograms["lat"]
+	if got := v.Quantile(-1); got < 0 || got > 2 {
+		t.Errorf("Quantile(-1) = %v, want clamped into [0, 2]", got)
+	}
+	if got, want := v.Quantile(2), v.Quantile(1); got != want {
+		t.Errorf("Quantile(2) = %v, want Quantile(1) = %v", got, want)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []float64{10})
+	for i := 0; i < 4; i++ {
+		h.Observe(5)
+	}
+	v := reg.Snapshot().Histograms["lat"]
+	// All mass in [0, 10): the median interpolates to the bucket middle.
+	if got := v.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile(0.5) = %v, want 5", got)
+	}
+}

@@ -1,0 +1,31 @@
+package trace
+
+import "context"
+
+// ContextReader wraps a Reader with context cancellation: once ctx is
+// done, Read returns ctx.Err() instead of the next record. Command-line
+// tools wrap their input streams with it so SIGINT/SIGTERM (propagated
+// as context cancellation by cliobs.SignalContext) unwinds replay and
+// analysis loops cleanly — deferred cleanup still runs and run
+// manifests still get written.
+type ContextReader struct {
+	ctx   context.Context
+	inner Reader
+}
+
+var _ Reader = (*ContextReader)(nil)
+
+// NewContextReader wraps r with ctx.
+func NewContextReader(ctx context.Context, r Reader) *ContextReader {
+	return &ContextReader{ctx: ctx, inner: r}
+}
+
+// Read returns the next record, or ctx.Err() once the context is done.
+func (c *ContextReader) Read() (*Record, error) {
+	select {
+	case <-c.ctx.Done():
+		return nil, c.ctx.Err()
+	default:
+	}
+	return c.inner.Read()
+}
