@@ -855,48 +855,97 @@ func BenchmarkCDNReplay(b *testing.B) {
 	b.SetBytes(int64(len(benchRecs)))
 }
 
-// BenchmarkEdgeServe measures the live serving path end to end: trace
-// records encoded as HTTP requests (edge wire format), served over a
-// loopback socket from the CDN cache model, fanned out across parallel
-// keep-alive clients — the request rate behind `make serve-demo`.
+// BenchmarkEdgeServe measures the live serving path. The http variant
+// is end to end: trace records encoded as HTTP requests (edge wire
+// format), served over a loopback socket from the CDN cache model,
+// fanned out across parallel keep-alive clients — the request rate
+// behind `make serve-demo`. The serve-* pair isolates lock granularity
+// from socket overhead: serve-global-lock is the old serialized edge
+// (one mutex around the whole CDN), serve-per-dc-locks is the
+// ConcurrentCDN layer; their ratio at GOMAXPROCS >= 4 is the tentpole
+// scaling win recorded in EXPERIMENTS.md. Both run the same
+// region-balanced workload so per-DC parallelism is available, and
+// records are handed out by an atomic cursor so goroutine interleaving
+// is the only variable.
 func BenchmarkEdgeServe(b *testing.B) {
 	benchSetup(b)
-	network := cdn.New(cdn.Config{
-		NewCache:   func() cdn.Cache { return cdn.NewLRU(ablationCapacity) },
-		ChunkBytes: 2 << 20,
-	})
-	srv, err := edge.New(edge.Config{CDN: network})
-	if err != nil {
-		b.Fatal(err)
+	mkCDN := func() *cdn.CDN {
+		return cdn.New(cdn.Config{
+			NewCache:   func() cdn.Cache { return cdn.NewLRU(ablationCapacity) },
+			ChunkBytes: 2 << 20,
+		})
 	}
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
-	paths := make([]string, len(benchRecs))
+	// Rebalance regions: synthetic traffic is volume-weighted toward
+	// the paper's biggest regions, which would cap per-DC parallelism
+	// at the largest region's share rather than at lock granularity.
+	regions := timeutil.AllRegions()
+	balanced := make([]*trace.Record, len(benchRecs))
 	for i, r := range benchRecs {
-		paths[i] = ts.URL + edge.RequestPath(r)
+		cp := *r
+		cp.Region = regions[i%len(regions)]
+		balanced[i] = &cp
 	}
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConnsPerHost: 64,
-	}}
-	var served atomic.Int64
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		for pb.Next() {
-			p := paths[served.Add(1)%int64(len(paths))]
-			resp, err := client.Get(p)
-			if err != nil {
-				b.Error(err)
-				return
+
+	b.Run("http", func(b *testing.B) {
+		srv, err := edge.New(edge.Config{CDN: mkCDN()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		paths := make([]string, len(benchRecs))
+		for i, r := range benchRecs {
+			paths[i] = ts.URL + edge.RequestPath(r)
+		}
+		client := &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+		}}
+		var served atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				p := paths[served.Add(1)%int64(len(paths))]
+				resp, err := client.Get(p)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
 			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+		})
+		b.StopTimer()
+		stats := srv.TotalStats()
+		if stats.Requests > 0 {
+			b.ReportMetric(stats.HitRatio()*100, "hit-%")
 		}
 	})
-	b.StopTimer()
-	stats := srv.TotalStats()
-	if stats.Requests > 0 {
-		b.ReportMetric(stats.HitRatio()*100, "hit-%")
-	}
+
+	b.Run("serve-global-lock", func(b *testing.B) {
+		network := mkCDN()
+		var mu sync.Mutex
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				r := balanced[next.Add(1)%int64(len(balanced))]
+				mu.Lock()
+				network.Serve(r)
+				mu.Unlock()
+			}
+		})
+	})
+
+	b.Run("serve-per-dc-locks", func(b *testing.B) {
+		conc := cdn.NewConcurrent(mkCDN())
+		var next atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				conc.Serve(balanced[next.Add(1)%int64(len(balanced))])
+			}
+		})
+	})
 }
 
 // BenchmarkEndToEndStudy measures the full pipeline at a small scale.

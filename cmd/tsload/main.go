@@ -96,6 +96,7 @@ func run() error {
 		extra["requests"] = st.Requests
 		extra["errors"] = st.Errors
 		extra["shed"] = st.Shed
+		extra["cancelled"] = st.Cancelled
 		extra["rps"] = st.RPS()
 		extra["hit_ratio"] = st.HitRatio()
 		extra["logical_bytes"] = st.LogicalBytes
@@ -115,6 +116,7 @@ func printSummary(st *loadgen.Stats) {
 	tab.AddRow("errors", st.Errors)
 	tab.AddRow("retries", st.Retries)
 	tab.AddRow("shed (503)", st.Shed)
+	tab.AddRow("cancelled", st.Cancelled)
 	tab.AddRow("duration", st.Duration.Round(time.Millisecond).String())
 	tab.AddRow("throughput", fmt.Sprintf("%.0f req/s", st.RPS()))
 	tab.AddRow("hit ratio", report.Percent(st.HitRatio()))

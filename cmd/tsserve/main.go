@@ -1,7 +1,9 @@
 // Command tsserve runs the live HTTP edge: it serves trace objects from
 // the in-process CDN cache model over real sockets, simulating origin
-// fetches on miss. Pair it with tsload replaying a tsgen trace for an
-// end-to-end serving benchmark.
+// fetches on miss. Serving is concurrent — one lock per (data center,
+// cache partition), so throughput scales with cores and with the
+// region/publisher spread of the traffic. Pair it with tsload replaying
+// a tsgen trace for an end-to-end serving benchmark.
 //
 // Usage:
 //
@@ -21,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -66,7 +69,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	extra := map[string]any{"addr": *addr, "policy": *policy, "capacity": *capacity, "shards": *shards}
+	extra := map[string]any{
+		"addr": *addr, "policy": *policy, "capacity": *capacity, "shards": *shards,
+		// Serving parallelism is bounded by cores and by lock
+		// granularity (DCs × partitions); record both in the manifest.
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+	}
 	defer sess.Finish(extra)
 
 	factory, err := cacheFactory(*policy, *capacity, *shards)

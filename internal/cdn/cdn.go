@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"trafficscope/internal/obs"
@@ -86,15 +88,12 @@ type dcMetrics struct {
 	cacheBytes  *obs.Gauge
 }
 
-// cacheFor returns the cache serving a publisher at this DC.
-func (dc *DataCenter) cacheFor(publisher string) Cache {
-	if c, ok := dc.PublisherCache[publisher]; ok {
-		return c
-	}
-	return dc.Cache
-}
-
-// DCStats carries per-DC counters.
+// DCStats carries per-DC counters. During serving the fields are updated
+// with atomic adds (so ConcurrentCDN can share them across goroutines);
+// read a consistent copy through DataCenter.StatsSnapshot or
+// CDN.TotalStats while traffic is in flight. Once serving has stopped the
+// plain fields are safe to read directly, as all existing offline callers
+// do.
 type DCStats struct {
 	Requests    int64
 	Hits        int64
@@ -139,9 +138,23 @@ type browserKey struct {
 	obj  uint64
 }
 
-// clientState tracks per-client request history: browser-cache freshness
-// deadlines and per-user request sequence numbers. ReplayParallel gives
-// each region worker its own instance.
+// clientTracker is the per-client request history the serve path
+// consults: browser-cache freshness deadlines and per-user request
+// sequence numbers. clientState is the unsynchronized implementation
+// used by the offline replay paths; stripedClients (concurrent.go) is
+// the lock-striped implementation behind ConcurrentCDN.
+type clientTracker interface {
+	// nextSeq returns the user's current request sequence number and
+	// advances it.
+	nextSeq(user uint64) uint32
+	// browserCheck reports whether the user's local copy of obj is still
+	// fresh at ts; when it is not, the freshness deadline is reset to
+	// ts+ttl. The check and the reset are one atomic step.
+	browserCheck(user, obj uint64, ts time.Time, ttl time.Duration) bool
+}
+
+// clientState tracks per-client request history for a single-threaded
+// replay. ReplayParallel gives each region worker its own instance.
 type clientState struct {
 	browser map[browserKey]time.Time
 	reqSeq  map[uint64]uint32
@@ -152,6 +165,21 @@ func newClientState() *clientState {
 		browser: map[browserKey]time.Time{},
 		reqSeq:  map[uint64]uint32{},
 	}
+}
+
+func (cs *clientState) nextSeq(user uint64) uint32 {
+	seq := cs.reqSeq[user]
+	cs.reqSeq[user] = seq + 1
+	return seq
+}
+
+func (cs *clientState) browserCheck(user, obj uint64, ts time.Time, ttl time.Duration) bool {
+	bk := browserKey{user: user, obj: obj}
+	if deadline, ok := cs.browser[bk]; ok && ts.Before(deadline) {
+		return true
+	}
+	cs.browser[bk] = ts.Add(ttl)
+	return false
 }
 
 // New creates a CDN with one data center per region.
@@ -214,10 +242,29 @@ func (c *CDN) DC(r timeutil.Region) *DataCenter { return c.dcs[r] }
 // ResetStats zeroes all per-DC counters while keeping cache contents.
 // Use between a warm-up replay and a measured replay to model the
 // steady-state CDN the paper observed (its week of logs does not start
-// from cold caches).
+// from cold caches). Must not be called while traffic is in flight.
 func (c *CDN) ResetStats() {
 	for _, dc := range c.dcs {
-		dc.Stats = DCStats{}
+		atomic.StoreInt64(&dc.Stats.Requests, 0)
+		atomic.StoreInt64(&dc.Stats.Hits, 0)
+		atomic.StoreInt64(&dc.Stats.Misses, 0)
+		atomic.StoreInt64(&dc.Stats.OriginBytes, 0)
+		atomic.StoreInt64(&dc.Stats.EgressBytes, 0)
+	}
+}
+
+// StatsSnapshot returns a consistent copy of the DC's counters, safe to
+// call while ConcurrentCDN traffic is in flight. (Each field is loaded
+// atomically; the five loads are not one transaction, so a snapshot
+// taken mid-flight can straddle a request — totals are still exact once
+// traffic quiesces.)
+func (dc *DataCenter) StatsSnapshot() DCStats {
+	return DCStats{
+		Requests:    atomic.LoadInt64(&dc.Stats.Requests),
+		Hits:        atomic.LoadInt64(&dc.Stats.Hits),
+		Misses:      atomic.LoadInt64(&dc.Stats.Misses),
+		OriginBytes: atomic.LoadInt64(&dc.Stats.OriginBytes),
+		EgressBytes: atomic.LoadInt64(&dc.Stats.EgressBytes),
 	}
 }
 
@@ -228,15 +275,17 @@ func (c *CDN) ResetClientState() {
 	c.clients = newClientState()
 }
 
-// TotalStats sums counters across all data centers.
+// TotalStats sums counters across all data centers. Safe to call while
+// ConcurrentCDN traffic is in flight (see StatsSnapshot).
 func (c *CDN) TotalStats() DCStats {
 	var out DCStats
 	for _, dc := range c.dcs {
-		out.Requests += dc.Stats.Requests
-		out.Hits += dc.Stats.Hits
-		out.Misses += dc.Stats.Misses
-		out.OriginBytes += dc.Stats.OriginBytes
-		out.EgressBytes += dc.Stats.EgressBytes
+		st := dc.StatsSnapshot()
+		out.Requests += st.Requests
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.OriginBytes += st.OriginBytes
+		out.EgressBytes += st.EgressBytes
 	}
 	return out
 }
@@ -284,23 +333,28 @@ func (c *CDN) PurgeAll(objectID uint64, videoSize int64) int {
 
 // Serve processes one request record, returning a copy with StatusCode,
 // Cache and BytesServed finalized. The input record is not modified.
+// Serve is single-threaded; wrap the CDN in NewConcurrent for a
+// thread-safe serve path.
 func (c *CDN) Serve(r *trace.Record) *trace.Record {
-	return c.serve(r, c.clients)
+	return c.serve(r, c.clients, nil)
 }
 
-// serve is Serve with explicit client state, enabling per-region workers.
-func (c *CDN) serve(r *trace.Record, clients *clientState) *trace.Record {
+// serve is Serve with explicit client state (enabling per-region workers
+// and lock-striped concurrent clients) and an optional per-(DC, cache
+// partition) lock table. With a nil lock table the caller owns all
+// synchronization; with a non-nil one, cache touches happen under the
+// request's partition lock while stats/metrics rely on atomics only.
+func (c *CDN) serve(r *trace.Record, clients clientTracker, locks lockTable) *trace.Record {
 	out := *r
 	dc := c.dcs[r.Region]
 	if dc == nil {
 		// Unknown region: route to the first DC deterministically.
 		dc = c.dcs[timeutil.RegionNorthAmerica]
 	}
-	dc.Stats.Requests++
+	atomic.AddInt64(&dc.Stats.Requests, 1)
 	dc.met.requests.Inc()
 
-	seq := clients.reqSeq[r.UserID]
-	clients.reqSeq[r.UserID] = seq + 1
+	seq := clients.nextSeq(r.UserID)
 	die := hash3(r.ObjectID, r.UserID, seq)
 
 	// Access control first: rejected requests never touch the cache.
@@ -325,6 +379,23 @@ func (c *CDN) serve(r *trace.Record, clients *clientState) *trace.Record {
 		return &out
 	}
 
+	// Resolve the cache partition (and, when serving concurrently, its
+	// lock) once: a request touches exactly one partition.
+	cache := dc.Cache
+	defaultPartition := true
+	if pc, ok := dc.PublisherCache[r.Publisher]; ok {
+		cache = pc
+		defaultPartition = false
+	}
+	var mu *sync.Mutex
+	if locks != nil {
+		mu = locks[dc.Region].forPartition(r.Publisher, defaultPartition)
+	}
+	// Occupancy gauges read the default cache; refreshing them is only
+	// race-free when this request holds the default partition's lock (or
+	// no locking is in play at all).
+	refreshGauges := locks == nil || defaultPartition
+
 	// Browser cache: a non-incognito user with a fresh local copy sends
 	// a conditional request and gets 304 (no body). Videos are streamed
 	// with ranges and are not revalidated this way.
@@ -332,18 +403,22 @@ func (c *CDN) serve(r *trace.Record, clients *clientState) *trace.Record {
 	if c.cfg.IsIncognito != nil {
 		incognito = c.cfg.IsIncognito(r.Publisher, r.UserID)
 	}
-	bk := browserKey{user: r.UserID, obj: r.ObjectID}
 	if !incognito && !isVideo {
-		if deadline, ok := clients.browser[bk]; ok && r.Timestamp.Before(deadline) {
+		if clients.browserCheck(r.UserID, r.ObjectID, r.Timestamp, c.browserTTL) {
 			out.StatusCode = StatusNotModified
 			out.BytesServed = 0
 			// The CDN still consults its cache for the validator.
-			hit := dc.cacheFor(r.Publisher).Access(r.ObjectID, r.ObjectSize, r.Timestamp)
+			if mu != nil {
+				mu.Lock()
+			}
+			hit := cache.Access(r.ObjectID, r.ObjectSize, r.Timestamp)
+			c.recordCache(dc, hit, 0, 0, refreshGauges)
+			if mu != nil {
+				mu.Unlock()
+			}
 			out.Cache = cacheStatus(hit)
-			c.recordCache(dc, hit, 0, 0)
 			return &out
 		}
-		clients.browser[bk] = r.Timestamp.Add(c.browserTTL)
 	}
 
 	// Edge cache lookup, chunked for video.
@@ -353,13 +428,20 @@ func (c *CDN) serve(r *trace.Record, clients *clientState) *trace.Record {
 	}
 	var hit bool
 	var originBytes int64
+	if mu != nil {
+		mu.Lock()
+	}
 	if isVideo && c.chunk > 0 {
-		hit, originBytes = c.accessChunks(dc, r, bytesWanted)
+		hit, originBytes = c.accessChunks(cache, r, bytesWanted)
 	} else {
-		hit = dc.cacheFor(r.Publisher).Access(r.ObjectID, r.ObjectSize, r.Timestamp)
+		hit = cache.Access(r.ObjectID, r.ObjectSize, r.Timestamp)
 		if !hit {
 			originBytes = r.ObjectSize
 		}
+	}
+	c.recordCache(dc, hit, originBytes, bytesWanted, refreshGauges)
+	if mu != nil {
+		mu.Unlock()
 	}
 	out.Cache = cacheStatus(hit)
 	out.BytesServed = bytesWanted
@@ -368,19 +450,18 @@ func (c *CDN) serve(r *trace.Record, clients *clientState) *trace.Record {
 	} else {
 		out.StatusCode = StatusOK
 	}
-	c.recordCache(dc, hit, originBytes, bytesWanted)
 	return &out
 }
 
 // accessChunks touches the chunks covering [0, bytesWanted) of a video
-// object. The request is a HIT only when every touched chunk was
-// resident, mirroring chunk-level caching with request-level logging.
-func (c *CDN) accessChunks(dc *DataCenter, r *trace.Record, bytesWanted int64) (hit bool, originBytes int64) {
+// object in the given cache partition. The request is a HIT only when
+// every touched chunk was resident, mirroring chunk-level caching with
+// request-level logging.
+func (c *CDN) accessChunks(cache Cache, r *trace.Record, bytesWanted int64) (hit bool, originBytes int64) {
 	nChunks := int((bytesWanted + c.chunk - 1) / c.chunk)
 	if nChunks < 1 {
 		nChunks = 1
 	}
-	cache := dc.cacheFor(r.Publisher)
 	totalChunks := int((r.ObjectSize + c.chunk - 1) / c.chunk)
 	hit = true
 	for i := 0; i < nChunks; i++ {
@@ -399,21 +480,21 @@ func (c *CDN) accessChunks(dc *DataCenter, r *trace.Record, bytesWanted int64) (
 	return hit, originBytes
 }
 
-func (c *CDN) recordCache(dc *DataCenter, hit bool, originBytes, egress int64) {
+func (c *CDN) recordCache(dc *DataCenter, hit bool, originBytes, egress int64, refreshGauges bool) {
 	if hit {
-		dc.Stats.Hits++
+		atomic.AddInt64(&dc.Stats.Hits, 1)
 		dc.met.hits.Inc()
 	} else {
-		dc.Stats.Misses++
+		atomic.AddInt64(&dc.Stats.Misses, 1)
 		dc.met.misses.Inc()
 	}
-	dc.Stats.OriginBytes += originBytes
-	dc.Stats.EgressBytes += egress
+	atomic.AddInt64(&dc.Stats.OriginBytes, originBytes)
+	atomic.AddInt64(&dc.Stats.EgressBytes, egress)
 	dc.met.originBytes.Add(originBytes)
 	dc.met.egressBytes.Add(egress)
 	// Gauges track the default cache's occupancy live; the one nil check
 	// keeps the instrumented-off path from paying the Len/Bytes calls.
-	if dc.met.cacheObjs != nil {
+	if refreshGauges && dc.met.cacheObjs != nil {
 		dc.met.cacheObjs.Set(float64(dc.Cache.Len()))
 		dc.met.cacheBytes.Set(float64(dc.Cache.Bytes()))
 	}

@@ -1,0 +1,193 @@
+package cdn
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"trafficscope/internal/obs"
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// concRecords builds a workload that exercises every serve-path feature:
+// all four regions, a dedicated publisher partition, videos (chunked) and
+// pages, repeated objects and repeated users.
+func concRecords(n int) []*trace.Record {
+	t0 := time.Date(2016, 4, 12, 0, 0, 0, 0, time.UTC)
+	regions := timeutil.AllRegions()
+	recs := make([]*trace.Record, n)
+	for i := range recs {
+		pub, ft := "V-1", trace.FileType("mp4")
+		size := int64(6 << 20)
+		if i%3 == 0 {
+			pub, ft = "P-1", trace.FileType("html")
+			size = 64 << 10
+		}
+		recs[i] = &trace.Record{
+			Timestamp:   t0.Add(time.Duration(i) * time.Second),
+			Publisher:   pub,
+			ObjectID:    uint64(i % 50),
+			FileType:    ft,
+			ObjectSize:  size,
+			BytesServed: size / 2,
+			UserID:      uint64(i % 17),
+			Region:      regions[i%len(regions)],
+		}
+	}
+	return recs
+}
+
+func concConfig(reg *obs.Registry) Config {
+	return Config{
+		NewCache:        func() Cache { return NewLRU(1 << 30) },
+		ChunkBytes:      2 << 20,
+		PublisherCaches: map[string]func() Cache{"P-1": func() Cache { return NewLRU(256 << 20) }},
+		IsIncognito:     func(site string, userID uint64) bool { return userID%2 == 0 },
+		P403:            0.05,
+		Metrics:         reg,
+	}
+}
+
+// TestConcurrentServeMatchesSequential drives a ConcurrentCDN from a
+// single goroutine and checks every finalized record and all statistics
+// against the plain single-threaded CDN — the equivalence that keeps the
+// single-worker live replay byte-identical to an offline replay.
+func TestConcurrentServeMatchesSequential(t *testing.T) {
+	recs := concRecords(2000)
+
+	seq := New(concConfig(nil))
+	conc := NewConcurrent(New(concConfig(nil)))
+	for i, r := range recs {
+		want := seq.Serve(r)
+		got := conc.Serve(r)
+		if *got != *want {
+			t.Fatalf("record %d: concurrent serve = %+v, want %+v", i, got, want)
+		}
+	}
+	if got, want := conc.TotalStats(), seq.TotalStats(); got != want {
+		t.Errorf("TotalStats = %+v, want %+v", got, want)
+	}
+	for _, region := range timeutil.AllRegions() {
+		got := conc.CDN().DC(region).StatsSnapshot()
+		want := seq.DC(region).StatsSnapshot()
+		if got != want {
+			t.Errorf("DC %v stats = %+v, want %+v", region, got, want)
+		}
+	}
+}
+
+// TestConcurrentServeRace hammers one ConcurrentCDN from many goroutines
+// with metrics and a publisher partition enabled; run under -race this
+// is the data-race gate for the whole concurrent serve path. It also
+// checks that no request is lost or double-counted.
+func TestConcurrentServeRace(t *testing.T) {
+	const workers = 8
+	recs := concRecords(4000)
+	conc := NewConcurrent(New(concConfig(obs.NewRegistry())))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(recs); i += workers {
+				out := conc.Serve(recs[i])
+				if out.StatusCode == 0 {
+					t.Errorf("record %d: zero status", i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := conc.TotalStats()
+	if total.Requests != int64(len(recs)) {
+		t.Errorf("requests = %d, want %d", total.Requests, len(recs))
+	}
+	if total.Hits+total.Misses > total.Requests {
+		t.Errorf("hits+misses = %d exceeds requests %d", total.Hits+total.Misses, total.Requests)
+	}
+}
+
+// TestConcurrentTotalsMatchOffline verifies the documented relaxation
+// for concurrent replay: with caches large enough not to evict and the
+// order-sensitive features (browser cache, rejection dice) off, per-DC
+// totals equal a sequential replay of the same records regardless of
+// interleaving.
+func TestConcurrentTotalsMatchOffline(t *testing.T) {
+	mkCfg := func() Config {
+		return Config{
+			NewCache:        func() Cache { return NewLRU(16 << 30) },
+			ChunkBytes:      2 << 20,
+			PublisherCaches: map[string]func() Cache{"P-1": func() Cache { return NewLRU(4 << 30) }},
+		}
+	}
+	recs := concRecords(6000)
+
+	seq := New(mkCfg())
+	for _, r := range recs {
+		seq.Serve(r)
+	}
+
+	conc := NewConcurrent(New(mkCfg()))
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Strided partitioning scrambles per-DC arrival order
+			// relative to the sequential pass.
+			for i := w; i < len(recs); i += workers {
+				conc.Serve(recs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, region := range timeutil.AllRegions() {
+		got := conc.CDN().DC(region).StatsSnapshot()
+		want := seq.DC(region).StatsSnapshot()
+		if got != want {
+			t.Errorf("DC %v: concurrent totals %+v, want %+v", region, got, want)
+		}
+	}
+}
+
+// TestStripedClientsSequencing checks that per-user request sequence
+// numbers stay dense and per-user-serialized under concurrency, and that
+// browserCheck freshness behaves like the unsynchronized clientState.
+func TestStripedClientsSequencing(t *testing.T) {
+	sc := newStripedClients()
+	const users, perUser = 32, 200
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u uint64) {
+			defer wg.Done()
+			for i := 0; i < perUser; i++ {
+				sc.nextSeq(u)
+			}
+		}(uint64(u))
+	}
+	wg.Wait()
+	for u := uint64(0); u < users; u++ {
+		if next := sc.nextSeq(u); next != perUser {
+			t.Errorf("user %d: next seq %d, want %d", u, next, perUser)
+		}
+	}
+
+	ts := time.Date(2016, 4, 12, 0, 0, 0, 0, time.UTC)
+	ttl := 24 * time.Hour
+	if sc.browserCheck(1, 2, ts, ttl) {
+		t.Error("first browserCheck reported fresh")
+	}
+	if !sc.browserCheck(1, 2, ts.Add(time.Hour), ttl) {
+		t.Error("second browserCheck within TTL reported stale")
+	}
+	if sc.browserCheck(1, 2, ts.Add(25*time.Hour), ttl) {
+		t.Error("browserCheck after TTL reported fresh")
+	}
+}

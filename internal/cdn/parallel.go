@@ -52,7 +52,7 @@ func (c *CDN) ReplayParallel(r trace.Reader) ([]*trace.Record, error) {
 			sh.out = make([]*trace.Record, 0, len(recs))
 			state := newClientState()
 			for _, rec := range recs {
-				sh.out = append(sh.out, c.serve(rec, state))
+				sh.out = append(sh.out, c.serve(rec, state, nil))
 			}
 		}(sh)
 	}

@@ -8,9 +8,12 @@
 // generator (internal/loadgen) can measure hit ratios, egress and tail
 // latency end to end over a real network stack.
 //
-// All hit/miss/byte accounting goes through cdn.CDN.Serve, so a live
-// replay and an offline CDN.Replay of the same records (in the same
-// order) produce identical aggregate statistics.
+// All hit/miss/byte accounting goes through the CDN model — served
+// concurrently via cdn.ConcurrentCDN, with one lock per (data center,
+// cache partition) — so a live replay and an offline CDN.Replay of the
+// same records (in the same order) produce identical aggregate
+// statistics. Under concurrent replay the guarantee relaxes to per-DC
+// totals; see DESIGN.md §"Edge concurrency model".
 package edge
 
 import (
@@ -38,7 +41,10 @@ const DefaultMaxBodyBytes = 4096
 // Config configures an edge Server.
 type Config struct {
 	// CDN is the cache model serving requests. Required. The Server
-	// serializes access to it (the cdn package is single-threaded).
+	// wraps it in a cdn.ConcurrentCDN and serves through that, so
+	// requests for different regions or publisher partitions proceed in
+	// parallel; do not drive the same CDN through its single-threaded
+	// Serve/Replay methods while the Server is running.
 	CDN *cdn.CDN
 	// OriginLatency is the simulated origin round-trip added to every
 	// cache miss. Zero disables origin latency simulation.
@@ -59,17 +65,20 @@ type Config struct {
 	Metrics *obs.Registry
 }
 
-// Server serves trace objects over HTTP from a CDN cache model.
+// Server serves trace objects over HTTP from a CDN cache model. The hot
+// path takes no server-wide lock: CDN access goes through a
+// cdn.ConcurrentCDN (per-(DC, partition) locking, atomic counters), and
+// all edge telemetry is atomic.
 type Server struct {
 	cfg      Config
-	mu       sync.Mutex // serializes CDN access
-	cdn      *cdn.CDN
+	cdn      *cdn.ConcurrentCDN
 	inflight chan struct{}
 	body     []byte // repeated payload chunk for body writes
 
 	reqs      *obs.Counter
 	shed      *obs.Counter
 	badReq    *obs.Counter
+	cancelled *obs.Counter
 	bodyBytes *obs.Counter
 	inflightG *obs.Gauge
 	latency   *obs.Histogram
@@ -86,7 +95,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.OriginBandwidth < 0 {
 		return nil, errors.New("edge: negative OriginBandwidth")
 	}
-	s := &Server{cfg: cfg, cdn: cfg.CDN}
+	s := &Server{cfg: cfg, cdn: cdn.NewConcurrent(cfg.CDN)}
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
@@ -105,6 +114,7 @@ func New(cfg Config) (*Server, error) {
 	s.reqs = reg.Counter("edge_requests_total")
 	s.shed = reg.Counter("edge_shed_total")
 	s.badReq = reg.Counter("edge_bad_requests_total")
+	s.cancelled = reg.Counter("edge_client_cancelled_total")
 	s.bodyBytes = reg.Counter("edge_body_bytes_total")
 	s.inflightG = reg.Gauge("edge_inflight")
 	s.latency = reg.Histogram("edge_request_seconds", obs.ExpBuckets(50e-6, 2, 22))
@@ -123,10 +133,9 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// TotalStats returns the CDN's aggregate counters (thread-safe).
+// TotalStats returns the CDN's aggregate counters (thread-safe; an
+// atomic snapshot, valid even while traffic is in flight).
 func (s *Server) TotalStats() cdn.DCStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.cdn.TotalStats()
 }
 
@@ -135,6 +144,14 @@ func (s *Server) handleObject(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	// Every accepted object request is counted exactly once and observed
+	// by the latency histogram on every exit path — shed, bad-request
+	// and client-cancelled included — so edge_requests_total equals the
+	// sum of its outcome counters and the histogram never undercounts
+	// fast failures.
+	start := time.Now()
+	s.reqs.Inc()
+	defer func() { s.latency.Observe(time.Since(start).Seconds()) }()
 	if s.inflight != nil {
 		select {
 		case s.inflight <- struct{}{}:
@@ -152,8 +169,6 @@ func (s *Server) handleObject(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
-	start := time.Now()
-	s.reqs.Inc()
 	rec, err := ParseRequest(req)
 	if err != nil {
 		s.badReq.Inc()
@@ -161,24 +176,32 @@ func (s *Server) handleObject(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
+	// No server-wide lock: the concurrent CDN serializes only requests
+	// contending for the same (DC, cache partition).
 	out := s.cdn.Serve(rec)
-	s.mu.Unlock()
 
-	// Simulate the origin fetch outside the CDN lock so slow origins
-	// stall only their own request, not the whole edge.
+	// The cache verdict is final as soon as the CDN has served the
+	// record, so commit the telemetry headers before the simulated
+	// origin sleep: if the client gives up mid-fetch and net/http emits
+	// an implicit response, it still carries the verdict the CDN
+	// counted, keeping client-side hit/miss accounting aligned with the
+	// server's.
+	h := w.Header()
+	h.Set(HeaderCache, out.Cache.String())
+	h.Set(HeaderBytes, strconv.FormatInt(out.BytesServed, 10))
+	h.Set("Content-Type", "application/octet-stream")
+
+	// Simulate the origin fetch outside any lock so slow origins stall
+	// only their own request, not the whole edge.
 	if out.Cache == trace.CacheMiss {
 		if d := s.originDelay(out.BytesServed); d > 0 {
 			if !sleepCtx(req.Context(), d) {
+				s.cancelled.Inc()
 				return // client gave up mid-fetch
 			}
 		}
 	}
 
-	h := w.Header()
-	h.Set(HeaderCache, out.Cache.String())
-	h.Set(HeaderBytes, strconv.FormatInt(out.BytesServed, 10))
-	h.Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(out.StatusCode)
 	if req.Method == http.MethodGet && out.BytesServed > 0 && len(s.body) > 0 &&
 		out.StatusCode != cdn.StatusNotModified {
@@ -200,7 +223,6 @@ func (s *Server) handleObject(w http.ResponseWriter, req *http.Request) {
 		}
 		s.bodyBytes.Add(written)
 	}
-	s.latency.Observe(time.Since(start).Seconds())
 }
 
 // originDelay computes the simulated origin fetch time for a miss
@@ -233,15 +255,16 @@ type statsReply struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+	// Atomic snapshots, not a lock: /stats never stalls the serve path.
+	// Total is summed from the same per-field atomics, so a reply is
+	// internally consistent up to requests that complete mid-snapshot.
 	total := s.cdn.TotalStats()
 	perDC := map[string]cdn.DCStats{}
 	for _, r := range timeutil.AllRegions() {
-		if dc := s.cdn.DC(r); dc != nil {
-			perDC[r.String()] = dc.Stats
+		if dc := s.cdn.CDN().DC(r); dc != nil {
+			perDC[r.String()] = dc.StatsSnapshot()
 		}
 	}
-	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(statsReply{Total: total, HitRatio: total.HitRatio(), PerDC: perDC})
 }
@@ -308,36 +331,55 @@ func (s *Server) ListenAndServe(ctx context.Context, lc ListenConfig) error {
 		dctx, cancel := context.WithTimeout(context.Background(), lc.DrainTimeout)
 		defer cancel()
 		err := srv.Shutdown(dctx)
-		<-errc // srv.Serve returns http.ErrServerClosed
 		if err != nil {
+			// Drain budget exhausted: force-close lingering connections
+			// before collecting Serve's return, so a client that never
+			// hangs up cannot extend the drain past DrainTimeout.
 			srv.Close()
-			return err
 		}
-		return nil
+		<-errc // srv.Serve returns once the (limit) listener closes
+		return err
 	}
 }
 
 // LimitListener bounds the number of simultaneously accepted
 // connections on ln to n; further accepts block until a connection
-// closes. (Same contract as golang.org/x/net/netutil.LimitListener,
-// reimplemented to keep the repo dependency-free.)
+// closes. Closing the listener unblocks any Accept waiting on the
+// semaphore, so a graceful drain cannot stall behind a saturated
+// connection limit. (Same contract as
+// golang.org/x/net/netutil.LimitListener, reimplemented to keep the
+// repo dependency-free.)
 func LimitListener(ln net.Listener, n int) net.Listener {
-	return &limitListener{Listener: ln, sem: make(chan struct{}, n)}
+	return &limitListener{Listener: ln, sem: make(chan struct{}, n), done: make(chan struct{})}
 }
 
 type limitListener struct {
 	net.Listener
-	sem chan struct{}
+	sem  chan struct{}
+	done chan struct{} // closed by Close; unblocks Accepts parked on sem
+	once sync.Once
 }
 
 func (l *limitListener) Accept() (net.Conn, error) {
-	l.sem <- struct{}{}
+	select {
+	case l.sem <- struct{}{}:
+	case <-l.done:
+		// The listener was closed while all connection slots were in
+		// use; report closure instead of blocking the accept loop (and
+		// with it http.Server.Serve's return) until a client hangs up.
+		return nil, net.ErrClosed
+	}
 	c, err := l.Listener.Accept()
 	if err != nil {
 		<-l.sem
 		return nil, err
 	}
 	return &limitConn{Conn: c, sem: l.sem}, nil
+}
+
+func (l *limitListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return l.Listener.Close()
 }
 
 type limitConn struct {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"trafficscope/internal/cdn"
+	"trafficscope/internal/obs"
 	"trafficscope/internal/timeutil"
 	"trafficscope/internal/trace"
 )
@@ -326,4 +327,206 @@ func TestLimitListenerBoundsConns(t *testing.T) {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+}
+
+// TestDrainUnderMaxConnsCompletes is the regression test for the
+// graceful-drain hang: with the connection limit saturated by an
+// in-flight request that outlives DrainTimeout, the limit listener's
+// Accept used to stay parked on its semaphore after Close, stalling
+// ListenAndServe's exit indefinitely. The drain must now complete within
+// (roughly) DrainTimeout.
+func TestDrainUnderMaxConnsCompletes(t *testing.T) {
+	s := newTestServer(t, Config{OriginLatency: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- s.ListenAndServe(ctx, ListenConfig{
+			Addr:         "127.0.0.1:0",
+			MaxConns:     1,
+			DrainTimeout: 300 * time.Millisecond,
+			OnReady:      func(addr string) { ready <- addr },
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// Saturate the one connection slot with a request that sleeps at the
+	// simulated origin far longer than the drain budget.
+	client := &http.Client{}
+	go func() {
+		resp, err := client.Get("http://" + addr + RequestPath(testRecord()))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(150 * time.Millisecond) // request reaches the origin stall
+
+	cancel()
+	select {
+	case err := <-errc:
+		// The drain budget was exceeded by design; the point is that
+		// ListenAndServe returned promptly, reporting the overrun.
+		if err == nil {
+			t.Error("drain with in-flight request past DrainTimeout returned nil, want deadline error")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("ListenAndServe hung on drain with MaxConns saturated")
+	}
+}
+
+// TestShedMetricsAccounting verifies that shed requests are counted in
+// edge_requests_total and that every exit path — shed, bad request,
+// served — lands in the latency histogram.
+func TestShedMetricsAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{
+		MaxInflight:   1,
+		OriginLatency: 300 * time.Millisecond,
+		Metrics:       reg,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rec1, rec2 := testRecord(), testRecord()
+	rec2.ObjectID++ // distinct objects: both miss and stall at the origin
+	var wg sync.WaitGroup
+	for _, rec := range []*trace.Record{rec1, rec2} {
+		wg.Add(1)
+		go func(rec *trace.Record) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + RequestPath(rec))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(rec)
+		time.Sleep(50 * time.Millisecond) // first request reaches the origin stall
+	}
+	wg.Wait()
+
+	// A bad request exercises the third exit path.
+	resp, err := http.Get(ts.URL + ObjectPrefix + "V-1/nothex?ts=1&ft=mp4&size=1&user=1&region=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["edge_requests_total"]; got != 3 {
+		t.Errorf("edge_requests_total = %d, want 3 (served + shed + bad request)", got)
+	}
+	if got := snap.Counters["edge_shed_total"]; got != 1 {
+		t.Errorf("edge_shed_total = %d, want 1", got)
+	}
+	if got := snap.Counters["edge_bad_requests_total"]; got != 1 {
+		t.Errorf("edge_bad_requests_total = %d, want 1", got)
+	}
+	if got := snap.Histograms["edge_request_seconds"].Count; got != 3 {
+		t.Errorf("latency histogram count = %d, want 3 (all exit paths observed)", got)
+	}
+}
+
+// TestCancelMidFetchKeepsAccounting covers the header-after-sleep bug:
+// a client that gives up during the simulated origin fetch must still
+// leave the edge's CDN counters identical to an offline replay, and the
+// response headers (committed before the sleep) must carry the cache
+// verdict so a client that does read the implicit response sees it.
+func TestCancelMidFetchKeepsAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{OriginLatency: 5 * time.Second, Metrics: reg})
+
+	// A request whose context is already cancelled: the handler serves
+	// the record through the CDN, then abandons the origin sleep.
+	rec := testRecord()
+	req := httptest.NewRequest(http.MethodGet, RequestPath(rec), nil)
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel()
+	req = req.WithContext(ctx)
+	rw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rw, req)
+
+	if got := rw.Header().Get(HeaderCache); got != trace.CacheMiss.String() {
+		t.Errorf("%s = %q, want %q (headers must be set before the origin sleep)",
+			HeaderCache, got, trace.CacheMiss.String())
+	}
+	if rw.Header().Get(HeaderBytes) == "" {
+		t.Errorf("%s missing on cancelled exchange", HeaderBytes)
+	}
+	if got := reg.Snapshot().Counters["edge_client_cancelled_total"]; got != 1 {
+		t.Errorf("edge_client_cancelled_total = %d, want 1", got)
+	}
+
+	// A second, patient request for the same object now hits.
+	req2 := httptest.NewRequest(http.MethodGet, RequestPath(rec), nil)
+	rw2 := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rw2, req2)
+	if got := rw2.Header().Get(HeaderCache); got != trace.CacheHit.String() {
+		t.Errorf("second request: %s = %q, want hit", HeaderCache, got)
+	}
+
+	// Server-side accounting equals an offline replay of the same two
+	// records despite the first client's cancellation.
+	offline := cdn.New(cdn.Config{
+		NewCache:   func() cdn.Cache { return cdn.NewLRU(64 << 20) },
+		ChunkBytes: -1,
+	})
+	offline.Serve(rec)
+	offline.Serve(rec)
+	if got, want := s.TotalStats(), offline.TotalStats(); got != want {
+		t.Errorf("live stats after cancellation = %+v, want offline %+v", got, want)
+	}
+}
+
+// TestConcurrentObjectServing exercises the lock-free handler path from
+// many goroutines (run under -race via `make race`): requests across
+// all regions must all be served and counted exactly once.
+func TestConcurrentObjectServing(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const workers, perWorker = 8, 50
+	regions := timeutil.AllRegions()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; i < perWorker; i++ {
+				rec := testRecord()
+				rec.ObjectID = uint64(w*perWorker + i)
+				rec.UserID = uint64(i % 7)
+				rec.Region = regions[(w+i)%len(regions)]
+				resp, err := client.Get(ts.URL + RequestPath(rec))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusPartialContent {
+					t.Errorf("status %d, want %d", resp.StatusCode, http.StatusPartialContent)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.TotalStats()
+	if st.Requests != workers*perWorker {
+		t.Errorf("requests = %d, want %d", st.Requests, workers*perWorker)
+	}
+	if st.Misses != workers*perWorker {
+		t.Errorf("misses = %d, want %d (every object distinct)", st.Misses, workers*perWorker)
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"trafficscope/internal/cdn"
 	"trafficscope/internal/edge"
 	"trafficscope/internal/synth"
+	"trafficscope/internal/timeutil"
 	"trafficscope/internal/trace"
 )
 
@@ -109,5 +110,81 @@ func TestLiveReplayMatchesOffline(t *testing.T) {
 		if got := st.BySite[site]; got != want {
 			t.Errorf("site %s: %d requests, want %d", site, got, want)
 		}
+	}
+}
+
+// TestLiveReplayConcurrentMatchesPerDCTotals is the documented
+// relaxation of the equivalence guarantee for concurrent serving: with
+// many loadgen workers, per-request interleaving is nondeterministic, so
+// instead of record-order equality we assert per-DC totals. For that to
+// be exact the configuration must be order-insensitive: caches large
+// enough never to evict, no browser-cache revalidation, no rejection
+// dice (the e2e config's defaults) — and no video chunking. Chunking is
+// the subtle one: synthetic viewers watch varying fractions of the same
+// video, and a chunked request is a hit only if every touched chunk is
+// resident, so which request eats the miss depends on arrival order
+// (chunk-level miss counts and all byte totals stay exact; only the
+// request-level hit/miss split drifts). With whole-object caching a
+// miss is strictly first-touch-per-object and every total is
+// order-independent, so the live concurrent replay must match the
+// offline sequential replay per DC exactly.
+func TestLiveReplayConcurrentMatchesPerDCTotals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a few thousand records over HTTP")
+	}
+	mkCDN := func() *cdn.CDN {
+		return cdn.New(cdn.Config{
+			NewCache:   func() cdn.Cache { return cdn.NewLRU(16 << 30) }, // no eviction
+			ChunkBytes: -1,                                               // whole-object: hit/miss is order-independent
+		})
+	}
+	gen, err := synth.NewGenerator(synth.Config{Seed: 43, Scale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.SortByTime(recs)
+
+	offline := mkCDN()
+	if _, err := offline.ReplayAll(trace.NewSliceReader(recs)); err != nil {
+		t.Fatal(err)
+	}
+
+	liveCDN := mkCDN()
+	srv, err := edge.New(edge.Config{CDN: liveCDN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	st, err := Run(context.Background(), Config{
+		Target:  ts.URL,
+		Workers: 8, // true concurrency: order within a DC is scrambled
+		Speedup: 0,
+	}, trace.NewSliceReader(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("live replay had %d transport errors", st.Errors)
+	}
+	if st.Requests != int64(len(recs)) {
+		t.Fatalf("live replay completed %d requests, want %d", st.Requests, len(recs))
+	}
+
+	for _, region := range timeutil.AllRegions() {
+		got := liveCDN.DC(region).StatsSnapshot()
+		want := offline.DC(region).StatsSnapshot()
+		if got != want {
+			t.Errorf("DC %v: concurrent live totals %+v, want offline %+v", region, got, want)
+		}
+	}
+	if st.Hits != offline.TotalStats().Hits || st.Misses != offline.TotalStats().Misses {
+		t.Errorf("client observed %d hits / %d misses, want %d / %d",
+			st.Hits, st.Misses, offline.TotalStats().Hits, offline.TotalStats().Misses)
 	}
 }

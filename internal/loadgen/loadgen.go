@@ -9,6 +9,7 @@ package loadgen
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -58,16 +59,29 @@ type Config struct {
 // latencyMetric is the histogram name the run records latencies under.
 const latencyMetric = "loadgen_latency_seconds"
 
+// maxRetryBackoff caps the exponential retry backoff: the delay doubles
+// per attempt but never exceeds this, so a long retry budget cannot
+// drive per-record sleeps into minutes.
+const maxRetryBackoff = 2 * time.Second
+
 // Stats summarizes a completed (or interrupted) run. Requests counts
 // completed HTTP exchanges of any status; Errors counts records whose
 // request still failed at the transport level after retries.
 type Stats struct {
-	Requests     int64            `json:"requests"`
-	Errors       int64            `json:"errors"`
-	Retries      int64            `json:"retries"`
-	Hits         int64            `json:"hits"`
-	Misses       int64            `json:"misses"`
-	Shed         int64            `json:"shed"` // 503 responses from edge load shedding
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Retries  int64 `json:"retries"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Shed     int64 `json:"shed"` // 503 responses from edge load shedding
+	// Cancelled counts exchanges that ended without a cache verdict:
+	// the per-request deadline fired mid-exchange, or a successful
+	// response carried no X-TS-Cache header (e.g. the edge's implicit
+	// response after a client gave up mid-origin-fetch). These requests
+	// may still have been served — and counted — by the CDN, which is
+	// why they are surfaced separately instead of silently skewing the
+	// client-observed hit ratio.
+	Cancelled    int64            `json:"cancelled"`
 	LogicalBytes int64            `json:"logical_bytes"`
 	WireBytes    int64            `json:"wire_bytes"`
 	BySite       map[string]int64 `json:"by_site"`
@@ -101,14 +115,14 @@ type run struct {
 	base   string
 	client *http.Client
 
-	requests, errors, retries   atomic.Int64
-	hits, misses, shed          atomic.Int64
-	logicalBytes, wireBytes     atomic.Int64
-	mu                          sync.Mutex // guards the maps below
-	bySite                      map[string]int64
-	byStatus                    map[int]int64
-	latency                     *obs.Histogram
-	sentC, errC, retryC, bytesC *obs.Counter
+	requests, errors, retries          atomic.Int64
+	hits, misses, shed, cancelled      atomic.Int64
+	logicalBytes, wireBytes            atomic.Int64
+	mu                                 sync.Mutex // guards the maps below
+	bySite                             map[string]int64
+	byStatus                           map[int]int64
+	latency                            *obs.Histogram
+	sentC, errC, retryC, bytesC, cancC *obs.Counter
 }
 
 // Run replays records from r against cfg.Target until the trace ends or
@@ -146,6 +160,7 @@ func Run(ctx context.Context, cfg Config, r trace.Reader) (*Stats, error) {
 		errC:     reg.Counter("loadgen_errors_total"),
 		retryC:   reg.Counter("loadgen_retries_total"),
 		bytesC:   reg.Counter("loadgen_logical_bytes_total"),
+		cancC:    reg.Counter("loadgen_cancelled_total"),
 	}
 	if rn.client == nil {
 		rn.client = &http.Client{
@@ -185,6 +200,7 @@ func Run(ctx context.Context, cfg Config, r trace.Reader) (*Stats, error) {
 // times. It returns the first trace read error, nil otherwise.
 func (rn *run) schedule(ctx context.Context, r trace.Reader, jobs chan<- *trace.Record, start time.Time) error {
 	var t0 time.Time
+	var pace *time.Timer
 	first := true
 	for {
 		rec, err := r.Read()
@@ -201,11 +217,18 @@ func (rn *run) schedule(ctx context.Context, r trace.Reader, jobs chan<- *trace.
 			}
 			target := start.Add(time.Duration(float64(rec.Timestamp.Sub(t0)) / rn.cfg.Speedup))
 			if d := time.Until(target); d > 0 {
-				t := time.NewTimer(d)
+				// One timer serves the whole schedule: Reset after the
+				// previous wait has drained the channel is race-free, and
+				// reusing it avoids allocating a timer per paced record.
+				if pace == nil {
+					pace = time.NewTimer(d)
+					defer pace.Stop()
+				} else {
+					pace.Reset(d)
+				}
 				select {
-				case <-t.C:
+				case <-pace.C:
 				case <-ctx.Done():
-					t.Stop()
 					return nil
 				}
 			}
@@ -236,6 +259,18 @@ func (rn *run) one(ctx context.Context, rec *trace.Record) {
 		resp, err := rn.client.Do(req)
 		if err != nil {
 			cancel()
+			if ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+				// The per-request deadline fired while the exchange was in
+				// flight: the server has likely already served (and
+				// counted) the record, so retrying would double-serve it
+				// and skew live-vs-offline accounting. Count it as a
+				// cancelled exchange instead.
+				rn.cancelled.Add(1)
+				rn.cancC.Inc()
+				rn.errors.Add(1)
+				rn.errC.Inc()
+				return
+			}
 			if ctx.Err() != nil || attempt >= rn.cfg.Retries {
 				rn.errors.Add(1)
 				rn.errC.Inc()
@@ -248,7 +283,7 @@ func (rn *run) one(ctx context.Context, rec *trace.Record) {
 				rn.errC.Inc()
 				return
 			}
-			backoff *= 2
+			backoff = nextBackoff(backoff)
 			continue
 		}
 		wire, _ := io.Copy(io.Discard, resp.Body)
@@ -258,6 +293,15 @@ func (rn *run) one(ctx context.Context, rec *trace.Record) {
 		rn.record(rec, resp, wire)
 		return
 	}
+}
+
+// nextBackoff doubles the retry delay up to maxRetryBackoff.
+func nextBackoff(cur time.Duration) time.Duration {
+	next := cur * 2
+	if next > maxRetryBackoff {
+		next = maxRetryBackoff
+	}
+	return next
 }
 
 // record folds one completed exchange into the run counters.
@@ -273,6 +317,14 @@ func (rn *run) record(rec *trace.Record, resp *http.Response, wire int64) {
 		rn.hits.Add(1)
 	case trace.CacheMiss.String():
 		rn.misses.Add(1)
+	case "":
+		// A successful exchange with no cache verdict means the edge
+		// gave up on us mid-serve (implicit response after a client
+		// cancel); shed 503s and bad requests are accounted elsewhere.
+		if resp.StatusCode < 300 {
+			rn.cancelled.Add(1)
+			rn.cancC.Inc()
+		}
 	}
 	if v := resp.Header.Get(edge.HeaderBytes); v != "" {
 		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
@@ -294,6 +346,7 @@ func (rn *run) stats(elapsed time.Duration, reg *obs.Registry) *Stats {
 		Hits:         rn.hits.Load(),
 		Misses:       rn.misses.Load(),
 		Shed:         rn.shed.Load(),
+		Cancelled:    rn.cancelled.Load(),
 		LogicalBytes: rn.logicalBytes.Load(),
 		WireBytes:    rn.wireBytes.Load(),
 		BySite:       map[string]int64{},

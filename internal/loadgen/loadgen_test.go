@@ -210,3 +210,74 @@ func TestCancelStopsDispatch(t *testing.T) {
 		t.Errorf("replay completed %d records despite cancellation", total)
 	}
 }
+
+func TestCancelledExchangeCounted(t *testing.T) {
+	// A 200 with no X-TS-Cache header models the edge's implicit
+	// response after the client gave up mid-origin-fetch: it must land
+	// in Cancelled, not in hits or misses.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	const n = 4
+	st, err := Run(context.Background(), Config{Target: ts.URL}, trace.NewSliceReader(makeRecords(n, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cancelled != n {
+		t.Errorf("cancelled = %d, want %d", st.Cancelled, n)
+	}
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("hits/misses = %d/%d, want 0/0 (no cache verdict)", st.Hits, st.Misses)
+	}
+	if st.Requests != n {
+		t.Errorf("requests = %d, want %d", st.Requests, n)
+	}
+}
+
+func TestDeadlineExceededIsNotRetried(t *testing.T) {
+	// The server has probably already served a timed-out request, so
+	// retrying it would double-serve the record and skew
+	// live-vs-offline accounting; the per-request deadline must count
+	// as a cancelled error instead.
+	var calls atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		<-release
+	}))
+	defer ts.Close()
+	defer close(release) // unblock the handler before ts.Close waits on it
+
+	st, err := Run(context.Background(), Config{
+		Target:  ts.URL,
+		Workers: 1,
+		Timeout: 50 * time.Millisecond,
+		Retries: 3,
+		Backoff: time.Millisecond,
+	}, trace.NewSliceReader(makeRecords(1, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1 (deadline must not retry)", got)
+	}
+	if st.Retries != 0 || st.Errors != 1 || st.Cancelled != 1 {
+		t.Errorf("stats = retries %d, errors %d, cancelled %d; want 0/1/1",
+			st.Retries, st.Errors, st.Cancelled)
+	}
+}
+
+func TestNextBackoffCaps(t *testing.T) {
+	b := 20 * time.Millisecond
+	for i := 0; i < 20; i++ {
+		b = nextBackoff(b)
+		if b > maxRetryBackoff {
+			t.Fatalf("backoff grew to %v past cap %v after %d doublings", b, maxRetryBackoff, i+1)
+		}
+	}
+	if b != maxRetryBackoff {
+		t.Errorf("backoff settled at %v, want cap %v", b, maxRetryBackoff)
+	}
+}
