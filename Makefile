@@ -8,7 +8,7 @@ GO ?= go
 BIN ?= bin
 CMDS := tsgen tsanalyze tscdnsim tsreport tscrawl tsserve tsload
 
-.PHONY: all build test check vet race bench tools fmt-check serve-demo
+.PHONY: all build test check vet race bench bench-mem tools fmt-check serve-demo
 
 all: build test
 
@@ -28,9 +28,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-check the concurrent packages; these must stay race-clean.
+# Race-check the concurrent packages; these must stay race-clean. The
+# streaming study core (core, analysis, crawler) rides the fused
+# generate→replay→analyze pipeline, so its equivalence tests exercise
+# the per-region replay fan-out and the analysis worker pool under -race.
 race:
-	$(GO) test -race ./internal/synth/... ./internal/pipeline/... ./internal/cdn/... ./internal/trace/... ./internal/obs/... ./internal/edge/... ./internal/loadgen/...
+	$(GO) test -race ./internal/synth/... ./internal/pipeline/... ./internal/cdn/... ./internal/trace/... ./internal/obs/... ./internal/edge/... ./internal/loadgen/... ./internal/core/... ./internal/analysis/... ./internal/crawler/...
 
 # Fail if any file is not gofmt-clean (CI runs this before check).
 fmt-check:
@@ -40,6 +43,14 @@ check: vet tools race test
 
 bench:
 	$(GO) test -bench=. -benchmem -count=3 ./... | tee BENCH_local.txt
+
+# Memory benchmark of the streaming study core (fused
+# generate→replay→analyze plus the analyze-only pipeline), appended to
+# EXPERIMENTS.md so allocation regressions show up in review diffs.
+bench-mem:
+	@printf '\n### bench-mem (%s)\n\n```\n' "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" >> EXPERIMENTS.md
+	$(GO) test -run NONE -bench 'BenchmarkRunStreaming|BenchmarkAnalyzeOnly' -benchmem ./internal/core | tee -a EXPERIMENTS.md
+	@printf '```\n' >> EXPERIMENTS.md
 
 # Live serving demo: generate a trace, start the HTTP edge in the
 # background, replay the trace against it over loopback, then SIGINT the

@@ -7,15 +7,22 @@
 //	          [-replay] [-csv] [-debug-addr :6060] [-progress]
 //	          [-manifest run.json]
 //
-// Without -replay the trace is analyzed as-is (cache columns require a
-// trace that already carries cache verdicts); with -replay it is first
-// pushed through the CDN simulator.
+// Without -replay the trace is analyzed as-is in one streaming pass
+// (cache columns require a trace that already carries cache verdicts);
+// with -replay it is first pushed through the CDN simulator — warm-up
+// plus measured pass, both streaming, with the measured records fused
+// straight into the analysis pipeline.
+//
+// -figures restricts which analyses are constructed at all: an
+// unlisted figure's analyzer is never built, never folds a record, and
+// its tables are absent from the output.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 
@@ -44,6 +51,12 @@ func run() error {
 	)
 	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	cliobs.TuneBatchGC()
+
+	figList, err := parseFigures(*figures)
+	if err != nil {
+		return err
+	}
 
 	ctx, stop := cliobs.SignalContext()
 	defer stop()
@@ -57,52 +70,60 @@ func run() error {
 	// ETA tracks on-disk input bytes consumed (compressed bytes for .gz).
 	sess.SetProgress(sess.ReadProgress(cliobs.FileSize(*in)))
 
-	var r trace.Reader
-	if *in == "-" {
-		r = trace.NewTextReader(os.Stdin)
-	} else {
-		var f trace.Format
-		if *format != "" {
-			var err error
-			f, err = trace.ParseFormat(*format)
-			if err != nil {
-				return err
-			}
-		}
-		fr, err := trace.OpenFile(*in, f)
-		if err != nil {
-			return err
-		}
-		defer fr.Close()
-		r = fr
-	}
-	// SIGINT/SIGTERM unwinds the analysis via the reader; the deferred
-	// Finish still writes the manifest.
-	r = trace.NewContextReader(ctx, r)
-
-	study, err := core.NewStudy(core.Config{Scale: *scale, Workers: *workers, Metrics: sess.Registry()})
+	// NewStudy validates -figures against the analyzer registry and
+	// constructs only the analyzers covering the requested figures.
+	study, err := core.NewStudy(core.Config{Scale: *scale, Workers: *workers, Figures: figList, Metrics: sess.Registry()})
 	if err != nil {
 		return err
 	}
+
+	var fmtOverride trace.Format
+	if *format != "" {
+		fmtOverride, err = trace.ParseFormat(*format)
+		if err != nil {
+			return err
+		}
+	}
+
 	var results *core.Results
 	if *replay {
-		results, err = study.RunOn(r)
+		// The warm-up + measured protocol needs two passes, so the input
+		// must be reopenable: files reopen; stdin is buffered once.
+		var src trace.Source
+		if *in == "-" {
+			recs, err := trace.ReadAll(trace.NewContextReader(ctx, trace.NewTextReader(os.Stdin)))
+			if err != nil {
+				return err
+			}
+			src = trace.SliceSource(recs)
+		} else {
+			src = trace.ContextSource(ctx, trace.FileSource{Path: *in, Format: fmtOverride})
+		}
+		results, err = study.RunSource(src)
 	} else {
-		results, err = study.AnalyzeOnly(r)
+		// Single streaming pass; stdin works directly.
+		var r trace.Reader
+		if *in == "-" {
+			r = trace.NewTextReader(os.Stdin)
+		} else {
+			fr, err := trace.OpenFile(*in, fmtOverride)
+			if err != nil {
+				return err
+			}
+			defer fr.Close()
+			r = fr
+		}
+		// SIGINT/SIGTERM unwinds the analysis via the reader; the
+		// deferred Finish still writes the manifest.
+		results, err = study.AnalyzeOnly(trace.NewContextReader(ctx, r))
 	}
 	if err != nil {
 		return err
 	}
 
 	want := map[int]bool{}
-	if *figures != "" {
-		for _, tok := range strings.Split(*figures, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil {
-				return fmt.Errorf("bad figure number %q", tok)
-			}
-			want[n] = true
-		}
+	for _, n := range figList {
+		want[n] = true
 	}
 	for _, tab := range results.AllFigureTables() {
 		if len(want) > 0 && !tableWanted(tab, want) {
@@ -119,14 +140,37 @@ func run() error {
 	return sess.Finish(extra)
 }
 
-// tableWanted matches a rendered table title against requested figure
-// numbers ("Fig 3: ...").
-func tableWanted(tab *report.Table, want map[int]bool) bool {
-	title := tab.String()
-	for n := range want {
-		if strings.Contains(title, fmt.Sprintf("Fig %d:", n)) {
-			return true
-		}
+// parseFigures splits the -figures flag into figure numbers. Registry
+// validation (unknown numbers, the valid range) happens in
+// core.NewStudy.
+func parseFigures(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
 	}
-	return false
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, fmt.Errorf("bad figure number %q", tok)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// figTitle extracts the figure number from a rendered table title
+// ("Fig 3: ...", including lettered variants like "Fig 2a: ...").
+var figTitle = regexp.MustCompile(`Fig (\d+)[a-z]?:`)
+
+// tableWanted matches a rendered table against requested figure
+// numbers. An analyzer can cover several figures (composition renders
+// Figs 1, 2a and 2b), so the requested set prunes tables as well as
+// analyzers.
+func tableWanted(tab *report.Table, want map[int]bool) bool {
+	m := figTitle.FindStringSubmatch(tab.String())
+	if m == nil {
+		return false
+	}
+	n, err := strconv.Atoi(m[1])
+	return err == nil && want[n]
 }

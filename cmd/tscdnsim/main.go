@@ -1,7 +1,8 @@
 // Command tscdnsim replays a trace through the CDN simulator under one
 // or more cache configurations and reports hit ratios and origin/egress
 // traffic — the tool behind the paper's §V cache-optimization
-// discussion.
+// discussion. Every pass streams from the trace file, so traces far
+// larger than memory replay fine.
 //
 // Usage:
 //
@@ -11,10 +12,12 @@
 package main
 
 import (
-	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+
+	"flag"
 
 	"trafficscope/internal/cdn"
 	"trafficscope/internal/obs"
@@ -42,6 +45,7 @@ func run() error {
 	)
 	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	cliobs.TuneBatchGC()
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -56,64 +60,92 @@ func run() error {
 	extra := map[string]any{"in": *in, "policies": *policies, "capacity": *capacity}
 	defer sess.Finish(extra)
 
-	recs, err := loadTrace(*in, *format)
+	var fmtOverride trace.Format
+	if *format != "" {
+		fmtOverride, err = trace.ParseFormat(*format)
+		if err != nil {
+			return err
+		}
+	}
+	src := trace.ContextSource(ctx, trace.FileSource{Path: *in, Format: fmtOverride})
+
+	// A cheap counting pass sizes the progress bar (streaming — the trace
+	// is never held in memory). The input must be time-ordered; replay
+	// preserves the order it reads.
+	records, err := countRecords(src)
 	if err != nil {
 		return err
 	}
-	extra["records"] = len(recs)
+	extra["records"] = records
 	policyList := strings.Split(*policies, ",")
 	// Each policy replays the trace twice (warm-up + measured); the
 	// per-DC request counters are shared across policies, so their sum
 	// tracks overall progress.
-	sess.SetProgress(requestProgress(sess.Registry(), float64(2*len(policyList)*len(recs))))
+	sess.SetProgress(requestProgress(sess.Registry(), float64(2*len(policyList)*records)))
 
 	tab := report.NewTable("CDN cache policy comparison",
 		"policy", "requests", "hit ratio", "origin traffic", "egress traffic")
-	var lastReplay []*trace.Record
-	for _, name := range policyList {
+	for i, name := range policyList {
 		name = strings.TrimSpace(name)
 		factory, err := cdn.PolicyFactory(name, *capacity)
 		if err != nil {
 			return err
 		}
-		network := cdn.New(cdn.Config{NewCache: factory, ChunkBytes: *chunk, Metrics: sess.Registry()})
+		build := func() *cdn.CDN {
+			return cdn.New(cdn.Config{NewCache: factory, ChunkBytes: *chunk, Metrics: sess.Registry()})
+		}
+		// The measured pass of the final policy streams into -out (if
+		// set); other policies discard the finalized records.
+		sink := func(*trace.Record) error { return nil }
+		var fw *trace.FileWriter
+		if *out != "" && i == len(policyList)-1 {
+			fw, err = trace.CreateFile(*out, 0)
+			if err != nil {
+				return err
+			}
+			sink = fw.Write
+		}
 		// Warm-up pass models the steady-state CDN, then measure. Both
 		// passes read through a ContextReader so SIGINT unwinds the
 		// replay and the deferred Finish still writes the manifest.
-		discard := func(*trace.Record) error { return nil }
-		if err := network.Replay(trace.NewContextReader(ctx, trace.NewSliceReader(recs)), discard); err != nil {
-			return err
+		network, err := cdn.ReplaySource(build, src, sink)
+		if fw != nil {
+			if cerr := fw.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
 		}
-		network.ResetStats()
-		network.ResetClientState()
-		replayed, err := network.ReplayAll(trace.NewContextReader(ctx, trace.NewSliceReader(recs)))
 		if err != nil {
 			return err
 		}
 		stats := network.TotalStats()
 		tab.AddRow(name, stats.Requests, report.Percent(stats.HitRatio()),
 			report.Bytes(stats.OriginBytes), report.Bytes(stats.EgressBytes))
-		lastReplay = replayed
+		if fw != nil {
+			fmt.Fprintf(os.Stderr, "tscdnsim: wrote replayed trace to %s\n", *out)
+		}
 	}
 	fmt.Println(tab)
-
-	if *out != "" && lastReplay != nil {
-		fw, err := trace.CreateFile(*out, 0)
-		if err != nil {
-			return err
-		}
-		for _, r := range lastReplay {
-			if err := fw.Write(r); err != nil {
-				fw.Close()
-				return err
-			}
-		}
-		if err := fw.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "tscdnsim: wrote replayed trace to %s\n", *out)
-	}
 	return sess.Finish(extra)
+}
+
+// countRecords streams one pass over the source and counts records.
+func countRecords(src trace.Source) (int, error) {
+	r, err := src.Open()
+	if err != nil {
+		return 0, err
+	}
+	defer trace.CloseReader(r)
+	n := 0
+	for {
+		_, err := r.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		n++
+	}
 }
 
 // requestProgress sums the per-DC request counters into one progress
@@ -130,26 +162,4 @@ func requestProgress(reg *obs.Registry, total float64) obs.ProgressFunc {
 		}
 		return float64(done), total, "requests"
 	}
-}
-
-func loadTrace(path, format string) ([]*trace.Record, error) {
-	var f trace.Format
-	if format != "" {
-		var err error
-		f, err = trace.ParseFormat(format)
-		if err != nil {
-			return nil, err
-		}
-	}
-	fr, err := trace.OpenFile(path, f)
-	if err != nil {
-		return nil, err
-	}
-	defer fr.Close()
-	recs, err := trace.ReadAll(fr)
-	if err != nil {
-		return nil, err
-	}
-	trace.SortByTime(recs)
-	return recs, nil
 }

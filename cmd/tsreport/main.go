@@ -1,6 +1,8 @@
 // Command tsreport runs the full reproduction end to end — generate the
 // calibrated trace, replay it through the CDN simulator, run every
-// analysis — and prints one table per paper figure.
+// analysis — and prints one table per paper figure. The whole run
+// streams: generation, replay and analysis are fused, so peak memory is
+// bounded by the worker count rather than the trace length.
 //
 // Usage:
 //
@@ -41,6 +43,7 @@ func run() error {
 	)
 	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	cliobs.TuneBatchGC()
 
 	ctx, stop := cliobs.SignalContext()
 	defer stop()
@@ -57,27 +60,30 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	recs, err := study.Generator().Generate()
-	if err != nil {
-		return err
-	}
-	extra["records"] = len(recs)
-	// Progress tracks the analysis pipeline (the final pass over the
-	// replayed trace); the CDN warm-up/measured replays before it show
-	// as rate-only activity on the /metrics page.
-	sess.SetProgress(sess.CounterProgress("pipeline_records_total", float64(len(recs)), "records"))
-	results, err := study.RunOn(trace.NewContextReader(ctx, trace.NewSliceReader(recs)))
+	// Progress tracks the analysis pipeline (the measured pass streams
+	// straight into it) against the generator's expected record count;
+	// the CDN warm-up pass before it shows as rate-only activity on the
+	// /metrics page.
+	expected := study.Generator().ExpectedRecords()
+	sess.SetProgress(sess.CounterProgress("pipeline_records_total", expected, "records"))
+	// SIGINT/SIGTERM unwinds whichever generate/replay/analyze pass is in
+	// flight; the deferred Finish still writes the manifest.
+	src := trace.ContextSource(ctx, study.Source())
+	results, err := study.RunSource(src)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+	extra["records"] = results.Records
 
 	tables := results.AllFigureTables()
 	if *extras {
 		if ft, err := results.ForecastTable(24); err == nil {
 			tables = append(tables, ft)
 		}
-		if bt, err := results.CrawlerBaselineTable(recs, 24*time.Hour, 200); err == nil {
+		// The crawl baseline streams its own pass over the regenerated
+		// trace, so even the extras never materialize the trace.
+		if bt, err := results.CrawlerBaselineTableSource(src, 24*time.Hour, 200); err == nil {
 			tables = append(tables, bt)
 		}
 	}

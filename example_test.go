@@ -18,7 +18,7 @@ func ExampleNewStudy() {
 	if err != nil {
 		panic(err)
 	}
-	b := results.Composition.Site("V-1")
+	b := results.Composition().Site("V-1")
 	fmt.Printf("V-1 video request share above 90%%: %v\n",
 		b.RequestFrac(trafficscope.CategoryVideo) > 0.9)
 	// Output:

@@ -50,8 +50,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sessions := res2.Sessions.SessionsOf("V-1")
-		mean := res2.Sessions.MeanRequestsPerSession("V-1")
+		sessions := res2.Sessions().SessionsOf("V-1")
+		mean := res2.Sessions().MeanRequestsPerSession("V-1")
 		fmt.Printf("   timeout %-6v -> %5d sessions, %.2f requests/session\n",
 			timeout, len(sessions), mean)
 	}

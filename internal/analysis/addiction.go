@@ -21,6 +21,15 @@ type pairKey struct {
 	user uint64
 }
 
+func init() {
+	Register(Descriptor{
+		Name:    "addiction",
+		Figures: []int{13, 14},
+		New:     func(Params) Analyzer { return NewAddiction() },
+		Merge:   mergeAs[*Addiction],
+	})
+}
+
 // NewAddiction creates an empty accumulator.
 func NewAddiction() *Addiction {
 	return &Addiction{sites: map[string]map[trace.Category]map[pairKey]int64{}}

@@ -17,6 +17,15 @@ type Aging struct {
 	sites map[string]map[uint64]*[7]bool // site -> object -> requested-on-day
 }
 
+func init() {
+	Register(Descriptor{
+		Name:    "aging",
+		Figures: []int{7},
+		New:     func(p Params) Analyzer { return NewAging(p.Week) },
+		Merge:   mergeAs[*Aging],
+	})
+}
+
 // NewAging creates an accumulator over the given trace week.
 func NewAging(week timeutil.Week) *Aging {
 	return &Aging{week: week, sites: map[string]map[uint64]*[7]bool{}}

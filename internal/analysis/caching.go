@@ -31,6 +31,15 @@ func newCachingSite() *cachingSite {
 	}
 }
 
+func init() {
+	Register(Descriptor{
+		Name:    "caching",
+		Figures: []int{15, 16},
+		New:     func(Params) Analyzer { return NewCaching() },
+		Merge:   mergeAs[*Caching],
+	})
+}
+
 // NewCaching creates an empty accumulator.
 func NewCaching() *Caching {
 	return &Caching{sites: map[string]*cachingSite{}}
@@ -173,6 +182,7 @@ func (c *Caching) HitRatioByPopularityDecile(site string) []float64 {
 		return nil
 	}
 	type obj struct {
+		id      uint64
 		lookups int64
 		ratio   float64
 	}
@@ -181,12 +191,20 @@ func (c *Caching) HitRatioByPopularityDecile(site string) []float64 {
 		if lookups == 0 {
 			continue
 		}
-		objs = append(objs, obj{lookups: lookups, ratio: float64(s.hits[id]) / float64(lookups)})
+		objs = append(objs, obj{id: id, lookups: lookups, ratio: float64(s.hits[id]) / float64(lookups)})
 	}
 	if len(objs) < 10 {
 		return nil
 	}
-	sort.Slice(objs, func(i, j int) bool { return objs[i].lookups < objs[j].lookups })
+	// Tie-break equal lookup counts by id: objs comes from map iteration,
+	// and without a total order equal-popularity objects would land in
+	// different deciles from run to run.
+	sort.Slice(objs, func(i, j int) bool {
+		if objs[i].lookups != objs[j].lookups {
+			return objs[i].lookups < objs[j].lookups
+		}
+		return objs[i].id < objs[j].id
+	})
 	out := make([]float64, 10)
 	for d := 0; d < 10; d++ {
 		lo := d * len(objs) / 10

@@ -14,16 +14,28 @@ import (
 
 // ObjectSeries accumulates per-object hour-of-week request-count time
 // series, the input to the paper's §IV-B DTW clustering (Figs. 8-10).
+// Counts are held as float32 — request counts are integers well below
+// 2^24, so the narrower cells are exact while halving the footprint of
+// the largest per-object allocation in a streaming run.
 type ObjectSeries struct {
 	week  timeutil.Week
-	sites map[string]map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float64
+	sites map[string]map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float32
+}
+
+func init() {
+	Register(Descriptor{
+		Name:    "series",
+		Figures: []int{8, 9, 10},
+		New:     func(p Params) Analyzer { return NewObjectSeries(p.Week) },
+		Merge:   mergeAs[*ObjectSeries],
+	})
 }
 
 // NewObjectSeries creates an accumulator over the given trace week.
 func NewObjectSeries(week timeutil.Week) *ObjectSeries {
 	return &ObjectSeries{
 		week:  week,
-		sites: map[string]map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float64{},
+		sites: map[string]map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float32{},
 	}
 }
 
@@ -35,18 +47,18 @@ func (s *ObjectSeries) Add(r *trace.Record) {
 	}
 	site, ok := s.sites[r.Publisher]
 	if !ok {
-		site = map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float64{}
+		site = map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float32{}
 		s.sites[r.Publisher] = site
 	}
 	cat := r.Category()
 	objs, ok := site[cat]
 	if !ok {
-		objs = map[uint64]*[timeutil.HoursPerWeek]float64{}
+		objs = map[uint64]*[timeutil.HoursPerWeek]float32{}
 		site[cat] = objs
 	}
 	series, ok := objs[r.ObjectID]
 	if !ok {
-		series = &[timeutil.HoursPerWeek]float64{}
+		series = &[timeutil.HoursPerWeek]float32{}
 		objs[r.ObjectID] = series
 	}
 	series[idx]++
@@ -57,19 +69,19 @@ func (s *ObjectSeries) Merge(o *ObjectSeries) {
 	for site, cats := range o.sites {
 		mine, ok := s.sites[site]
 		if !ok {
-			mine = map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float64{}
+			mine = map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float32{}
 			s.sites[site] = mine
 		}
 		for cat, objs := range cats {
 			m, ok := mine[cat]
 			if !ok {
-				m = map[uint64]*[timeutil.HoursPerWeek]float64{}
+				m = map[uint64]*[timeutil.HoursPerWeek]float32{}
 				mine[cat] = m
 			}
 			for id, series := range objs {
 				dst, ok := m[id]
 				if !ok {
-					dst = &[timeutil.HoursPerWeek]float64{}
+					dst = &[timeutil.HoursPerWeek]float32{}
 					m[id] = dst
 				}
 				for h, v := range series {
@@ -93,11 +105,11 @@ func (s *ObjectSeries) SeriesSet(site string, cat trace.Category, minRequests fl
 	type cand struct {
 		id    uint64
 		total float64
-		raw   *[timeutil.HoursPerWeek]float64
+		raw   *[timeutil.HoursPerWeek]float32
 	}
 	var cands []cand
 	for id, raw := range site2[cat] {
-		total := stats.Sum(raw[:])
+		total := sum32(raw)
 		if total >= minRequests {
 			cands = append(cands, cand{id: id, total: total, raw: raw})
 		}
@@ -113,9 +125,28 @@ func (s *ObjectSeries) SeriesSet(site string, cat trace.Category, minRequests fl
 	}
 	for _, c := range cands {
 		ids = append(ids, c.id)
-		series = append(series, stats.Normalize(c.raw[:]))
+		series = append(series, stats.Normalize(widen(c.raw)))
 	}
 	return ids, series
+}
+
+// sum32 totals a stored series.
+func sum32(raw *[timeutil.HoursPerWeek]float32) float64 {
+	var total float64
+	for _, v := range raw {
+		total += float64(v)
+	}
+	return total
+}
+
+// widen converts a stored series back to the float64 slice the DTW and
+// normalization code operates on.
+func widen(raw *[timeutil.HoursPerWeek]float32) []float64 {
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		out[i] = float64(v)
+	}
+	return out
 }
 
 // ClusterOptions configures ClusterSeries.

@@ -108,6 +108,15 @@ type Composition struct {
 	sites map[string]*compSite
 }
 
+func init() {
+	Register(Descriptor{
+		Name:    "composition",
+		Figures: []int{1, 2},
+		New:     func(Params) Analyzer { return NewComposition() },
+		Merge:   mergeAs[*Composition],
+	})
+}
+
 // NewComposition creates an empty accumulator.
 func NewComposition() *Composition {
 	return &Composition{sites: map[string]*compSite{}}

@@ -12,11 +12,27 @@ import (
 // header.
 type DeviceMix struct {
 	sites map[string]map[useragent.Device]map[uint64]bool
+	// parsed memoizes UA classification: agent strings repeat across
+	// records, and useragent.Parse allocates a lowered copy per call.
+	// Bounded so a trace of unique agents cannot grow it without limit.
+	parsed map[string]useragent.Device
+}
+
+func init() {
+	Register(Descriptor{
+		Name:    "devices",
+		Figures: []int{4},
+		New:     func(Params) Analyzer { return NewDeviceMix() },
+		Merge:   mergeAs[*DeviceMix],
+	})
 }
 
 // NewDeviceMix creates an empty accumulator.
 func NewDeviceMix() *DeviceMix {
-	return &DeviceMix{sites: map[string]map[useragent.Device]map[uint64]bool{}}
+	return &DeviceMix{
+		sites:  map[string]map[useragent.Device]map[uint64]bool{},
+		parsed: map[string]useragent.Device{},
+	}
 }
 
 // Add folds one record.
@@ -26,7 +42,13 @@ func (d *DeviceMix) Add(r *trace.Record) {
 		site = map[useragent.Device]map[uint64]bool{}
 		d.sites[r.Publisher] = site
 	}
-	dev := useragent.Parse(r.UserAgent).Device
+	dev, ok := d.parsed[r.UserAgent]
+	if !ok {
+		dev = useragent.Parse(r.UserAgent).Device
+		if len(d.parsed) < 1<<14 {
+			d.parsed[r.UserAgent] = dev
+		}
+	}
 	users, ok := site[dev]
 	if !ok {
 		users = map[uint64]bool{}

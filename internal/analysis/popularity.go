@@ -13,6 +13,15 @@ type Popularity struct {
 	sites map[string]map[trace.Category]map[uint64]int64
 }
 
+func init() {
+	Register(Descriptor{
+		Name:    "popularity",
+		Figures: []int{6},
+		New:     func(Params) Analyzer { return NewPopularity() },
+		Merge:   mergeAs[*Popularity],
+	})
+}
+
 // NewPopularity creates an empty accumulator.
 func NewPopularity() *Popularity {
 	return &Popularity{sites: map[string]map[trace.Category]map[uint64]int64{}}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// Params carries the per-study inputs analyzer constructors close over.
+type Params struct {
+	// Week is the observation window.
+	Week timeutil.Week
+	// SessionTimeout is the session boundary gap; zero uses the paper's
+	// default (see NewSessions).
+	SessionTimeout time.Duration
+}
+
+// Analyzer is the streaming interface every analysis implements: fold
+// one record at a time. Analyses must be fold-order-insensitive across
+// workers (the parallel pipeline assigns batches to workers arbitrarily
+// and merges at the end).
+type Analyzer interface {
+	Add(*trace.Record)
+}
+
+// Descriptor registers one analysis with the study core. Each analysis
+// file registers its own descriptor in an init func, so adding a new
+// analysis touches only that file: the study's accumulator, figure
+// pruning and result plumbing are all driven off the registry.
+type Descriptor struct {
+	// Name uniquely identifies the analysis (e.g. "composition").
+	Name string
+	// Figures lists the paper figures this analysis covers. Analyses
+	// with no figure (e.g. the forecasting feed) leave it empty; they
+	// are only constructed when the study runs unpruned.
+	Figures []int
+	// New constructs a fresh accumulator for the given study inputs.
+	New func(Params) Analyzer
+	// Merge folds src into dst. Both are values produced by New.
+	Merge func(dst, src Analyzer)
+}
+
+// mergeAs adapts a typed Merge method to the registry's untyped
+// signature; descriptor authors use it as Merge: mergeAs[*Composition].
+func mergeAs[T interface {
+	Analyzer
+	Merge(T)
+}](dst, src Analyzer) {
+	dst.(T).Merge(src.(T))
+}
+
+// registry holds every registered analysis in registration order
+// (deterministic: init funcs run in file-name order within the package).
+var registry []Descriptor
+
+// Register adds an analysis descriptor. It panics on duplicate names or
+// incomplete descriptors — registration happens in init funcs, so a bad
+// entry is a programming error caught by any test run.
+func Register(d Descriptor) {
+	if d.Name == "" || d.New == nil || d.Merge == nil {
+		panic(fmt.Sprintf("analysis: incomplete descriptor %+v", d))
+	}
+	for _, e := range registry {
+		if e.Name == d.Name {
+			panic(fmt.Sprintf("analysis: duplicate analyzer %q", d.Name))
+		}
+	}
+	registry = append(registry, d)
+}
+
+// Registered returns every registered descriptor in registration order.
+// The returned slice is a copy.
+func Registered() []Descriptor {
+	out := make([]Descriptor, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName looks up one descriptor.
+func ByName(name string) (Descriptor, bool) {
+	for _, d := range registry {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Descriptor{}, false
+}
+
+// CoveredFigures returns the sorted union of figure numbers covered by
+// registered analyses.
+func CoveredFigures() []int {
+	seen := map[int]bool{}
+	for _, d := range registry {
+		for _, f := range d.Figures {
+			seen[f] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ForFigures selects the descriptors needed to cover the requested
+// figures. nil or empty figures selects every registered analysis.
+// Figure numbers no registered analysis covers are an error, listing
+// the valid set — a CLI typo should fail loudly, not silently print
+// nothing.
+func ForFigures(figures []int) ([]Descriptor, error) {
+	if len(figures) == 0 {
+		return Registered(), nil
+	}
+	covered := map[int]bool{}
+	for _, f := range CoveredFigures() {
+		covered[f] = true
+	}
+	want := map[int]bool{}
+	for _, f := range figures {
+		if !covered[f] {
+			return nil, fmt.Errorf("analysis: no analyzer covers figure %d (covered figures: %s)",
+				f, figureRange())
+		}
+		want[f] = true
+	}
+	var out []Descriptor
+	for _, d := range registry {
+		for _, f := range d.Figures {
+			if want[f] {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// figureRange renders the covered set compactly ("1-16").
+func figureRange() string {
+	figs := CoveredFigures()
+	if len(figs) == 0 {
+		return "none"
+	}
+	// Collapse runs of consecutive numbers.
+	var parts []string
+	for i := 0; i < len(figs); {
+		j := i
+		for j+1 < len(figs) && figs[j+1] == figs[j]+1 {
+			j++
+		}
+		if j > i {
+			parts = append(parts, fmt.Sprintf("%d-%d", figs[i], figs[j]))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d", figs[i]))
+		}
+		i = j + 1
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += "," + p
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+func TestRegistryCoversEveryAnalysis(t *testing.T) {
+	wantNames := []string{
+		"composition", "hourly", "devices", "sizes", "popularity",
+		"aging", "series", "weekseries", "sessions", "addiction", "caching",
+	}
+	byName := map[string]Descriptor{}
+	for _, d := range Registered() {
+		byName[d.Name] = d
+	}
+	for _, name := range wantNames {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("analyzer %q not registered", name)
+		}
+	}
+	if len(byName) != len(wantNames) {
+		t.Errorf("registered %d analyzers, want %d", len(byName), len(wantNames))
+	}
+}
+
+func TestRegistryCoversFigures1Through16(t *testing.T) {
+	covered := map[int]bool{}
+	for _, f := range CoveredFigures() {
+		covered[f] = true
+	}
+	for f := 1; f <= 16; f++ {
+		if !covered[f] {
+			t.Errorf("figure %d not covered by any analyzer", f)
+		}
+	}
+}
+
+func TestForFiguresPrunes(t *testing.T) {
+	descs, err := ForFigures([]int{3, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, d := range descs {
+		names[d.Name] = true
+	}
+	if !names["hourly"] || !names["sessions"] {
+		t.Errorf("figures 3,11 should select hourly+sessions, got %v", names)
+	}
+	if len(names) != 2 {
+		t.Errorf("figures 3,11 selected %v, want exactly 2 analyzers", names)
+	}
+}
+
+func TestForFiguresAllWhenEmpty(t *testing.T) {
+	descs, err := ForFigures(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != len(Registered()) {
+		t.Errorf("nil figures selected %d of %d analyzers", len(descs), len(Registered()))
+	}
+}
+
+func TestForFiguresRejectsUnknown(t *testing.T) {
+	if _, err := ForFigures([]int{3, 99}); err == nil {
+		t.Error("figure 99 should be rejected")
+	}
+	if _, err := ForFigures([]int{0}); err == nil {
+		t.Error("figure 0 should be rejected")
+	}
+}
+
+// TestDescriptorsConstructAndMerge exercises every registered analysis
+// through the untyped registry interface: construct two accumulators,
+// fold a record into each, merge — no panics, and the merge functions
+// accept the constructors' concrete types.
+func TestDescriptorsConstructAndMerge(t *testing.T) {
+	week := timeutil.NewWeek(time.Date(2015, 10, 3, 0, 0, 0, 0, time.UTC))
+	p := Params{Week: week, SessionTimeout: 10 * time.Minute}
+	rec := &trace.Record{
+		Timestamp:   week.HourStart(1).Add(time.Minute),
+		Publisher:   "V-1",
+		ObjectID:    7,
+		FileType:    trace.FileMP4,
+		ObjectSize:  1000,
+		BytesServed: 1000,
+		UserID:      3,
+		UserAgent:   "UA",
+		Region:      timeutil.RegionEurope,
+		StatusCode:  200,
+		Cache:       trace.CacheHit,
+	}
+	for _, d := range Registered() {
+		a, b := d.New(p), d.New(p)
+		a.Add(rec)
+		b.Add(rec)
+		d.Merge(a, b)
+	}
+}

@@ -21,9 +21,21 @@ const DefaultSessionTimeout = 10 * time.Minute
 //
 // Sessions buffers per-user timestamps and computes on demand; it is a
 // two-pass analysis by nature (per-user ordering is required).
+// Timestamps are stored as Unix nanoseconds — one word per request
+// instead of a 3-word time.Time — because this buffer is the largest
+// analyzer allocation in a streaming run.
 type Sessions struct {
 	timeout time.Duration
-	sites   map[string]map[uint64][]time.Time
+	sites   map[string]map[uint64][]int64
+}
+
+func init() {
+	Register(Descriptor{
+		Name:    "sessions",
+		Figures: []int{11, 12},
+		New:     func(p Params) Analyzer { return NewSessions(p.SessionTimeout) },
+		Merge:   mergeAs[*Sessions],
+	})
 }
 
 // NewSessions creates an accumulator with the given session timeout;
@@ -32,7 +44,7 @@ func NewSessions(timeout time.Duration) *Sessions {
 	if timeout <= 0 {
 		timeout = DefaultSessionTimeout
 	}
-	return &Sessions{timeout: timeout, sites: map[string]map[uint64][]time.Time{}}
+	return &Sessions{timeout: timeout, sites: map[string]map[uint64][]int64{}}
 }
 
 // Timeout returns the configured session timeout.
@@ -42,10 +54,10 @@ func (s *Sessions) Timeout() time.Duration { return s.timeout }
 func (s *Sessions) Add(r *trace.Record) {
 	site, ok := s.sites[r.Publisher]
 	if !ok {
-		site = map[uint64][]time.Time{}
+		site = map[uint64][]int64{}
 		s.sites[r.Publisher] = site
 	}
-	site[r.UserID] = append(site[r.UserID], r.Timestamp)
+	site[r.UserID] = append(site[r.UserID], r.Timestamp.UnixNano())
 }
 
 // Merge folds another accumulator in.
@@ -53,7 +65,7 @@ func (s *Sessions) Merge(o *Sessions) {
 	for site, users := range o.sites {
 		mine, ok := s.sites[site]
 		if !ok {
-			mine = map[uint64][]time.Time{}
+			mine = map[uint64][]int64{}
 			s.sites[site] = mine
 		}
 		for u, ts := range users {
@@ -86,7 +98,7 @@ func (s *Sessions) IATSeconds(site string) []float64 {
 		}
 		sorted := sortedTimes(ts)
 		for i := 1; i < len(sorted); i++ {
-			out = append(out, sorted[i].Sub(sorted[i-1]).Seconds())
+			out = append(out, time.Duration(sorted[i]-sorted[i-1]).Seconds())
 		}
 	}
 	return out
@@ -128,15 +140,15 @@ func (s *Sessions) SessionsOf(site string) []Session {
 		last := sorted[0]
 		n := 1
 		for i := 1; i < len(sorted); i++ {
-			if sorted[i].Sub(last) > s.timeout {
-				out = append(out, Session{User: u, Start: start, Length: last.Sub(start), Requests: n})
+			if time.Duration(sorted[i]-last) > s.timeout {
+				out = append(out, Session{User: u, Start: time.Unix(0, start).UTC(), Length: time.Duration(last - start), Requests: n})
 				start = sorted[i]
 				n = 0
 			}
 			last = sorted[i]
 			n++
 		}
-		out = append(out, Session{User: u, Start: start, Length: last.Sub(start), Requests: n})
+		out = append(out, Session{User: u, Start: time.Unix(0, start).UTC(), Length: time.Duration(last - start), Requests: n})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].Start.Equal(out[j].Start) {
@@ -251,9 +263,9 @@ func (s *Sessions) TimeoutKnee(site string) time.Duration {
 	return time.Duration(center * float64(time.Second))
 }
 
-func sortedTimes(ts []time.Time) []time.Time {
-	out := make([]time.Time, len(ts))
+func sortedTimes(ts []int64) []int64 {
+	out := make([]int64, len(ts))
 	copy(out, ts)
-	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

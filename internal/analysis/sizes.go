@@ -14,6 +14,15 @@ type SizeDistribution struct {
 	sites map[string]map[trace.Category]map[uint64]int64
 }
 
+func init() {
+	Register(Descriptor{
+		Name:    "sizes",
+		Figures: []int{5},
+		New:     func(Params) Analyzer { return NewSizeDistribution() },
+		Merge:   mergeAs[*SizeDistribution],
+	})
+}
+
 // NewSizeDistribution creates an empty accumulator.
 func NewSizeDistribution() *SizeDistribution {
 	return &SizeDistribution{sites: map[string]map[trace.Category]map[uint64]int64{}}

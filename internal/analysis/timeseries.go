@@ -16,6 +16,23 @@ type HourlyVolume struct {
 	sites map[string]*[24]float64
 }
 
+func init() {
+	Register(Descriptor{
+		Name:    "hourly",
+		Figures: []int{3},
+		New:     func(Params) Analyzer { return NewHourlyVolume() },
+		Merge:   mergeAs[*HourlyVolume],
+	})
+	// The hour-of-week series has no paper figure of its own: it feeds
+	// the forecasting comparison, so it is only constructed when the
+	// study runs unpruned.
+	Register(Descriptor{
+		Name:  "weekseries",
+		New:   func(p Params) Analyzer { return NewLocalHourOfWeekSeries(p.Week) },
+		Merge: mergeAs[*HourOfWeekSeries],
+	})
+}
+
 // NewHourlyVolume creates an empty accumulator.
 func NewHourlyVolume() *HourlyVolume {
 	return &HourlyVolume{sites: map[string]*[24]float64{}}

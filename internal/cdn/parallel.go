@@ -1,65 +1,25 @@
 package cdn
 
 import (
-	"fmt"
-	"sync"
-
-	"trafficscope/internal/timeutil"
 	"trafficscope/internal/trace"
 )
 
 // ReplayParallel replays records through the CDN with one worker per
-// data center, preserving per-DC request order. It is safe because every
-// piece of per-request state (the edge cache, browser-cache freshness,
-// request sequencing) is owned by a single region's worker — clients
-// belong to exactly one region in valid traces. The function verifies
-// that region stability and refuses traces that violate it.
-//
-// The finalized records are returned sorted by timestamp. Aggregate
-// counters (TotalStats, per-DC stats) match a sequential Replay of the
-// same trace exactly.
+// data center and collects the finalized records, sorted by timestamp.
+// It is the buffered convenience form of ReplayStream — same worker
+// model, same region-stability requirement (region-unstable traces fail
+// with an error wrapping ErrRegionUnstable), same stats guarantees —
+// for callers that want the replayed trace as a slice. Callers that
+// fold records as they arrive should use ReplayStream directly and stay
+// in bounded memory.
 func (c *CDN) ReplayParallel(r trace.Reader) ([]*trace.Record, error) {
-	all, err := trace.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("cdn: parallel replay read: %w", err)
-	}
-	// Partition by region, verifying user-region stability.
-	byRegion := map[timeutil.Region][]*trace.Record{}
-	userRegion := make(map[uint64]timeutil.Region, 1024)
-	for _, rec := range all {
-		if prev, ok := userRegion[rec.UserID]; ok && prev != rec.Region {
-			return nil, fmt.Errorf("cdn: user %x appears in regions %v and %v; parallel replay requires region-stable users",
-				rec.UserID, prev, rec.Region)
-		}
-		userRegion[rec.UserID] = rec.Region
-		byRegion[rec.Region] = append(byRegion[rec.Region], rec)
-	}
-
-	type shard struct {
-		region timeutil.Region
-		out    []*trace.Record
-	}
-	shards := make([]*shard, 0, len(byRegion))
-	for region := range byRegion {
-		shards = append(shards, &shard{region: region})
-	}
-	var wg sync.WaitGroup
-	for _, sh := range shards {
-		wg.Add(1)
-		go func(sh *shard) {
-			defer wg.Done()
-			recs := byRegion[sh.region]
-			sh.out = make([]*trace.Record, 0, len(recs))
-			state := newClientState()
-			for _, rec := range recs {
-				sh.out = append(sh.out, c.serve(rec, state, nil))
-			}
-		}(sh)
-	}
-	wg.Wait()
 	var out []*trace.Record
-	for _, sh := range shards {
-		out = append(out, sh.out...)
+	err := c.ReplayStream(r, func(rec *trace.Record) error {
+		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	trace.SortByTime(out)
 	return out, nil

@@ -1,0 +1,197 @@
+package cdn
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// ErrRegionUnstable reports a trace in which some user appears in more
+// than one region; per-region parallel replay owns client state per
+// region worker, so such traces must fall back to sequential replay.
+var ErrRegionUnstable = errors.New("cdn: parallel replay requires region-stable users")
+
+// streamBuf bounds the per-region channel depth; with R regions in
+// flight the replay holds at most R×2×streamBuf records plus the order
+// queue — O(workers × batch) memory, independent of trace length.
+const streamBuf = 1024
+
+// streamWorker is one region's serve lane: records enter in in input
+// order, finalized records leave out in the same order.
+type streamWorker struct {
+	in  chan *trace.Record
+	out chan *trace.Record
+}
+
+// ReplayStream replays records through the CDN with one worker per data
+// center, streaming: records flow reader → per-region workers → sink
+// with no full-trace buffering, so a week-long on-disk trace replays in
+// bounded memory. Per-DC request order is preserved (each region's
+// records are served sequentially by its worker), and the sink receives
+// finalized records in exactly the reader's order, so a time-ordered
+// input yields a time-ordered output stream.
+//
+// Parallelism is safe for the same reason ReplayParallel's is: every
+// piece of per-request state (the edge cache, browser-cache freshness,
+// request sequencing) is owned by a single region's worker, because
+// clients belong to exactly one region in valid traces. The stream
+// verifies that region stability and fails with ErrRegionUnstable on
+// traces that violate it. Aggregate counters (TotalStats, per-DC stats)
+// match a sequential Replay of the same trace exactly.
+func (c *CDN) ReplayStream(r trace.Reader, sink func(*trace.Record) error) error {
+	workers := map[timeutil.Region]*streamWorker{}
+	// order carries, per input record, the worker that serves it; the
+	// collector pairs each entry with that worker's next output, which
+	// reconstructs global input order from the per-region streams.
+	order := make(chan *streamWorker, 4*streamBuf)
+
+	var wg sync.WaitGroup
+	startWorker := func() *streamWorker {
+		w := &streamWorker{
+			in:  make(chan *trace.Record, streamBuf),
+			out: make(chan *trace.Record, streamBuf),
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			state := newClientState()
+			for rec := range w.in {
+				// Every queued record must produce exactly one output —
+				// the collector pairs order entries with outputs — so
+				// serving continues even after an abort; the tail is at
+				// most the buffered in-flight window.
+				w.out <- c.serve(rec, state, nil)
+			}
+		}()
+		return w
+	}
+
+	// The collector delivers finalized records to the sink in input
+	// order. On a sink error it keeps draining (skipping the sink) so
+	// workers and the dispatcher unwind promptly.
+	var sinkErr error
+	var stop atomic.Bool
+	collectorDone := make(chan struct{})
+	go func() {
+		defer close(collectorDone)
+		for w := range order {
+			rec := <-w.out
+			if sinkErr != nil {
+				continue
+			}
+			if err := sink(rec); err != nil {
+				sinkErr = err
+				stop.Store(true)
+			}
+		}
+	}()
+
+	// Dispatch loop: route each record to its region's worker, checking
+	// user-region stability on the fly.
+	var readErr error
+	userRegion := make(map[uint64]timeutil.Region, 1024)
+	for !stop.Load() {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			readErr = fmt.Errorf("cdn: replay read: %w", err)
+			break
+		}
+		if prev, ok := userRegion[rec.UserID]; ok && prev != rec.Region {
+			readErr = fmt.Errorf("%w: user %x appears in regions %v and %v",
+				ErrRegionUnstable, rec.UserID, prev, rec.Region)
+			break
+		}
+		userRegion[rec.UserID] = rec.Region
+		w := workers[rec.Region]
+		if w == nil {
+			w = startWorker()
+			workers[rec.Region] = w
+		}
+		// The in-send must precede the order entry: the collector
+		// assumes every order entry has a matching output coming.
+		w.in <- rec
+		order <- w
+	}
+
+	for _, w := range workers {
+		close(w.in)
+	}
+	close(order)
+	<-collectorDone
+	wg.Wait()
+	if readErr != nil {
+		return readErr
+	}
+	return sinkErr
+}
+
+// ReplaySource runs the steady-state measurement protocol over a
+// reopenable trace source, streaming both passes: a warm-up pass fills
+// the edge caches and is discarded, then counters and client state
+// reset, and the measured pass streams finalized records to sink in
+// input order. build constructs the CDN; it is called once, or twice
+// when the trace turns out to be region-unstable — the partially warmed
+// first CDN is thrown away and a fresh one replays both passes
+// sequentially. The CDN that served the measured pass is returned for
+// its stats.
+func ReplaySource(build func() *CDN, src trace.Source, sink func(*trace.Record) error) (*CDN, error) {
+	c := build()
+	discard := func(*trace.Record) error { return nil }
+
+	warm, err := src.Open()
+	if err != nil {
+		return nil, fmt.Errorf("cdn: open warm-up pass: %w", err)
+	}
+	err = c.ReplayStream(warm, discard)
+	trace.CloseReader(warm)
+	if errors.Is(err, ErrRegionUnstable) {
+		// Region-unstable users: redo both passes sequentially on a
+		// fresh CDN (the aborted parallel warm-up left partial state).
+		c = build()
+		warm, err := src.Open()
+		if err != nil {
+			return nil, fmt.Errorf("cdn: open warm-up pass: %w", err)
+		}
+		err = c.Replay(warm, discard)
+		trace.CloseReader(warm)
+		if err != nil {
+			return nil, fmt.Errorf("cdn: warm-up replay: %w", err)
+		}
+		c.ResetStats()
+		c.ResetClientState()
+		measured, err := src.Open()
+		if err != nil {
+			return nil, fmt.Errorf("cdn: open measured pass: %w", err)
+		}
+		err = c.Replay(measured, sink)
+		trace.CloseReader(measured)
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cdn: warm-up replay: %w", err)
+	}
+
+	c.ResetStats()
+	c.ResetClientState()
+	measured, err := src.Open()
+	if err != nil {
+		return nil, fmt.Errorf("cdn: open measured pass: %w", err)
+	}
+	err = c.ReplayStream(measured, sink)
+	trace.CloseReader(measured)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}

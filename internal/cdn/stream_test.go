@@ -1,0 +1,187 @@
+package cdn
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// TestReplayStreamMatchesSequential checks that the streaming parallel
+// replay delivers the same records in the same order, and the same
+// aggregate stats, as a sequential Replay of the same trace.
+func TestReplayStreamMatchesSequential(t *testing.T) {
+	recs := regionStableTrace(8000, 3)
+	mk := func() *CDN {
+		return New(Config{
+			NewCache:    func() Cache { return NewLRU(64 << 20) },
+			IsIncognito: func(_ string, u uint64) bool { return u%2 == 0 },
+			P403:        0.01,
+			P416:        0.005,
+		})
+	}
+
+	seqCDN := mk()
+	seq, err := seqCDN.ReplayAll(trace.NewSliceReader(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	strCDN := mk()
+	var got []*trace.Record
+	err = strCDN.ReplayStream(trace.NewSliceReader(recs), func(rec *trace.Record) error {
+		got = append(got, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(seq) != len(got) {
+		t.Fatalf("lengths: %d vs %d", len(seq), len(got))
+	}
+	if seqCDN.TotalStats() != strCDN.TotalStats() {
+		t.Errorf("stats differ:\nseq %+v\nstr %+v", seqCDN.TotalStats(), strCDN.TotalStats())
+	}
+	for _, region := range timeutil.AllRegions() {
+		if seqCDN.DC(region).Stats != strCDN.DC(region).Stats {
+			t.Errorf("region %v stats differ", region)
+		}
+	}
+	// The sink must see records in input order — no sort applied here.
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], got[i]) {
+			t.Fatalf("record %d differs:\nseq %+v\nstr %+v", i, seq[i], got[i])
+		}
+	}
+}
+
+// TestReplayStreamRejectsRegionUnstableUsers verifies the mid-stream
+// stability check fires and the error unwraps to ErrRegionUnstable.
+func TestReplayStreamRejectsRegionUnstableUsers(t *testing.T) {
+	recs := regionStableTrace(10, 4)
+	bad := *recs[0]
+	bad.Region = timeutil.RegionAsia
+	if recs[0].Region == timeutil.RegionAsia {
+		bad.Region = timeutil.RegionEurope
+	}
+	bad.Timestamp = recs[len(recs)-1].Timestamp.Add(time.Minute)
+	recs = append(recs, &bad)
+
+	c := New(Config{})
+	err := c.ReplayStream(trace.NewSliceReader(recs), func(*trace.Record) error { return nil })
+	if err == nil {
+		t.Fatal("region-unstable trace should be rejected")
+	}
+	if !errors.Is(err, ErrRegionUnstable) {
+		t.Errorf("error %v does not wrap ErrRegionUnstable", err)
+	}
+}
+
+func TestReplayStreamEmptyTrace(t *testing.T) {
+	c := New(Config{})
+	n := 0
+	err := c.ReplayStream(trace.NewSliceReader(nil), func(*trace.Record) error { n++; return nil })
+	if err != nil || n != 0 {
+		t.Errorf("empty: %d records, %v", n, err)
+	}
+}
+
+// TestReplayStreamSinkError checks a failing sink aborts the replay
+// promptly and the sink error is returned.
+func TestReplayStreamSinkError(t *testing.T) {
+	recs := regionStableTrace(5000, 5)
+	c := New(Config{})
+	boom := errors.New("sink boom")
+	seen := 0
+	err := c.ReplayStream(trace.NewSliceReader(recs), func(*trace.Record) error {
+		seen++
+		if seen == 100 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if seen != 100 {
+		t.Errorf("sink called %d times after error, want exactly 100", seen)
+	}
+}
+
+// TestReplaySourceMatchesWarmedReplay checks the streaming two-pass
+// protocol produces the same measured stats and records as the buffered
+// WarmedReplay path.
+func TestReplaySourceMatchesWarmedReplay(t *testing.T) {
+	recs := regionStableTrace(6000, 6)
+	mk := func() *CDN {
+		return New(Config{
+			NewCache: func() Cache { return NewLRU(32 << 20) },
+			P403:     0.01,
+		})
+	}
+
+	refCDN := mk()
+	ref, err := refCDN.WarmedReplay(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []*trace.Record
+	srcCDN, err := ReplaySource(mk, trace.SliceSource(recs), func(rec *trace.Record) error {
+		got = append(got, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if refCDN.TotalStats() != srcCDN.TotalStats() {
+		t.Errorf("stats differ:\nref %+v\nsrc %+v", refCDN.TotalStats(), srcCDN.TotalStats())
+	}
+	if len(ref) != len(got) {
+		t.Fatalf("lengths: %d vs %d", len(ref), len(got))
+	}
+	for i := range ref {
+		if !reflect.DeepEqual(ref[i], got[i]) {
+			t.Fatalf("record %d differs:\nref %+v\nsrc %+v", i, ref[i], got[i])
+		}
+	}
+}
+
+// TestReplaySourceRegionUnstableFallback verifies the sequential
+// fallback: a region-unstable trace still replays (on a rebuilt CDN)
+// and yields every record.
+func TestReplaySourceRegionUnstableFallback(t *testing.T) {
+	recs := regionStableTrace(50, 7)
+	bad := *recs[0]
+	bad.Region = timeutil.RegionAsia
+	if recs[0].Region == timeutil.RegionAsia {
+		bad.Region = timeutil.RegionEurope
+	}
+	bad.Timestamp = recs[len(recs)-1].Timestamp.Add(time.Minute)
+	recs = append(recs, &bad)
+
+	builds := 0
+	mk := func() *CDN {
+		builds++
+		return New(Config{NewCache: func() Cache { return NewLRU(1 << 20) }})
+	}
+	n := 0
+	c, err := ReplaySource(mk, trace.SliceSource(recs), func(*trace.Record) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) {
+		t.Errorf("measured pass saw %d records, want %d", n, len(recs))
+	}
+	if builds != 2 {
+		t.Errorf("build called %d times, want 2 (parallel attempt + sequential fallback)", builds)
+	}
+	if c.TotalStats().Requests != int64(len(recs)) {
+		t.Errorf("measured stats count %d requests, want %d", c.TotalStats().Requests, len(recs))
+	}
+}

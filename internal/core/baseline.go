@@ -14,13 +14,29 @@ import (
 // compares it against the log-level ground truth. recs must be the trace
 // the results were computed from.
 func (r *Results) CrawlerBaseline(recs []*trace.Record, site string, interval time.Duration, topN int) (crawler.Comparison, error) {
-	camp, err := crawler.Simulate(recs, site, r.Week, crawler.Config{Interval: interval, TopN: topN})
+	return r.CrawlerBaselineSource(trace.SliceSource(recs), site, interval, topN)
+}
+
+// CrawlerBaselineSource is CrawlerBaseline over a reopenable trace
+// source: the crawl simulation streams the trace, so the comparison
+// works against on-disk traces without loading them. src must yield the
+// trace the results were computed from.
+func (r *Results) CrawlerBaselineSource(src trace.Source, site string, interval time.Duration, topN int) (crawler.Comparison, error) {
+	if r.Popularity() == nil {
+		return crawler.Comparison{}, fmt.Errorf("core: popularity analysis not part of this run")
+	}
+	tr, err := src.Open()
+	if err != nil {
+		return crawler.Comparison{}, fmt.Errorf("core: open trace for crawl baseline: %w", err)
+	}
+	camp, err := crawler.SimulateReader(tr, site, r.Week, crawler.Config{Interval: interval, TopN: topN})
+	trace.CloseReader(tr)
 	if err != nil {
 		return crawler.Comparison{}, err
 	}
 	truth := map[uint64]int64{}
 	for _, cat := range trace.AllCategories() {
-		for id, n := range r.Popularity.RequestCounts(site, cat) {
+		for id, n := range r.Popularity().RequestCounts(site, cat) {
 			truth[id] += n
 		}
 	}
@@ -31,12 +47,18 @@ func (r *Results) CrawlerBaseline(recs []*trace.Record, site string, interval ti
 // site at the given crawl cadence and visibility, quantifying the
 // paper's §II critique of crawl-based measurement.
 func (r *Results) CrawlerBaselineTable(recs []*trace.Record, interval time.Duration, topN int) (*report.Table, error) {
+	return r.CrawlerBaselineTableSource(trace.SliceSource(recs), interval, topN)
+}
+
+// CrawlerBaselineTableSource is CrawlerBaselineTable over a reopenable
+// trace source (one streaming pass per site).
+func (r *Results) CrawlerBaselineTableSource(src trace.Source, interval time.Duration, topN int) (*report.Table, error) {
 	t := report.NewTable(
 		fmt.Sprintf("crawler baseline (every %v, top-%d visible) vs HTTP logs", interval, topN),
 		"site", "log objects", "crawl objects", "coverage", "views missed",
 		"rank corr", "temporal points", "user-level analyses")
 	for _, site := range r.SiteNames() {
-		cmp, err := r.CrawlerBaseline(recs, site, interval, topN)
+		cmp, err := r.CrawlerBaselineSource(src, site, interval, topN)
 		if err != nil {
 			return nil, err
 		}

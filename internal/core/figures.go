@@ -22,10 +22,13 @@ var responseCodes = []int{200, 204, 206, 304, 403, 416}
 
 // Fig01ContentComposition renders the per-site object composition table.
 func (r *Results) Fig01ContentComposition() *report.Table {
+	if r.Composition() == nil {
+		return nil
+	}
 	t := report.NewTable("Fig 1: content composition (distinct objects)",
 		"site", "objects", "video", "image", "other")
-	for _, site := range r.Composition.Sites() {
-		b := r.Composition.Site(site)
+	for _, site := range r.Composition().Sites() {
+		b := r.Composition().Site(site)
 		t.AddRow(site, b.TotalObjects(),
 			report.Percent(b.ObjectFrac(trace.CategoryVideo)),
 			report.Percent(b.ObjectFrac(trace.CategoryImage)),
@@ -36,10 +39,13 @@ func (r *Results) Fig01ContentComposition() *report.Table {
 
 // Fig02aRequestCount renders the per-site request-count composition.
 func (r *Results) Fig02aRequestCount() *report.Table {
+	if r.Composition() == nil {
+		return nil
+	}
 	t := report.NewTable("Fig 2a: traffic composition by request count",
 		"site", "requests", "video", "image", "other")
-	for _, site := range r.Composition.Sites() {
-		b := r.Composition.Site(site)
+	for _, site := range r.Composition().Sites() {
+		b := r.Composition().Site(site)
 		t.AddRow(site, b.TotalRequests(),
 			report.Percent(b.RequestFrac(trace.CategoryVideo)),
 			report.Percent(b.RequestFrac(trace.CategoryImage)),
@@ -50,10 +56,13 @@ func (r *Results) Fig02aRequestCount() *report.Table {
 
 // Fig02bRequestBytes renders the per-site byte-volume composition.
 func (r *Results) Fig02bRequestBytes() *report.Table {
+	if r.Composition() == nil {
+		return nil
+	}
 	t := report.NewTable("Fig 2b: traffic composition by request size (bytes)",
 		"site", "bytes", "video", "image", "other")
-	for _, site := range r.Composition.Sites() {
-		b := r.Composition.Site(site)
+	for _, site := range r.Composition().Sites() {
+		b := r.Composition().Site(site)
 		t.AddRow(site, report.Bytes(b.TotalBytes()),
 			report.Percent(b.ByteFrac(trace.CategoryVideo)),
 			report.Percent(b.ByteFrac(trace.CategoryImage)),
@@ -65,11 +74,14 @@ func (r *Results) Fig02bRequestBytes() *report.Table {
 // Fig03HourlyVolume renders the local-time hourly traffic shares with a
 // sparkline per site.
 func (r *Results) Fig03HourlyVolume() *report.Table {
+	if r.Hourly() == nil {
+		return nil
+	}
 	t := report.NewTable("Fig 3: hourly traffic volume (% of daily, local time)",
 		"site", "peak hour", "trough hour", "peak %", "trough %", "curve 0h..23h")
-	for _, site := range r.Hourly.Sites() {
-		p := r.Hourly.Percent(site)
-		peak, trough := r.Hourly.PeakHour(site), r.Hourly.TroughHour(site)
+	for _, site := range r.Hourly().Sites() {
+		p := r.Hourly().Percent(site)
+		peak, trough := r.Hourly().PeakHour(site), r.Hourly().TroughHour(site)
 		t.AddRow(site, peak, trough, p[peak], p[trough], report.Sparkline(p[:]))
 	}
 	return t
@@ -77,10 +89,13 @@ func (r *Results) Fig03HourlyVolume() *report.Table {
 
 // Fig04DeviceMix renders the per-site device shares of users.
 func (r *Results) Fig04DeviceMix() *report.Table {
+	if r.Devices() == nil {
+		return nil
+	}
 	t := report.NewTable("Fig 4: device type composition (share of users)",
 		"site", "desktop", "android", "ios", "misc")
-	for _, site := range r.Devices.Sites() {
-		share := r.Devices.UserShare(site)
+	for _, site := range r.Devices().Sites() {
+		share := r.Devices().UserShare(site)
 		row := []any{site}
 		for i := range useragent.AllDevices() {
 			row = append(row, report.Percent(share[i]))
@@ -92,13 +107,16 @@ func (r *Results) Fig04DeviceMix() *report.Table {
 
 // Fig05SizeCDF renders content-size CDF evaluations for one category.
 func (r *Results) Fig05SizeCDF(cat trace.Category) *report.Table {
+	if r.Sizes() == nil {
+		return nil
+	}
 	headers := []string{"site"}
 	for _, x := range sizeCDFPoints {
 		headers = append(headers, fmt.Sprintf("<=%s", report.Bytes(int64(x))))
 	}
 	t := report.NewTable(fmt.Sprintf("Fig 5: content size CDF (%s)", cat), headers...)
-	for _, site := range r.Sizes.Sites() {
-		cdf := r.Sizes.CDF(site, cat)
+	for _, site := range r.Sizes().Sites() {
+		cdf := r.Sizes().CDF(site, cat)
 		if cdf == nil {
 			continue
 		}
@@ -113,18 +131,21 @@ func (r *Results) Fig05SizeCDF(cat trace.Category) *report.Table {
 
 // Fig06Popularity renders request-count CDF evaluations for one category.
 func (r *Results) Fig06Popularity(cat trace.Category) *report.Table {
+	if r.Popularity() == nil {
+		return nil
+	}
 	headers := []string{"site", "objects", "zipf s", "top10% share"}
 	for _, x := range popularityCDFPoints {
 		headers = append(headers, fmt.Sprintf("<=%g req", x))
 	}
 	t := report.NewTable(fmt.Sprintf("Fig 6: content popularity (%s)", cat), headers...)
-	for _, site := range r.Popularity.Sites() {
-		cdf := r.Popularity.CDF(site, cat)
+	for _, site := range r.Popularity().Sites() {
+		cdf := r.Popularity().CDF(site, cat)
 		if cdf == nil {
 			continue
 		}
-		row := []any{site, cdf.Len(), r.Popularity.ZipfExponent(site, cat),
-			report.Percent(r.Popularity.TopShare(site, cat, 0.1))}
+		row := []any{site, cdf.Len(), r.Popularity().ZipfExponent(site, cat),
+			report.Percent(r.Popularity().TopShare(site, cat, 0.1))}
 		for _, x := range popularityCDFPoints {
 			row = append(row, report.Percent(cdf.At(x)))
 		}
@@ -135,15 +156,18 @@ func (r *Results) Fig06Popularity(cat trace.Category) *report.Table {
 
 // Fig07ContentAge renders the aging curves.
 func (r *Results) Fig07ContentAge() *report.Table {
+	if r.Aging() == nil {
+		return nil
+	}
 	t := report.NewTable("Fig 7: fraction of objects requested at age d",
 		"site", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "alive all week")
-	for _, site := range r.Aging.Sites() {
-		curve := r.Aging.Curve(site)
+	for _, site := range r.Aging().Sites() {
+		curve := r.Aging().Curve(site)
 		row := []any{site}
 		for _, v := range curve {
 			row = append(row, report.Percent(v))
 		}
-		row = append(row, report.Percent(r.Aging.FracAliveAllWeek(site)))
+		row = append(row, report.Percent(r.Aging().FracAliveAllWeek(site)))
 		t.AddRow(row...)
 	}
 	return t
@@ -152,7 +176,10 @@ func (r *Results) Fig07ContentAge() *report.Table {
 // Fig08Clusters runs the DTW clustering for one site and category and
 // renders the cluster mixture (the dendrogram leaf-percentage labels).
 func (r *Results) Fig08Clusters(site string, cat trace.Category) (*report.Table, *analysis.ClusterResult, error) {
-	res, err := r.Series.ClusterSeries(site, cat, r.ClusterOpts)
+	if r.Series() == nil {
+		return nil, nil, fmt.Errorf("core: series analysis not part of this run")
+	}
+	res, err := r.Series().ClusterSeries(site, cat, r.ClusterOpts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -187,10 +214,13 @@ func (r *Results) Fig09Medoids(res *analysis.ClusterResult, title string) *repor
 
 // Fig11InterArrival renders IAT distribution quantiles.
 func (r *Results) Fig11InterArrival() *report.Table {
+	if r.Sessions() == nil {
+		return nil
+	}
 	t := report.NewTable("Fig 11: user request inter-arrival time (seconds)",
 		"site", "p25", "median", "p75", "p90", "<=10min")
-	for _, site := range r.Sessions.Sites() {
-		cdf := r.Sessions.IATCDF(site)
+	for _, site := range r.Sessions().Sites() {
+		cdf := r.Sessions().IATCDF(site)
 		if cdf == nil {
 			continue
 		}
@@ -203,32 +233,38 @@ func (r *Results) Fig11InterArrival() *report.Table {
 // Fig12SessionLength renders session-length distribution quantiles,
 // with the IAT-knee estimate that justifies the timeout choice.
 func (r *Results) Fig12SessionLength() *report.Table {
+	if r.Sessions() == nil {
+		return nil
+	}
 	t := report.NewTable(
-		fmt.Sprintf("Fig 12: user session length (seconds, %v timeout)", r.Sessions.Timeout()),
+		fmt.Sprintf("Fig 12: user session length (seconds, %v timeout)", r.Sessions().Timeout()),
 		"site", "sessions", "median", "p90", "mean reqs/session", "IAT knee")
-	for _, site := range r.Sessions.Sites() {
-		cdf := r.Sessions.SessionLengthCDF(site)
+	for _, site := range r.Sessions().Sites() {
+		cdf := r.Sessions().SessionLengthCDF(site)
 		if cdf == nil {
 			continue
 		}
 		med, _ := cdf.Median()
 		p90, _ := cdf.Quantile(0.9)
 		knee := "-"
-		if k := r.Sessions.TimeoutKnee(site); k > 0 {
+		if k := r.Sessions().TimeoutKnee(site); k > 0 {
 			knee = k.Round(time.Minute).String()
 		}
-		t.AddRow(site, cdf.Len(), med, p90, r.Sessions.MeanRequestsPerSession(site), knee)
+		t.AddRow(site, cdf.Len(), med, p90, r.Sessions().MeanRequestsPerSession(site), knee)
 	}
 	return t
 }
 
 // Fig13RepeatedAccess summarizes the requests-vs-users scatter.
 func (r *Results) Fig13RepeatedAccess(cat trace.Category) *report.Table {
+	if r.Addiction() == nil {
+		return nil
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Fig 13: repeated access of %s objects", cat),
 		"site", "objects", "max req/users ratio", "objs with req>2x users")
-	for _, site := range r.Addiction.Sites() {
-		pts := r.Addiction.Scatter(site, cat)
+	for _, site := range r.Addiction().Sites() {
+		pts := r.Addiction().Scatter(site, cat)
 		if len(pts) == 0 {
 			continue
 		}
@@ -249,13 +285,16 @@ func (r *Results) Fig13RepeatedAccess(cat trace.Category) *report.Table {
 
 // Fig14AddictionCDF renders the per-user repeat-request CDF summary.
 func (r *Results) Fig14AddictionCDF() *report.Table {
+	if r.Addiction() == nil {
+		return nil
+	}
 	t := report.NewTable("Fig 14: repeated content access by users",
 		"site", "video objs >10 req/user", "image objs >10 req/user")
-	sites := r.Addiction.Sites()
+	sites := r.Addiction().Sites()
 	for _, site := range sites {
 		t.AddRow(site,
-			report.Percent(r.Addiction.FracObjectsAbove(site, trace.CategoryVideo, 10)),
-			report.Percent(r.Addiction.FracObjectsAbove(site, trace.CategoryImage, 10)))
+			report.Percent(r.Addiction().FracObjectsAbove(site, trace.CategoryVideo, 10)),
+			report.Percent(r.Addiction().FracObjectsAbove(site, trace.CategoryImage, 10)))
 	}
 	return t
 }
@@ -265,12 +304,15 @@ func (r *Results) Fig14AddictionCDF() *report.Table {
 // rising curves are the paper's "popular objects tend to have higher hit
 // ratios" claim.
 func (r *Results) Fig15HitRatio() *report.Table {
+	if r.Caching() == nil {
+		return nil
+	}
 	t := report.NewTable("Fig 15: CDN cache hit ratios",
 		"site", "image median", "video median", "weighted", "pop-hit corr", "by popularity decile")
-	for _, site := range r.Caching.Sites() {
+	for _, site := range r.Caching().Sites() {
 		row := []any{site}
 		for _, cat := range []trace.Category{trace.CategoryImage, trace.CategoryVideo} {
-			cdf := r.Caching.HitRatioCDF(site, cat)
+			cdf := r.Caching().HitRatioCDF(site, cat)
 			if cdf == nil {
 				row = append(row, "-")
 				continue
@@ -279,11 +321,11 @@ func (r *Results) Fig15HitRatio() *report.Table {
 			row = append(row, med)
 		}
 		decile := "-"
-		if d := r.Caching.HitRatioByPopularityDecile(site); d != nil {
+		if d := r.Caching().HitRatioByPopularityDecile(site); d != nil {
 			decile = report.Sparkline(d)
 		}
-		row = append(row, report.Percent(r.Caching.WeightedHitRatio(site)),
-			r.Caching.PopularityHitCorrelation(site), decile)
+		row = append(row, report.Percent(r.Caching().WeightedHitRatio(site)),
+			r.Caching().PopularityHitCorrelation(site), decile)
 		t.AddRow(row...)
 	}
 	return t
@@ -291,13 +333,16 @@ func (r *Results) Fig15HitRatio() *report.Table {
 
 // Fig16ResponseCodes renders status-code counts for one category.
 func (r *Results) Fig16ResponseCodes(cat trace.Category) *report.Table {
+	if r.Caching() == nil {
+		return nil
+	}
 	headers := []string{"site"}
 	for _, code := range responseCodes {
 		headers = append(headers, fmt.Sprintf("%d", code))
 	}
 	t := report.NewTable(fmt.Sprintf("Fig 16: HTTP response codes (%s)", cat), headers...)
-	for _, site := range r.Caching.Sites() {
-		codes := r.Caching.ResponseCodes(site, cat)
+	for _, site := range r.Caching().Sites() {
+		codes := r.Caching().ResponseCodes(site, cat)
 		if len(codes) == 0 {
 			continue
 		}
@@ -310,11 +355,20 @@ func (r *Results) Fig16ResponseCodes(cat trace.Category) *report.Table {
 	return t
 }
 
-// AllFigureTables renders every figure that does not need extra
-// parameters, in paper order. Clustering figures (8-10) are rendered for
-// the paper's two showcased populations when enough series exist.
+// AllFigureTables renders every computed figure that does not need
+// extra parameters, in paper order; figures whose analyzer was pruned
+// by Config.Figures are skipped. Clustering figures (8-10) are rendered
+// for the paper's two showcased populations when enough series exist.
 func (r *Results) AllFigureTables() []*report.Table {
-	tables := []*report.Table{
+	var tables []*report.Table
+	add := func(ts ...*report.Table) {
+		for _, t := range ts {
+			if t != nil {
+				tables = append(tables, t)
+			}
+		}
+	}
+	add(
 		r.Fig01ContentComposition(),
 		r.Fig02aRequestCount(),
 		r.Fig02bRequestBytes(),
@@ -325,7 +379,7 @@ func (r *Results) AllFigureTables() []*report.Table {
 		r.Fig06Popularity(trace.CategoryVideo),
 		r.Fig06Popularity(trace.CategoryImage),
 		r.Fig07ContentAge(),
-	}
+	)
 	for _, pick := range []struct {
 		site string
 		cat  trace.Category
@@ -336,11 +390,11 @@ func (r *Results) AllFigureTables() []*report.Table {
 	} {
 		tab, res, err := r.Fig08Clusters(pick.site, pick.cat)
 		if err != nil {
-			continue // not enough warm series at tiny scales
+			continue // pruned, or not enough warm series at tiny scales
 		}
-		tables = append(tables, tab, r.Fig09Medoids(res, pick.name))
+		add(tab, r.Fig09Medoids(res, pick.name))
 	}
-	tables = append(tables,
+	add(
 		r.Fig11InterArrival(),
 		r.Fig12SessionLength(),
 		r.Fig13RepeatedAccess(trace.CategoryVideo),
@@ -356,7 +410,10 @@ func (r *Results) AllFigureTables() []*report.Table {
 // SiteNames lists the sites present in the results, sorted with the
 // paper's ordering (V-1, V-2, P-1, P-2, S-1) when applicable.
 func (r *Results) SiteNames() []string {
-	sites := r.Composition.Sites()
+	if r.Composition() == nil {
+		return nil
+	}
+	sites := r.Composition().Sites()
 	order := map[string]int{"V-1": 0, "V-2": 1, "P-1": 2, "P-2": 3, "S-1": 4}
 	sort.SliceStable(sites, func(i, j int) bool {
 		oi, iok := order[sites[i]]

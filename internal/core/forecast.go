@@ -23,7 +23,10 @@ type ForecastEntry struct {
 // models fit to the site's own data (or the site's own measured hourly
 // profile) do far better.
 func (r *Results) ForecastComparison(site string, horizon int) ([]ForecastEntry, error) {
-	series := r.WeekSeries.Series(site)
+	if r.WeekSeries() == nil {
+		return nil, fmt.Errorf("core: week-series analysis not part of this run")
+	}
+	series := r.WeekSeries().Series(site)
 	if len(series) == 0 {
 		return nil, fmt.Errorf("core: no hour-of-week series for site %q", site)
 	}
@@ -95,7 +98,7 @@ func (r *Results) ForecastTable(horizon int) (*report.Table, error) {
 // normalized to shares, for use as a ProfileForecaster input or for
 // comparing against forecast.TypicalWebProfile.
 func (r *Results) HourOfDayProfile(site string) [24]float64 {
-	series := r.WeekSeries.Series(site)
+	series := r.WeekSeries().Series(site)
 	var profile [24]float64
 	for h, v := range series {
 		profile[h%24] += v

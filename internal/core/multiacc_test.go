@@ -28,8 +28,13 @@ func TestMultiAccMerge(t *testing.T) {
 			Cache:       trace.CacheHit,
 		}
 	}
-	a := newMultiAcc(week, 0)
-	b := newMultiAcc(week, 0)
+	descs, err := analysis.ForFigures(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := analysis.Params{Week: week}
+	a := newMultiAcc(descs, p)
+	b := newMultiAcc(descs, p)
 	a.Add(mk(1, 1, 0))
 	a.Add(mk(1, 2, 1))
 	b.Add(mk(2, 1, 2))
@@ -38,13 +43,18 @@ func TestMultiAccMerge(t *testing.T) {
 	if a.n != 4 {
 		t.Errorf("merged n = %d, want 4", a.n)
 	}
-	if got := a.composition.Site("V-1").TotalRequests(); got != 4 {
+	byName := map[string]analysis.Analyzer{}
+	for i, d := range a.descs {
+		byName[d.Name] = a.accs[i]
+	}
+	comp := byName["composition"].(*analysis.Composition)
+	if got := comp.Site("V-1").TotalRequests(); got != 4 {
 		t.Errorf("merged requests = %d", got)
 	}
-	if got := a.composition.Site("V-1").TotalObjects(); got != 2 {
+	if got := comp.Site("V-1").TotalObjects(); got != 2 {
 		t.Errorf("merged objects = %d", got)
 	}
-	if got := a.caching.WeightedHitRatio("V-1"); got != 1 {
+	if got := byName["caching"].(*analysis.Caching).WeightedHitRatio("V-1"); got != 1 {
 		t.Errorf("merged hit ratio = %v", got)
 	}
 }
@@ -77,7 +87,7 @@ func TestSiteNamesNonPaperSites(t *testing.T) {
 			StatusCode: 200,
 		})
 	}
-	r := &Results{Composition: comp}
+	r := &Results{analyzers: map[string]analysis.Analyzer{"composition": comp}}
 	got := r.SiteNames()
 	want := []string{"V-2", "A-custom", "Z-custom"}
 	for i := range want {

@@ -27,17 +27,17 @@ func TestCalibrationHoldsAtLargerScale(t *testing.T) {
 	}
 
 	// Composition holds.
-	v1 := r.Composition.Site("V-1")
+	v1 := r.Composition().Site("V-1")
 	if f := v1.RequestFrac(trace.CategoryVideo); f < 0.97 {
 		t.Errorf("V-1 video request share = %v", f)
 	}
-	v2 := r.Composition.Site("V-2")
+	v2 := r.Composition().Site("V-2")
 	if f := v2.ObjectFrac(trace.CategoryImage); f < 0.80 || f > 0.88 {
 		t.Errorf("V-2 image object share = %v, want ~0.84", f)
 	}
 
 	// Anti-diurnal V-1.
-	p := r.Hourly.Percent("V-1")
+	p := r.Hourly().Percent("V-1")
 	night := (p[23] + p[0] + p[1] + p[2] + p[3] + p[4] + p[5]) / 7
 	day := (p[9] + p[10] + p[11] + p[12] + p[13] + p[14] + p[15]) / 7
 	if night <= day {
@@ -45,14 +45,14 @@ func TestCalibrationHoldsAtLargerScale(t *testing.T) {
 	}
 
 	// Aging: minority of objects alive all week.
-	if f := r.Aging.FracAliveAllWeek("V-2"); f < 0.01 || f > 0.4 {
+	if f := r.Aging().FracAliveAllWeek("V-2"); f < 0.01 || f > 0.4 {
 		t.Errorf("V-2 alive-all-week = %v", f)
 	}
 
 	// Addiction grows more pronounced with scale: outlier objects with
 	// requests far exceeding unique users appear (Fig. 13).
 	maxRatio := 0.0
-	for _, pt := range r.Addiction.Scatter("V-1", trace.CategoryVideo) {
+	for _, pt := range r.Addiction().Scatter("V-1", trace.CategoryVideo) {
 		if ratio := float64(pt.Requests) / float64(pt.Users); ratio > maxRatio {
 			maxRatio = ratio
 		}
@@ -62,15 +62,15 @@ func TestCalibrationHoldsAtLargerScale(t *testing.T) {
 	}
 
 	// Sessions: video IAT below image IAT; image IAT above an hour.
-	v1med, _ := r.Sessions.IATCDF("V-1").Median()
-	p2med, _ := r.Sessions.IATCDF("P-2").Median()
+	v1med, _ := r.Sessions().IATCDF("V-1").Median()
+	p2med, _ := r.Sessions().IATCDF("P-2").Median()
 	if v1med > 600 || p2med < 3600 {
 		t.Errorf("IAT medians: V-1 %vs, P-2 %vs", v1med, p2med)
 	}
 
 	// Caching stays in regime.
 	for _, site := range r.SiteNames() {
-		hr := r.Caching.WeightedHitRatio(site)
+		hr := r.Caching().WeightedHitRatio(site)
 		if hr < 0.55 || hr > 0.995 {
 			t.Errorf("%s weighted hit ratio = %v", site, hr)
 		}

@@ -44,39 +44,59 @@ type Config struct {
 	Cluster analysis.ClusterOptions
 	// Workers parallelizes the analysis pass; < 1 means GOMAXPROCS.
 	Workers int
-	// P403, P416 and P204 are the CDN's error-path rates; zero values
-	// default to small paper-plausible rates (0.8%, 0.2%, 5%).
+	// Figures restricts which analyses run: only analyzers covering at
+	// least one of the listed paper figures are constructed and folded,
+	// so a study asked for Fig. 3 never pays for session tracking or
+	// DTW series. nil (or empty) runs every registered analysis.
+	// NewStudy rejects figure numbers no analyzer covers.
+	Figures []int
+	// P403, P416 and P204 are the CDN's error-path rates. Zero means
+	// "default" (0.8%, 0.2% and 5% — small paper-plausible rates); to
+	// actually disable an error path, pass a negative value.
 	P403, P416, P204 float64
 	// Metrics receives live telemetry from the CDN replay and the
 	// analysis pipeline. nil disables instrumentation.
 	Metrics *obs.Registry
 }
 
+// rateOrDefault resolves the zero-value ambiguity of the error-path
+// rates: zero means "use the default", negative means "disabled" (the
+// replay then never takes that error path).
+func rateOrDefault(v, def float64) float64 {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	default:
+		return v
+	}
+}
+
 func (c Config) withDefaults() Config {
 	if c.Scale == 0 {
 		c.Scale = 0.01
 	}
-	if c.P403 == 0 {
-		c.P403 = 0.008
-	}
-	if c.P416 == 0 {
-		c.P416 = 0.002
-	}
-	if c.P204 == 0 {
-		c.P204 = 0.05
-	}
+	c.P403 = rateOrDefault(c.P403, 0.008)
+	c.P416 = rateOrDefault(c.P416, 0.002)
+	c.P204 = rateOrDefault(c.P204, 0.05)
 	return c
 }
 
 // Study is a configured end-to-end reproduction run.
 type Study struct {
-	cfg Config
-	gen *synth.Generator
+	cfg   Config
+	gen   *synth.Generator
+	descs []analysis.Descriptor
 }
 
 // NewStudy validates the config and builds the trace generator.
 func NewStudy(cfg Config) (*Study, error) {
 	cfg = cfg.withDefaults()
+	descs, err := analysis.ForFigures(cfg.Figures)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	gen, err := synth.NewGenerator(synth.Config{
 		Seed:  cfg.Seed,
 		Scale: cfg.Scale,
@@ -86,7 +106,7 @@ func NewStudy(cfg Config) (*Study, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Study{cfg: cfg, gen: gen}, nil
+	return &Study{cfg: cfg, gen: gen, descs: descs}, nil
 }
 
 // Generator exposes the underlying trace generator.
@@ -95,105 +115,134 @@ func (s *Study) Generator() *synth.Generator { return s.gen }
 // Week returns the study's observation window.
 func (s *Study) Week() timeutil.Week { return s.gen.Week() }
 
-// Results carries every analysis of the paper's evaluation, computed
-// over the CDN-replayed trace.
+// Analyzers lists the analysis descriptors this study constructs — the
+// full registry, or the pruned set when Config.Figures is set.
+func (s *Study) Analyzers() []analysis.Descriptor { return s.descs }
+
+// Results carries the analyses of the paper's evaluation, computed over
+// the CDN-replayed trace. Which analyzers are present depends on
+// Config.Figures: the typed accessors (Composition, Sessions, ...)
+// return nil for analyses pruned from the run, and the figure-table
+// methods render only what was computed.
 type Results struct {
 	// Week is the observation window.
 	Week timeutil.Week
 	// Records is the number of replayed requests.
 	Records int64
-	// Composition covers Figs. 1, 2a, 2b.
-	Composition *analysis.Composition
-	// Hourly covers Fig. 3.
-	Hourly *analysis.HourlyVolume
-	// Devices covers Fig. 4.
-	Devices *analysis.DeviceMix
-	// Sizes covers Fig. 5.
-	Sizes *analysis.SizeDistribution
-	// Popularity covers Fig. 6.
-	Popularity *analysis.Popularity
-	// Aging covers Fig. 7.
-	Aging *analysis.Aging
-	// Series feeds Figs. 8-10 (call ClusterSeries on it).
-	Series *analysis.ObjectSeries
-	// WeekSeries carries each site's hour-of-week request counts; it
-	// feeds the forecasting comparison.
-	WeekSeries *analysis.HourOfWeekSeries
-	// Sessions covers Figs. 11-12.
-	Sessions *analysis.Sessions
-	// Addiction covers Figs. 13-14.
-	Addiction *analysis.Addiction
-	// Caching covers Figs. 15-16.
-	Caching *analysis.Caching
 	// CDNStats aggregates the simulated CDN's counters.
 	CDNStats cdn.DCStats
 	// ClusterOpts carries the study's clustering configuration.
 	ClusterOpts analysis.ClusterOptions
+
+	// analyzers maps registry names to the folded analyzers.
+	analyzers map[string]analysis.Analyzer
 }
 
-// multiAcc folds one record into every analysis; it satisfies
-// pipeline.Accumulator so the analysis pass parallelizes.
+// Analyzer returns the folded analyzer registered under name, or nil if
+// that analysis was not part of the run.
+func (r *Results) Analyzer(name string) analysis.Analyzer { return r.analyzers[name] }
+
+// get pulls a typed analyzer out of the result set; absent or
+// differently-typed entries yield the type's nil.
+func get[T analysis.Analyzer](r *Results, name string) T {
+	a, _ := r.analyzers[name].(T)
+	return a
+}
+
+// Composition covers Figs. 1, 2a, 2b.
+func (r *Results) Composition() *analysis.Composition {
+	return get[*analysis.Composition](r, "composition")
+}
+
+// Hourly covers Fig. 3.
+func (r *Results) Hourly() *analysis.HourlyVolume { return get[*analysis.HourlyVolume](r, "hourly") }
+
+// Devices covers Fig. 4.
+func (r *Results) Devices() *analysis.DeviceMix { return get[*analysis.DeviceMix](r, "devices") }
+
+// Sizes covers Fig. 5.
+func (r *Results) Sizes() *analysis.SizeDistribution {
+	return get[*analysis.SizeDistribution](r, "sizes")
+}
+
+// Popularity covers Fig. 6.
+func (r *Results) Popularity() *analysis.Popularity {
+	return get[*analysis.Popularity](r, "popularity")
+}
+
+// Aging covers Fig. 7.
+func (r *Results) Aging() *analysis.Aging { return get[*analysis.Aging](r, "aging") }
+
+// Series feeds Figs. 8-10 (call ClusterSeries on it).
+func (r *Results) Series() *analysis.ObjectSeries { return get[*analysis.ObjectSeries](r, "series") }
+
+// WeekSeries carries each site's hour-of-week request counts; it feeds
+// the forecasting comparison.
+func (r *Results) WeekSeries() *analysis.HourOfWeekSeries {
+	return get[*analysis.HourOfWeekSeries](r, "weekseries")
+}
+
+// Sessions covers Figs. 11-12.
+func (r *Results) Sessions() *analysis.Sessions { return get[*analysis.Sessions](r, "sessions") }
+
+// Addiction covers Figs. 13-14.
+func (r *Results) Addiction() *analysis.Addiction { return get[*analysis.Addiction](r, "addiction") }
+
+// Caching covers Figs. 15-16.
+func (r *Results) Caching() *analysis.Caching { return get[*analysis.Caching](r, "caching") }
+
+// multiAcc folds one record into every constructed analysis; it
+// satisfies pipeline.Accumulator so the analysis pass parallelizes. The
+// analyzer set is registry-driven: one entry per descriptor the study
+// selected, so pruned analyses cost nothing — not even construction.
 type multiAcc struct {
-	composition *analysis.Composition
-	hourly      *analysis.HourlyVolume
-	devices     *analysis.DeviceMix
-	sizes       *analysis.SizeDistribution
-	popularity  *analysis.Popularity
-	aging       *analysis.Aging
-	series      *analysis.ObjectSeries
-	weekSeries  *analysis.HourOfWeekSeries
-	sessions    *analysis.Sessions
-	addiction   *analysis.Addiction
-	caching     *analysis.Caching
-	n           int64
+	descs []analysis.Descriptor
+	accs  []analysis.Analyzer
+	n     int64
 }
 
-func newMultiAcc(week timeutil.Week, timeout time.Duration) *multiAcc {
-	return &multiAcc{
-		composition: analysis.NewComposition(),
-		hourly:      analysis.NewHourlyVolume(),
-		devices:     analysis.NewDeviceMix(),
-		sizes:       analysis.NewSizeDistribution(),
-		popularity:  analysis.NewPopularity(),
-		aging:       analysis.NewAging(week),
-		series:      analysis.NewObjectSeries(week),
-		weekSeries:  analysis.NewLocalHourOfWeekSeries(week),
-		sessions:    analysis.NewSessions(timeout),
-		addiction:   analysis.NewAddiction(),
-		caching:     analysis.NewCaching(),
+func newMultiAcc(descs []analysis.Descriptor, p analysis.Params) *multiAcc {
+	accs := make([]analysis.Analyzer, len(descs))
+	for i, d := range descs {
+		accs[i] = d.New(p)
 	}
+	return &multiAcc{descs: descs, accs: accs}
 }
 
 // Add implements pipeline.Accumulator.
 func (m *multiAcc) Add(r *trace.Record) {
 	m.n++
-	m.composition.Add(r)
-	m.hourly.Add(r)
-	m.devices.Add(r)
-	m.sizes.Add(r)
-	m.popularity.Add(r)
-	m.aging.Add(r)
-	m.series.Add(r)
-	m.weekSeries.Add(r)
-	m.sessions.Add(r)
-	m.addiction.Add(r)
-	m.caching.Add(r)
+	for _, a := range m.accs {
+		a.Add(r)
+	}
 }
 
-// Merge implements pipeline.Accumulator.
+// Merge implements pipeline.Accumulator. Both accumulators must come
+// from the same descriptor set (always true inside one pipeline run).
 func (m *multiAcc) Merge(o *multiAcc) {
 	m.n += o.n
-	m.composition.Merge(o.composition)
-	m.hourly.Merge(o.hourly)
-	m.devices.Merge(o.devices)
-	m.sizes.Merge(o.sizes)
-	m.popularity.Merge(o.popularity)
-	m.aging.Merge(o.aging)
-	m.series.Merge(o.series)
-	m.weekSeries.Merge(o.weekSeries)
-	m.sessions.Merge(o.sessions)
-	m.addiction.Merge(o.addiction)
-	m.caching.Merge(o.caching)
+	for i, d := range m.descs {
+		d.Merge(m.accs[i], o.accs[i])
+	}
+}
+
+// params builds the analyzer construction parameters for this study.
+func (s *Study) params() analysis.Params {
+	return analysis.Params{Week: s.gen.Week(), SessionTimeout: s.cfg.SessionTimeout}
+}
+
+// newResults assembles a Results from a folded accumulator.
+func (s *Study) newResults(acc *multiAcc) *Results {
+	analyzers := make(map[string]analysis.Analyzer, len(acc.descs))
+	for i, d := range acc.descs {
+		analyzers[d.Name] = acc.accs[i]
+	}
+	return &Results{
+		Week:        s.gen.Week(),
+		Records:     acc.n,
+		ClusterOpts: s.cfg.Cluster,
+		analyzers:   analyzers,
+	}
 }
 
 // NewCDN builds the study's CDN simulator, wired to the generator's
@@ -235,97 +284,63 @@ func (s *Study) NewCDN() *cdn.CDN {
 	})
 }
 
-// Run generates the trace, replays it through the CDN and computes every
-// analysis.
-func (s *Study) Run() (*Results, error) {
-	recs, err := s.gen.Generate()
-	if err != nil {
-		return nil, fmt.Errorf("core: generate: %w", err)
-	}
-	return s.RunOn(trace.NewSliceReader(recs))
+// Source returns the study's synthetic trace as a reopenable source:
+// each Open regenerates the trace (deterministically — same seed, same
+// bytes) through the parallel generator, so no pass ever materializes
+// the full trace in memory.
+func (s *Study) Source() trace.Source {
+	return trace.SourceFunc(func() (trace.Reader, error) {
+		return s.gen.ParallelReader(synth.ParallelOptions{Workers: s.cfg.Workers}), nil
+	})
 }
 
-// RunOn replays an existing (time-ordered) trace through the CDN and
-// computes every analysis. Use this to analyze a trace loaded from disk.
+// Run generates the trace, replays it through the CDN and computes the
+// configured analyses, all streaming: generation, replay and analysis
+// are fused, so peak memory is bounded by the worker count — not the
+// trace length.
+func (s *Study) Run() (*Results, error) {
+	return s.RunSource(s.Source())
+}
+
+// RunSource replays a (time-ordered) trace source through the CDN and
+// computes the configured analyses. Use this to analyze a trace stored
+// on disk: pass a trace.FileSource and the study streams it — the trace
+// is never loaded whole.
 //
-// The trace is replayed twice: the first pass warms the edge caches
+// The source is opened twice: the first pass warms the edge caches
 // (modelling the steady-state CDN the paper observed — its week of logs
-// did not start from cold caches), the second pass is measured.
-func (s *Study) RunOn(r trace.Reader) (*Results, error) {
-	all, err := trace.ReadAll(r)
+// did not start from cold caches), the second pass is measured, with
+// finalized records streaming straight into the analysis pipeline.
+// Replay is per-region parallel when the trace has region-stable users
+// (always true for synthetic traces) and sequential otherwise.
+func (s *Study) RunSource(src trace.Source) (*Results, error) {
+	p := s.params()
+	sink := pipeline.NewSink(func() *multiAcc {
+		return newMultiAcc(s.descs, p)
+	}, pipeline.Options{Workers: s.cfg.Workers, Metrics: s.cfg.Metrics})
+	network, err := cdn.ReplaySource(s.NewCDN, src, sink.Feed)
 	if err != nil {
-		return nil, fmt.Errorf("core: read trace: %w", err)
-	}
-	network := s.NewCDN()
-	// Warm-up and measured passes use the per-region parallel replay
-	// when the trace has region-stable users (always true for synthetic
-	// traces); otherwise fall back to sequential replay.
-	replayOnce := func() ([]*trace.Record, error) {
-		out, err := network.ReplayParallel(trace.NewSliceReader(all))
-		if err == nil {
-			return out, nil
-		}
-		return network.ReplayAll(trace.NewSliceReader(all))
-	}
-	if _, err := replayOnce(); err != nil {
-		return nil, fmt.Errorf("core: warm-up replay: %w", err)
-	}
-	network.ResetStats()
-	network.ResetClientState()
-	replayed, err := replayOnce()
-	if err != nil {
+		sink.Abort()
 		return nil, fmt.Errorf("core: replay: %w", err)
 	}
-	week := s.gen.Week()
-	acc, err := pipeline.Run(trace.NewSliceReader(replayed), func() *multiAcc {
-		return newMultiAcc(week, s.cfg.SessionTimeout)
-	}, pipeline.Options{Workers: s.cfg.Workers, Metrics: s.cfg.Metrics})
+	acc, err := sink.Close()
 	if err != nil {
 		return nil, fmt.Errorf("core: analyze: %w", err)
 	}
-	return &Results{
-		Week:        week,
-		Records:     acc.n,
-		Composition: acc.composition,
-		Hourly:      acc.hourly,
-		Devices:     acc.devices,
-		Sizes:       acc.sizes,
-		Popularity:  acc.popularity,
-		Aging:       acc.aging,
-		Series:      acc.series,
-		WeekSeries:  acc.weekSeries,
-		Sessions:    acc.sessions,
-		Addiction:   acc.addiction,
-		Caching:     acc.caching,
-		CDNStats:    network.TotalStats(),
-		ClusterOpts: s.cfg.Cluster,
-	}, nil
+	res := s.newResults(acc)
+	res.CDNStats = network.TotalStats()
+	return res, nil
 }
 
 // AnalyzeOnly runs the analyses over a pre-replayed trace (records that
 // already carry cache status and response codes), skipping the CDN.
 func (s *Study) AnalyzeOnly(r trace.Reader) (*Results, error) {
-	week := s.gen.Week()
+	p := s.params()
 	acc, err := pipeline.Run(r, func() *multiAcc {
-		return newMultiAcc(week, s.cfg.SessionTimeout)
+		return newMultiAcc(s.descs, p)
 	}, pipeline.Options{Workers: s.cfg.Workers, Metrics: s.cfg.Metrics})
 	if err != nil {
 		return nil, fmt.Errorf("core: analyze: %w", err)
 	}
-	return &Results{
-		Week:        week,
-		Records:     acc.n,
-		Composition: acc.composition,
-		Hourly:      acc.hourly,
-		Devices:     acc.devices,
-		Sizes:       acc.sizes,
-		Popularity:  acc.popularity,
-		Aging:       acc.aging,
-		Series:      acc.series,
-		WeekSeries:  acc.weekSeries,
-		Sessions:    acc.sessions,
-		Addiction:   acc.addiction,
-		Caching:     acc.caching,
-		ClusterOpts: s.cfg.Cluster,
-	}, nil
+	return s.newResults(acc), nil
 }

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"trafficscope/internal/trace"
+)
+
+// BenchmarkRunStreaming measures the fused generate→replay→analyze path
+// end to end: reopenable generator source, warm-up + measured CDN
+// passes, analysis pipeline. Run with -benchmem (make bench-mem) to
+// track the streaming core's allocation footprint.
+func BenchmarkRunStreaming(b *testing.B) {
+	study, err := NewStudy(Config{Seed: 42, Scale: 0.002})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeOnly measures the single-pass analysis pipeline over a
+// pre-replayed in-memory trace, isolating analyzer fold cost from
+// generation and replay.
+func BenchmarkAnalyzeOnly(b *testing.B) {
+	study, err := NewStudy(Config{Seed: 42, Scale: 0.002})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := study.Source().Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, err := trace.ReadAll(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := trace.CloseReader(r); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := study.AnalyzeOnly(trace.NewSliceReader(recs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -57,16 +57,16 @@ func TestStudyRunBasics(t *testing.T) {
 // Fig. 1/2a calibration: object and request mixes per site.
 func TestCompositionMatchesPaper(t *testing.T) {
 	r := getResults(t)
-	v1 := r.Composition.Site("V-1")
+	v1 := r.Composition().Site("V-1")
 	if f := v1.RequestFrac(trace.CategoryVideo); f < 0.95 {
 		t.Errorf("V-1 video request share = %v, paper ~0.99", f)
 	}
-	v2 := r.Composition.Site("V-2")
+	v2 := r.Composition().Site("V-2")
 	if f := v2.ObjectFrac(trace.CategoryImage); f < 0.75 || f > 0.92 {
 		t.Errorf("V-2 image object share = %v, paper ~0.84", f)
 	}
 	for _, site := range []string{"P-1", "P-2", "S-1"} {
-		b := r.Composition.Site(site)
+		b := r.Composition().Site(site)
 		if f := b.ObjectFrac(trace.CategoryImage); f < 0.9 {
 			t.Errorf("%s image object share = %v, paper ~0.99", site, f)
 		}
@@ -86,7 +86,7 @@ func TestHourlyShapeMatchesPaper(t *testing.T) {
 	r := getResults(t)
 	// Anti-diurnal claim, tested on hour-band averages (argmax is noisy
 	// at small scales): late-night share exceeds mid-day share.
-	p := r.Hourly.Percent("V-1")
+	p := r.Hourly().Percent("V-1")
 	night := (p[23] + p[0] + p[1] + p[2] + p[3] + p[4] + p[5]) / 7
 	day := (p[9] + p[10] + p[11] + p[12] + p[13] + p[14] + p[15]) / 7
 	if night <= day {
@@ -105,14 +105,14 @@ func TestHourlyShapeMatchesPaper(t *testing.T) {
 func TestDeviceMixMatchesPaper(t *testing.T) {
 	r := getResults(t)
 	for _, site := range r.SiteNames() {
-		if f := r.Devices.DesktopShare(site); f < 0.5 {
+		if f := r.Devices().DesktopShare(site); f < 0.5 {
 			t.Errorf("%s desktop share = %v, desktop should dominate", site, f)
 		}
 	}
-	if f := r.Devices.DesktopShare("V-2"); f < 0.9 {
+	if f := r.Devices().DesktopShare("V-2"); f < 0.9 {
 		t.Errorf("V-2 desktop share = %v, paper > 0.95", f)
 	}
-	s1 := r.Devices.UserShare("S-1")
+	s1 := r.Devices().UserShare("S-1")
 	nonDesktop := 1 - s1[0]
 	if nonDesktop < 0.25 {
 		t.Errorf("S-1 non-desktop share = %v, paper > 1/3", nonDesktop)
@@ -123,25 +123,25 @@ func TestDeviceMixMatchesPaper(t *testing.T) {
 // bimodal thumbnail/full-size mix.
 func TestSizesMatchPaper(t *testing.T) {
 	r := getResults(t)
-	if f := r.Sizes.FracAbove("V-1", trace.CategoryVideo, 1<<20); f < 0.8 {
+	if f := r.Sizes().FracAbove("V-1", trace.CategoryVideo, 1<<20); f < 0.8 {
 		t.Errorf("V-1 videos > 1MB = %v, paper: majority", f)
 	}
 	for _, site := range []string{"P-1", "P-2", "S-1"} {
-		cdf := r.Sizes.CDF(site, trace.CategoryImage)
+		cdf := r.Sizes().CDF(site, trace.CategoryImage)
 		if cdf == nil {
 			t.Fatalf("%s has no image CDF", site)
 		}
 		if f := cdf.At(1 << 20); f < 0.9 {
 			t.Errorf("%s images <= 1MB = %v, paper: nearly all", site, f)
 		}
-		if gap := r.Sizes.BimodalityGap(site, trace.CategoryImage); gap < 5 {
+		if gap := r.Sizes().BimodalityGap(site, trace.CategoryImage); gap < 5 {
 			t.Errorf("%s image bimodality gap = %v, want large", site, gap)
 		}
 	}
 	// P-2 is configured with the largest videos; with only a handful of
 	// P-2 video objects at small scale the median is noisy, so assert
 	// the weaker shape claim: P-2 videos are multi-megabyte.
-	p2, _ := r.Sizes.CDF("P-2", trace.CategoryVideo).Median()
+	p2, _ := r.Sizes().CDF("P-2", trace.CategoryVideo).Median()
 	if p2 < 1<<20 {
 		t.Errorf("P-2 video median = %v, want multi-MB", p2)
 	}
@@ -155,11 +155,11 @@ func TestPopularityMatchesPaper(t *testing.T) {
 		if site == "P-1" {
 			cat = trace.CategoryImage
 		}
-		s := r.Popularity.ZipfExponent(site, cat)
+		s := r.Popularity().ZipfExponent(site, cat)
 		if math.IsNaN(s) || s < 0.3 || s > 2.0 {
 			t.Errorf("%s zipf exponent = %v, want skewed", site, s)
 		}
-		top := r.Popularity.TopShare(site, cat, 0.1)
+		top := r.Popularity().TopShare(site, cat, 0.1)
 		if top < 0.3 {
 			t.Errorf("%s top-10%% share = %v, want heavy concentration", site, top)
 		}
@@ -171,7 +171,7 @@ func TestPopularityMatchesPaper(t *testing.T) {
 func TestAgingMatchesPaper(t *testing.T) {
 	r := getResults(t)
 	for _, site := range []string{"V-1", "P-2"} {
-		curve := r.Aging.Curve(site)
+		curve := r.Aging().Curve(site)
 		if curve[0] != 1 {
 			t.Errorf("%s age-1 = %v, want 1", site, curve[0])
 		}
@@ -188,8 +188,8 @@ func TestAgingMatchesPaper(t *testing.T) {
 // sites; median session lengths are around a minute.
 func TestSessionsMatchPaper(t *testing.T) {
 	r := getResults(t)
-	v1 := r.Sessions.IATCDF("V-1")
-	p2 := r.Sessions.IATCDF("P-2")
+	v1 := r.Sessions().IATCDF("V-1")
+	p2 := r.Sessions().IATCDF("P-2")
 	if v1 == nil || p2 == nil {
 		t.Fatal("missing IAT CDFs")
 	}
@@ -205,7 +205,7 @@ func TestSessionsMatchPaper(t *testing.T) {
 		t.Errorf("P-2 median IAT = %vs, paper > 1 hour for image-heavy sites", p2med)
 	}
 	for _, site := range r.SiteNames() {
-		cdf := r.Sessions.SessionLengthCDF(site)
+		cdf := r.Sessions().SessionLengthCDF(site)
 		if cdf == nil {
 			continue
 		}
@@ -220,8 +220,8 @@ func TestSessionsMatchPaper(t *testing.T) {
 // same-user requests than image objects.
 func TestAddictionMatchesPaper(t *testing.T) {
 	r := getResults(t)
-	video := r.Addiction.FracObjectsAbove("V-1", trace.CategoryVideo, 10)
-	image := r.Addiction.FracObjectsAbove("P-1", trace.CategoryImage, 10)
+	video := r.Addiction().FracObjectsAbove("V-1", trace.CategoryVideo, 10)
+	image := r.Addiction().FracObjectsAbove("P-1", trace.CategoryImage, 10)
 	if video < 0.03 {
 		t.Errorf("V-1 video objects >10 req/user = %v, paper >= 0.10", video)
 	}
@@ -233,7 +233,7 @@ func TestAddictionMatchesPaper(t *testing.T) {
 	}
 	// Some objects accumulate many more requests than users (Fig. 13).
 	maxRatio := 0.0
-	for _, p := range r.Addiction.Scatter("V-1", trace.CategoryVideo) {
+	for _, p := range r.Addiction().Scatter("V-1", trace.CategoryVideo) {
 		if ratio := float64(p.Requests) / float64(p.Users); ratio > maxRatio {
 			maxRatio = ratio
 		}
@@ -248,18 +248,18 @@ func TestAddictionMatchesPaper(t *testing.T) {
 func TestCachingMatchesPaper(t *testing.T) {
 	r := getResults(t)
 	for _, site := range r.SiteNames() {
-		hr := r.Caching.WeightedHitRatio(site)
+		hr := r.Caching().WeightedHitRatio(site)
 		if hr < 0.55 || hr > 0.995 {
 			t.Errorf("%s weighted hit ratio = %v, paper 0.8-0.9 band", site, hr)
 		}
-		corr := r.Caching.PopularityHitCorrelation(site)
+		corr := r.Caching().PopularityHitCorrelation(site)
 		if corr < 0.3 {
 			t.Errorf("%s popularity-hit correlation = %v, paper > 0.9", site, corr)
 		}
 	}
 	// Images cache at least as well as video (per-object medians).
-	imgCDF := r.Caching.HitRatioCDF("V-2", trace.CategoryImage)
-	vidCDF := r.Caching.HitRatioCDF("V-2", trace.CategoryVideo)
+	imgCDF := r.Caching().HitRatioCDF("V-2", trace.CategoryImage)
+	vidCDF := r.Caching().HitRatioCDF("V-2", trace.CategoryVideo)
 	if imgCDF != nil && vidCDF != nil {
 		im, _ := imgCDF.Median()
 		vm, _ := vidCDF.Median()
@@ -270,18 +270,18 @@ func TestCachingMatchesPaper(t *testing.T) {
 	// Response codes: 200 dominates; 304 is a small fraction (incognito
 	// prevalence); 403/416 rare.
 	for _, site := range []string{"P-1", "S-1"} {
-		if f := r.Caching.CodeFrac(site, trace.CategoryImage, 200); f < 0.7 {
+		if f := r.Caching().CodeFrac(site, trace.CategoryImage, 200); f < 0.7 {
 			t.Errorf("%s image 200 share = %v", site, f)
 		}
-		if f := r.Caching.CodeFrac(site, trace.CategoryImage, 304); f > 0.2 {
+		if f := r.Caching().CodeFrac(site, trace.CategoryImage, 304); f > 0.2 {
 			t.Errorf("%s image 304 share = %v, should be small", site, f)
 		}
-		if f := r.Caching.CodeFrac(site, trace.CategoryImage, 403); f > 0.05 {
+		if f := r.Caching().CodeFrac(site, trace.CategoryImage, 403); f > 0.05 {
 			t.Errorf("%s image 403 share = %v", site, f)
 		}
 	}
 	// Video range requests produce 206s.
-	if f := r.Caching.CodeFrac("V-1", trace.CategoryVideo, 206); f < 0.3 {
+	if f := r.Caching().CodeFrac("V-1", trace.CategoryVideo, 206); f < 0.3 {
 		t.Errorf("V-1 video 206 share = %v, want substantial", f)
 	}
 }
@@ -349,7 +349,7 @@ func TestAnalyzeOnlySkipsCDN(t *testing.T) {
 		t.Errorf("records = %d, want %d", res.Records, len(recs))
 	}
 	// Without replay there are no cache verdicts.
-	if res.Caching.WeightedHitRatio("V-1") != 0 {
+	if res.Caching().WeightedHitRatio("V-1") != 0 {
 		t.Error("AnalyzeOnly should see no cache data")
 	}
 }

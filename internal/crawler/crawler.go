@@ -10,6 +10,7 @@ package crawler
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
@@ -50,6 +51,14 @@ type Campaign struct {
 // Simulate derives the crawl campaign a crawler with the given config
 // would have collected over the trace week, from the ground-truth logs.
 func Simulate(recs []*trace.Record, site string, week timeutil.Week, cfg Config) (*Campaign, error) {
+	return SimulateReader(trace.NewSliceReader(recs), site, week, cfg)
+}
+
+// SimulateReader is Simulate over a streaming reader: the logs are
+// consumed once in time order and never buffered, so a crawl campaign
+// can be derived from an on-disk trace in bounded memory (the campaign
+// itself holds only per-object cumulative counts).
+func SimulateReader(r trace.Reader, site string, week timeutil.Week, cfg Config) (*Campaign, error) {
 	interval := cfg.Interval
 	if interval == 0 {
 		interval = 24 * time.Hour
@@ -96,15 +105,22 @@ func Simulate(recs []*trace.Record, site string, week timeutil.Week, cfg Config)
 		}
 		camp.Snapshots = append(camp.Snapshots, Snapshot{Time: at, Views: views})
 	}
-	for _, r := range recs {
-		if r.Publisher != site {
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("crawler: read: %w", err)
+		}
+		if rec.Publisher != site {
 			continue
 		}
-		for ti < len(times) && r.Timestamp.After(times[ti]) {
+		for ti < len(times) && rec.Timestamp.After(times[ti]) {
 			flush(times[ti])
 			ti++
 		}
-		cum[r.ObjectID]++
+		cum[rec.ObjectID]++
 	}
 	for ; ti < len(times); ti++ {
 		flush(times[ti])

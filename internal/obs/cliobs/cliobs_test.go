@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"testing"
 )
 
@@ -94,5 +95,25 @@ func TestFileSize(t *testing.T) {
 	}
 	if got := FileSize(path); got != 123 {
 		t.Errorf("FileSize = %d, want 123", got)
+	}
+}
+
+func TestTuneBatchGCRespectsEnv(t *testing.T) {
+	orig := debug.SetGCPercent(100)
+	defer debug.SetGCPercent(orig)
+
+	// An explicit GOGC env var wins over the batch default.
+	t.Setenv("GOGC", "100")
+	debug.SetGCPercent(77)
+	TuneBatchGC()
+	if got := debug.SetGCPercent(77); got != 77 {
+		t.Errorf("TuneBatchGC with GOGC set: SetGCPercent called, got %d", got)
+	}
+
+	// Without the env var the batch default applies.
+	t.Setenv("GOGC", "")
+	TuneBatchGC()
+	if got := debug.SetGCPercent(orig); got != batchGCPercent {
+		t.Errorf("TuneBatchGC default: got GOGC %d, want %d", got, batchGCPercent)
 	}
 }

@@ -9,10 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"trafficscope/internal/obs"
 	"trafficscope/internal/trace"
@@ -54,121 +50,23 @@ type Options struct {
 // finish only the batch they are currently folding, and the error is
 // returned.
 func Run[T Accumulator[T]](r trace.Reader, newAcc func() T, opts Options) (T, error) {
-	workers := opts.Workers
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	batchSize := opts.BatchSize
-	if batchSize < 1 {
-		batchSize = 1024
-	}
-
-	m := opts.Metrics
-	batchesTotal := m.Counter("pipeline_batches_total")
-	recordsTotal := m.Counter("pipeline_records_total")
-	stallsTotal := m.Counter("pipeline_backpressure_stalls_total")
-	queueDepth := m.Gauge("pipeline_queue_depth")
-	m.Gauge("pipeline_workers").Set(float64(workers))
-	var foldSeconds *obs.Histogram
-	if m != nil {
-		foldSeconds = m.Histogram("pipeline_fold_seconds", obs.ExpBuckets(1e-5, 4, 10))
-	}
-
-	var zero T
-	batches := make(chan []*trace.Record, workers)
-	pool := sync.Pool{New: func() any {
-		s := make([]*trace.Record, 0, batchSize)
-		return &s
-	}}
-	recycle := func(batch []*trace.Record) {
-		clear(batch) // drop record pointers so reuse doesn't pin them
-		batch = batch[:0]
-		pool.Put(&batch)
-	}
-
-	// aborted tells workers to stop folding: set on a read error, after
-	// which every result is discarded, so already-queued batches are
-	// recycled unprocessed and failed runs terminate promptly.
-	var aborted atomic.Bool
-	accs := make([]T, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		accs[w] = newAcc()
-		wg.Add(1)
-		go func(acc T) {
-			defer wg.Done()
-			for batch := range batches {
-				if aborted.Load() {
-					recycle(batch)
-					continue
-				}
-				var t0 time.Time
-				if foldSeconds != nil {
-					t0 = time.Now()
-				}
-				for _, rec := range batch {
-					acc.Add(rec)
-				}
-				if foldSeconds != nil {
-					foldSeconds.Observe(time.Since(t0).Seconds())
-				}
-				recycle(batch)
-			}
-		}(accs[w])
-	}
-
-	dispatch := func(batch []*trace.Record) {
-		select {
-		case batches <- batch:
-		default:
-			// Channel full: every worker is busy and the queue is at
-			// capacity. Count the stall, then block.
-			stallsTotal.Inc()
-			batches <- batch
-		}
-		batchesTotal.Inc()
-		recordsTotal.Add(int64(len(batch)))
-		queueDepth.Set(float64(len(batches)))
-	}
-
-	var readErr error
-	batch := (*pool.Get().(*[]*trace.Record))[:0]
+	s := NewSink(newAcc, opts)
 	for {
 		rec, err := r.Read()
 		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
-			readErr = fmt.Errorf("pipeline: read: %w", err)
-			break
+			// Skip the final flush after a read error: the run's result
+			// is discarded, so folding the partial batch would be wasted
+			// work — and the workers abandon whatever is still queued.
+			s.Abort()
+			var zero T
+			return zero, fmt.Errorf("pipeline: read: %w", err)
 		}
-		batch = append(batch, rec)
-		if len(batch) == batchSize {
-			dispatch(batch)
-			batch = (*pool.Get().(*[]*trace.Record))[:0]
-		}
+		s.Feed(rec)
 	}
-	// Skip the final flush after a read error: the run's result is
-	// discarded, so folding the partial batch would be wasted work —
-	// and flag the workers so they abandon whatever is still queued.
-	if readErr == nil {
-		if len(batch) > 0 {
-			dispatch(batch)
-		}
-	} else {
-		aborted.Store(true)
-	}
-	close(batches)
-	wg.Wait()
-	if readErr != nil {
-		return zero, readErr
-	}
-
-	out := accs[0]
-	for _, a := range accs[1:] {
-		out.Merge(a)
-	}
-	return out, nil
+	return s.Close()
 }
 
 // Count is a trivial accumulator counting records; useful for smoke tests

@@ -244,7 +244,7 @@ func (g *Generator) buildSitePlan(i int) (*sitePlan, error) {
 		}
 		for h := 0; h < timeutil.HoursPerWeek; h++ {
 			if o.Shape[h] > 0 {
-				plan.hourTotal[h] += e * o.Shape[h]
+				plan.hourTotal[h] += e * float64(o.Shape[h])
 			}
 		}
 	}
@@ -270,7 +270,7 @@ func (g *Generator) generateHour(plan *sitePlan, h int, rng *rand.Rand, cum []fl
 	// Cumulative object distribution for this hour.
 	var acc float64
 	for oi, o := range plan.objs {
-		acc += plan.expected[oi] * o.Shape[h]
+		acc += plan.expected[oi] * float64(o.Shape[h])
 		cum[oi] = acc
 	}
 	if acc <= 0 {
@@ -459,7 +459,7 @@ func (g *Generator) newPrivateObject(p *SiteProfile, pop *Population, userIdx in
 		InjectHour: -1,
 		Weight:     0,
 	}
-	o.Shape = classShape(rng, ClassDiurnalA, o.InjectHour, &p.HourlyShape)
+	o.Shape = narrowShape(classShape(rng, ClassDiurnalA, o.InjectHour, &p.HourlyShape))
 	g.private[id] = o
 	pop.Objects = append(pop.Objects, o)
 	pop.ByCategory[cat] = append(pop.ByCategory[cat], o)

@@ -154,9 +154,11 @@ func TestObjectInvariants(t *testing.T) {
 					t.Fatalf("%s: class %v object has intensity %v before injection (h=%d < %d)",
 						pop.Site, o.Class, v, h, o.InjectHour)
 				}
-				sum += v
+				sum += float64(v)
 			}
-			if math.Abs(sum-1) > 1e-9 {
+			// Shapes normalize in float64 and are stored in float32
+			// cells; 168 rounded entries sum to 1 within ~1e-6.
+			if math.Abs(sum-1) > 1e-6 {
 				t.Errorf("%s: shape sums to %v", pop.Site, sum)
 			}
 		}

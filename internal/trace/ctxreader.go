@@ -29,3 +29,7 @@ func (c *ContextReader) Read() (*Record, error) {
 	}
 	return c.inner.Read()
 }
+
+// Close closes the wrapped reader when it is closable, so a
+// ContextReader can stand in for a FileReader in Source pipelines.
+func (c *ContextReader) Close() error { return CloseReader(c.inner) }

@@ -88,6 +88,22 @@ type (
 	Writer = trace.Writer
 )
 
+// Source is a reopenable record stream: multi-pass consumers (the CDN's
+// warm-up + measured protocol, per-policy comparisons) open it once per
+// pass and stream, so no pass materializes the trace.
+type (
+	Source      = trace.Source
+	SourceFunc  = trace.SourceFunc
+	FileSource  = trace.FileSource
+	SliceSource = trace.SliceSource
+)
+
+// Source helpers: context-aware wrapping and pass teardown.
+var (
+	ContextSource = trace.ContextSource
+	CloseReader   = trace.CloseReader
+)
+
 // Codec constructors for the on-disk log formats.
 var (
 	NewTextWriter   = trace.NewTextWriter
@@ -233,8 +249,9 @@ type (
 
 // Crawler-baseline functions.
 var (
-	SimulateCrawl = crawler.Simulate
-	CompareCrawl  = crawler.Compare
+	SimulateCrawl       = crawler.Simulate
+	SimulateCrawlReader = crawler.SimulateReader
+	CompareCrawl        = crawler.Compare
 )
 
 // Week is a one-week observation window.
