@@ -2,13 +2,30 @@
 # of every cmd/* binary, race-enabled tests over every package with
 # concurrent paths (synth's parallel generator, the pipeline worker
 # pool, the CDN parallel replay, and the trace mergers), then the full
-# suite. `make bench` records a local baseline in BENCH_local.txt.
+# suite. `make bench` records a local run in BENCH_local.txt and
+# refreshes the machine-readable BENCH_*.json trajectory files;
+# `make bench-gate` is the CI perf gate comparing a short run against
+# the committed baselines (see EXPERIMENTS.md §"Perf trajectory").
 
 GO ?= go
 BIN ?= bin
-CMDS := tsgen tsanalyze tscdnsim tsreport tscrawl tsserve tsload
+CMDS := tsgen tsanalyze tscdnsim tsreport tscrawl tsserve tsload tsbench
 
-.PHONY: all build test check vet race bench bench-mem tools fmt-check serve-demo
+# Benchmark selections backing the BENCH_*.json areas. The serve gate
+# judges only the socket-free serve-path variants (the http variant
+# rides in the trajectory file but is too noisy for a short CI run).
+SERVE_BENCH := BenchmarkEdgeServe
+STREAM_BENCH := BenchmarkRunStreaming|BenchmarkAnalyzeOnly
+GATE_MATCH_SERVE := /serve-
+# Gate iteration counts: the serve variants are ~400ns/op, so they need
+# enough iterations to amortize fixed per-run overhead (100x would read
+# ~40% slow); the stream benchmarks are ms-scale ops where 100x is
+# already seconds of work.
+GATE_TIME_SERVE ?= 10000x
+GATE_TIME_STREAM ?= 100x
+MAX_NS_REGRESS ?= 0.15
+
+.PHONY: all build test check vet race bench bench-mem bench-baseline bench-gate tools fmt-check serve-demo
 
 all: build test
 
@@ -41,16 +58,48 @@ fmt-check:
 
 check: vet tools race test
 
-bench:
+bench: tools
 	$(GO) test -bench=. -benchmem -count=3 ./... | tee BENCH_local.txt
+	$(BIN)/tsbench -area serve -match '$(SERVE_BENCH)' -config 'count=3,source=make-bench' \
+		-in BENCH_local.txt -out BENCH_serve.json
+	$(BIN)/tsbench -area stream -match '$(STREAM_BENCH)' -config 'count=3,source=make-bench' \
+		-in BENCH_local.txt -out BENCH_stream.json
 
 # Memory benchmark of the streaming study core (fused
 # generate→replay→analyze plus the analyze-only pipeline), appended to
-# EXPERIMENTS.md so allocation regressions show up in review diffs.
-bench-mem:
+# EXPERIMENTS.md so allocation regressions show up in review diffs, and
+# refreshed into the BENCH_stream.json trajectory file.
+bench-mem: tools
 	@printf '\n### bench-mem (%s)\n\n```\n' "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" >> EXPERIMENTS.md
-	$(GO) test -run NONE -bench 'BenchmarkRunStreaming|BenchmarkAnalyzeOnly' -benchmem ./internal/core | tee -a EXPERIMENTS.md
+	$(GO) test -run NONE -bench '$(STREAM_BENCH)' -benchmem ./internal/core | tee -a EXPERIMENTS.md \
+		| $(BIN)/tsbench -area stream -config 'source=bench-mem' -out BENCH_stream.json
 	@printf '```\n' >> EXPERIMENTS.md
+
+# Refresh the committed BENCH_*.json baselines the CI bench-gate
+# compares against. Run after deliberate perf-affecting changes and
+# commit the updated files with them.
+bench-baseline: tools
+	$(GO) test -run NONE -bench '$(SERVE_BENCH)' -benchmem -count=3 . \
+		| $(BIN)/tsbench -area serve -config 'count=3,source=bench-baseline' -out BENCH_serve.json
+	$(GO) test -run NONE -bench '$(STREAM_BENCH)' -benchmem -count=3 ./internal/core \
+		| $(BIN)/tsbench -area stream -config 'count=3,source=bench-baseline' -out BENCH_stream.json
+
+# CI perf gate: a short fixed-iteration run of each area, compared
+# against the committed BENCH_*.json. Fails on >15% ns/op regression or
+# any allocs/op increase; the serve run and comparison are restricted
+# to the socket-free serve-path variants (the http variant is too noisy
+# for a short gate and rides only in the trajectory file).
+bench-gate: tools
+	$(GO) test -run NONE -bench '$(SERVE_BENCH)$(GATE_MATCH_SERVE)' -benchtime=$(GATE_TIME_SERVE) -benchmem -count=3 . \
+		| $(BIN)/tsbench -area serve -config 'benchtime=$(GATE_TIME_SERVE),count=3,source=bench-gate' \
+			-out $(BIN)/BENCH_serve.current.json
+	$(BIN)/tsbench -baseline BENCH_serve.json -compare $(BIN)/BENCH_serve.current.json \
+		-match '$(GATE_MATCH_SERVE)' -max-ns-regress $(MAX_NS_REGRESS)
+	$(GO) test -run NONE -bench '$(STREAM_BENCH)' -benchtime=$(GATE_TIME_STREAM) -benchmem -count=3 ./internal/core \
+		| $(BIN)/tsbench -area stream -config 'benchtime=$(GATE_TIME_STREAM),count=3,source=bench-gate' \
+			-out $(BIN)/BENCH_stream.current.json
+	$(BIN)/tsbench -baseline BENCH_stream.json -compare $(BIN)/BENCH_stream.current.json \
+		-max-ns-regress $(MAX_NS_REGRESS)
 
 # Live serving demo: generate a trace, start the HTTP edge in the
 # background, replay the trace against it over loopback, then SIGINT the
@@ -68,5 +117,6 @@ serve-demo: tools
 		-manifest $(DEMO_DIR)/serve-manifest.json & \
 	srv=$$!; sleep 1; \
 	$(BIN)/tsload -in $(DEMO_DIR)/trace.bin.gz -target http://$(DEMO_ADDR) \
-		-workers $(DEMO_WORKERS) -manifest $(DEMO_DIR)/load-manifest.json; rc=$$?; \
+		-workers $(DEMO_WORKERS) -manifest $(DEMO_DIR)/load-manifest.json \
+		-bench-json $(DEMO_DIR)/BENCH_load.json; rc=$$?; \
 	kill -INT $$srv; wait $$srv; exit $$rc

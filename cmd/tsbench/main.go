@@ -1,0 +1,158 @@
+// Command tsbench converts `go test -bench` output into the repo's
+// machine-readable BENCH_<area>.json trajectory files and compares a
+// fresh run against a committed baseline — the tool behind `make bench`,
+// `make bench-baseline` and the CI bench-gate job.
+//
+// Convert (reads go test output from -in or stdin):
+//
+//	go test -bench EdgeServe -benchmem . | tsbench -area serve -out BENCH_serve.json
+//
+// Compare (exit status 1 on any regression):
+//
+//	tsbench -baseline BENCH_serve.json -compare current.json \
+//	        [-max-ns-regress 0.15] [-match regexp]
+//
+// The comparison fails on any benchmark missing from the current run,
+// on ns/op more than max-ns-regress above baseline, or on any increase
+// in allocs/op. -match restricts both sides of the comparison (so a
+// short CI gate can re-run and judge only the stable benchmarks of an
+// area while the committed file keeps the full set).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+
+	"trafficscope/internal/benchjson"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		area     = flag.String("area", "", "benchmark area label for -out (e.g. serve, stream)")
+		in       = flag.String("in", "", "go test -bench output to convert (default stdin)")
+		out      = flag.String("out", "", "BENCH_<area>.json path to write")
+		match    = flag.String("match", "", "only convert benchmarks whose name matches this regexp")
+		config   = flag.String("config", "", "run configuration recorded in the file, as k=v[,k=v...]")
+		baseline = flag.String("baseline", "", "committed baseline JSON to compare against")
+		compare  = flag.String("compare", "", "current-run JSON to compare with -baseline")
+		maxNs    = flag.Float64("max-ns-regress", 0.15, "allowed fractional ns/op regression in compare mode")
+	)
+	flag.Parse()
+
+	if *baseline != "" || *compare != "" {
+		if *baseline == "" || *compare == "" {
+			return fmt.Errorf("compare mode needs both -baseline and -compare")
+		}
+		return runCompare(*baseline, *compare, *match, *maxNs)
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required (or use -baseline/-compare)")
+	}
+	if *area == "" {
+		return fmt.Errorf("-area is required with -out")
+	}
+	return runConvert(*area, *in, *out, *match, *config)
+}
+
+func runConvert(area, in, out, match, config string) error {
+	var src io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	entries, err := benchjson.ParseGoBench(src)
+	if err != nil {
+		return err
+	}
+	if entries, err = filterEntries(entries, match); err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark results in input (match %q)", match)
+	}
+	f := benchjson.New(area, parseConfig(config), entries)
+	if err := benchjson.WriteFile(out, f); err != nil {
+		return err
+	}
+	fmt.Printf("tsbench: wrote %d benchmarks to %s (area %s, %s)\n", len(entries), out, area, f.GitSHA)
+	return nil
+}
+
+func runCompare(baselinePath, currentPath, match string, maxNs float64) error {
+	base, err := benchjson.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := benchjson.ReadFile(currentPath)
+	if err != nil {
+		return err
+	}
+	if base.Benchmarks, err = filterEntries(base.Benchmarks, match); err != nil {
+		return err
+	}
+	if cur.Benchmarks, err = filterEntries(cur.Benchmarks, match); err != nil {
+		return err
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("no baseline benchmarks in %s match %q", baselinePath, match)
+	}
+	regs := benchjson.Compare(base, cur, maxNs)
+	if len(regs) == 0 {
+		fmt.Printf("tsbench: %d benchmarks within budget of %s (max ns/op regression %.0f%%)\n",
+			len(base.Benchmarks), baselinePath, 100*maxNs)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "tsbench: REGRESSION", r)
+	}
+	return fmt.Errorf("%d benchmark regression(s) vs %s", len(regs), baselinePath)
+}
+
+// filterEntries keeps entries whose name matches the regexp; an empty
+// pattern keeps everything.
+func filterEntries(entries []benchjson.Entry, match string) ([]benchjson.Entry, error) {
+	if match == "" {
+		return entries, nil
+	}
+	re, err := regexp.Compile(match)
+	if err != nil {
+		return nil, fmt.Errorf("bad -match: %w", err)
+	}
+	kept := entries[:0]
+	for _, e := range entries {
+		if re.MatchString(e.Name) {
+			kept = append(kept, e)
+		}
+	}
+	return kept, nil
+}
+
+// parseConfig parses "k=v,k=v" into the config map.
+func parseConfig(s string) map[string]string {
+	if s == "" {
+		return nil
+	}
+	cfg := map[string]string{}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, _ := strings.Cut(kv, "=")
+		if k != "" {
+			cfg[k] = v
+		}
+	}
+	return cfg
+}

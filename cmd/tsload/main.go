@@ -8,12 +8,16 @@
 //	tsload -in trace.bin -target http://127.0.0.1:8080
 //	       [-speedup 0] [-workers 32] [-timeout 10s] [-retries 2]
 //	       [-backoff 20ms] [-debug-addr :6060] [-progress]
-//	       [-manifest run.json]
+//	       [-manifest run.json] [-bench-json BENCH_load.json]
 //
 // The summary (and the -manifest extras) reports achieved RPS, p50/p99
-// latency, hit ratio and egress — the serving-side metrics the offline
-// simulator cannot measure. SIGINT/SIGTERM stops dispatch, waits for
-// in-flight requests, and still writes the manifest.
+// latency (measured from each record's scheduled send time, so
+// client-side queueing counts), queued-send delay, hit ratio and egress
+// — the serving-side metrics the offline simulator cannot measure.
+// -bench-json additionally writes the run as a benchjson file, the same
+// schema the repo's BENCH_*.json perf trajectory uses. SIGINT/SIGTERM
+// stops dispatch, waits for in-flight requests, and still writes the
+// manifest.
 package main
 
 import (
@@ -21,8 +25,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
+	"trafficscope/internal/benchjson"
 	"trafficscope/internal/loadgen"
 	"trafficscope/internal/obs/cliobs"
 	"trafficscope/internal/report"
@@ -38,14 +44,15 @@ func main() {
 
 func run() error {
 	var (
-		in      = flag.String("in", "", "input trace path (required)")
-		format  = flag.String("format", "", "override log format: binary, text or json")
-		target  = flag.String("target", "", "edge base URL, e.g. http://127.0.0.1:8080 (required)")
-		speedup = flag.Float64("speedup", 0, "trace-seconds replayed per wall-second (0 = as fast as possible)")
-		workers = flag.Int("workers", 32, "request worker pool size")
-		timeout = flag.Duration("timeout", 10*time.Second, "per-request deadline")
-		retries = flag.Int("retries", 2, "retries after transport errors (HTTP errors are never retried)")
-		backoff = flag.Duration("backoff", 20*time.Millisecond, "initial retry backoff (doubles per attempt)")
+		in        = flag.String("in", "", "input trace path (required)")
+		format    = flag.String("format", "", "override log format: binary, text or json")
+		target    = flag.String("target", "", "edge base URL, e.g. http://127.0.0.1:8080 (required)")
+		speedup   = flag.Float64("speedup", 0, "trace-seconds replayed per wall-second (0 = as fast as possible)")
+		workers   = flag.Int("workers", 32, "request worker pool size")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request deadline")
+		retries   = flag.Int("retries", 2, "retries after transport errors (HTTP errors are never retried)")
+		backoff   = flag.Duration("backoff", 20*time.Millisecond, "initial retry backoff (doubles per attempt)")
+		benchJSON = flag.String("bench-json", "", "write the run summary as a benchjson file (BENCH_*.json schema)")
 	)
 	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -102,6 +109,13 @@ func run() error {
 		extra["logical_bytes"] = st.LogicalBytes
 		extra["p50_ms"] = 1000 * st.Latency.Quantile(0.50)
 		extra["p99_ms"] = 1000 * st.Latency.Quantile(0.99)
+		extra["queued_delay_p50_ms"] = 1000 * st.QueuedDelay.Quantile(0.50)
+		extra["queued_delay_p99_ms"] = 1000 * st.QueuedDelay.Quantile(0.99)
+		if *benchJSON != "" {
+			if err := writeBenchJSON(*benchJSON, st, *speedup, *workers); err != nil {
+				return err
+			}
+		}
 	}
 	if runErr != nil {
 		sess.Finish(extra)
@@ -125,6 +139,8 @@ func printSummary(st *loadgen.Stats) {
 	tab.AddRow("latency p50", fmtLatency(st.Latency.Quantile(0.50)))
 	tab.AddRow("latency p90", fmtLatency(st.Latency.Quantile(0.90)))
 	tab.AddRow("latency p99", fmtLatency(st.Latency.Quantile(0.99)))
+	tab.AddRow("queued delay p50", fmtLatency(st.QueuedDelay.Quantile(0.50)))
+	tab.AddRow("queued delay p99", fmtLatency(st.QueuedDelay.Quantile(0.99)))
 	fmt.Println(tab)
 
 	sites := make([]string, 0, len(st.BySite))
@@ -137,6 +153,39 @@ func printSummary(st *loadgen.Stats) {
 		siteTab.AddRow(s, st.BySite[s])
 	}
 	fmt.Println(siteTab)
+}
+
+// writeBenchJSON records the run in the repo's BENCH_*.json schema: one
+// entry whose ns/op is the mean scheduled-send-to-completion latency,
+// with records/sec and the latency/queued-delay quantiles alongside.
+func writeBenchJSON(path string, st *loadgen.Stats, speedup float64, workers int) error {
+	var meanNs float64
+	if st.Latency.Count > 0 {
+		meanNs = st.Latency.Sum / float64(st.Latency.Count) * 1e9
+	}
+	entry := benchjson.Entry{
+		Name:          "tsload/replay",
+		NsPerOp:       meanNs,
+		RecordsPerSec: st.RPS(),
+		Metrics: map[string]float64{
+			"hit-%":     100 * st.HitRatio(),
+			"errors":    float64(st.Errors),
+			"shed":      float64(st.Shed),
+			"cancelled": float64(st.Cancelled),
+		},
+		Quantiles: map[string]float64{
+			"latency_p50_s":      st.Latency.Quantile(0.50),
+			"latency_p90_s":      st.Latency.Quantile(0.90),
+			"latency_p99_s":      st.Latency.Quantile(0.99),
+			"queued_delay_p50_s": st.QueuedDelay.Quantile(0.50),
+			"queued_delay_p99_s": st.QueuedDelay.Quantile(0.99),
+		},
+	}
+	f := benchjson.New("serve-live", map[string]string{
+		"speedup": strconv.FormatFloat(speedup, 'g', -1, 64),
+		"workers": strconv.Itoa(workers),
+	}, []benchjson.Entry{entry})
+	return benchjson.WriteFile(path, f)
 }
 
 // fmtLatency renders a latency in seconds with a sensible unit.

@@ -1,0 +1,154 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: trafficscope
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEdgeServe/http-8         	   26590	     45623 ns/op	        83.71 hit-%	    7095 B/op	      93 allocs/op
+BenchmarkEdgeServe/serve-per-dc-locks-8         	 4321579	       467.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEdgeServe/serve-per-dc-locks-8         	 4000000	       480.1 ns/op	       1 B/op	       1 allocs/op
+BenchmarkEdgeServe/serve-per-dc-locks-8         	 4500000	       471.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCDNReplay-8  	      37	  31808367 ns/op	         1.574 MB/s
+--- BENCH: BenchmarkSomething-8
+    bench_test.go:42: note line that must be ignored
+PASS
+ok  	trafficscope	6.830s
+`
+
+func TestParseGoBench(t *testing.T) {
+	entries, err := ParseGoBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3: %+v", len(entries), entries)
+	}
+	byName := map[string]Entry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+
+	httpE := byName["BenchmarkEdgeServe/http"]
+	if httpE.NsPerOp != 45623 {
+		t.Errorf("http ns/op = %g", httpE.NsPerOp)
+	}
+	if httpE.AllocsPerOp == nil || *httpE.AllocsPerOp != 93 {
+		t.Errorf("http allocs/op = %v, want 93", httpE.AllocsPerOp)
+	}
+	if httpE.Metrics["hit-%"] != 83.71 {
+		t.Errorf("http metrics = %v, want hit-%% 83.71", httpE.Metrics)
+	}
+
+	// -count=3 repeats fold conservatively: fastest ns/op, worst allocs.
+	serve := byName["BenchmarkEdgeServe/serve-per-dc-locks"]
+	if serve.NsPerOp != 467.5 {
+		t.Errorf("serve ns/op = %g, want fastest 467.5", serve.NsPerOp)
+	}
+	if serve.AllocsPerOp == nil || *serve.AllocsPerOp != 1 {
+		t.Errorf("serve allocs/op = %v, want worst-case 1", serve.AllocsPerOp)
+	}
+
+	replay := byName["BenchmarkCDNReplay"]
+	if replay.RecordsPerSec != 1.574e6 {
+		t.Errorf("replay records/sec = %g, want 1.574e6", replay.RecordsPerSec)
+	}
+	if replay.AllocsPerOp != nil {
+		t.Errorf("replay allocs/op = %v, want absent (no -benchmem columns)", replay.AllocsPerOp)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	entries, err := ParseGoBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New("serve", map[string]string{"benchtime": "2s"}, entries)
+	if f.Schema != SchemaVersion || f.Area != "serve" || f.GOMAXPROCS < 1 || f.GoVersion == "" {
+		t.Fatalf("header not stamped: %+v", f)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := WriteFile(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Area != f.Area || len(got.Benchmarks) != len(f.Benchmarks) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, f)
+	}
+	// New sorts entries by name, so committed files diff stably.
+	for i := 1; i < len(got.Benchmarks); i++ {
+		if got.Benchmarks[i-1].Name > got.Benchmarks[i].Name {
+			t.Fatalf("entries not sorted: %q > %q", got.Benchmarks[i-1].Name, got.Benchmarks[i].Name)
+		}
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	f.Schema = SchemaVersion + 1
+	if err := WriteFile(bad, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Error("ReadFile with future schema: want error")
+	}
+}
+
+func ptr(v float64) *float64 { return &v }
+
+func TestCompare(t *testing.T) {
+	base := &File{Schema: SchemaVersion, Benchmarks: []Entry{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: ptr(0)},
+		{Name: "B", NsPerOp: 1000},
+		{Name: "C", NsPerOp: 50, AllocsPerOp: ptr(2)},
+	}}
+
+	// Within budget: 10% slower, allocs flat.
+	ok := &File{Schema: SchemaVersion, Benchmarks: []Entry{
+		{Name: "A", NsPerOp: 110, AllocsPerOp: ptr(0)},
+		{Name: "B", NsPerOp: 900},
+		{Name: "C", NsPerOp: 40, AllocsPerOp: ptr(2)},
+		{Name: "D", NsPerOp: 1}, // new benchmark: ignored until baseline refresh
+	}}
+	if regs := Compare(base, ok, 0.15); len(regs) != 0 {
+		t.Errorf("Compare ok run: unexpected regressions %v", regs)
+	}
+
+	// The injected 2x slowdown the CI gate must catch.
+	slow := &File{Schema: SchemaVersion, Benchmarks: []Entry{
+		{Name: "A", NsPerOp: 200, AllocsPerOp: ptr(0)},
+		{Name: "B", NsPerOp: 1000},
+		{Name: "C", NsPerOp: 50, AllocsPerOp: ptr(2)},
+	}}
+	regs := Compare(base, slow, 0.15)
+	if len(regs) != 1 || regs[0].Name != "A" || !strings.Contains(regs[0].Reason, "ns/op") {
+		t.Errorf("Compare 2x slowdown = %v, want one ns/op regression on A", regs)
+	}
+
+	// Any allocs/op increase fails, even from zero and even when fast.
+	allocs := &File{Schema: SchemaVersion, Benchmarks: []Entry{
+		{Name: "A", NsPerOp: 90, AllocsPerOp: ptr(1)},
+		{Name: "B", NsPerOp: 1000},
+		{Name: "C", NsPerOp: 50, AllocsPerOp: ptr(2)},
+	}}
+	regs = Compare(base, allocs, 0.15)
+	if len(regs) != 1 || regs[0].Name != "A" || !strings.Contains(regs[0].Reason, "allocs/op") {
+		t.Errorf("Compare alloc increase = %v, want one allocs/op regression on A", regs)
+	}
+
+	// A vanished benchmark is a failure, not a silent pass.
+	missing := &File{Schema: SchemaVersion, Benchmarks: []Entry{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: ptr(0)},
+		{Name: "C", NsPerOp: 50, AllocsPerOp: ptr(2)},
+	}}
+	regs = Compare(base, missing, 0.15)
+	if len(regs) != 1 || regs[0].Name != "B" {
+		t.Errorf("Compare missing = %v, want B missing", regs)
+	}
+}

@@ -2,7 +2,6 @@ package cdn
 
 import (
 	"fmt"
-	"hash/fnv"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -126,9 +125,13 @@ func (s *DCStats) ByteHitRatio() float64 {
 
 // CDN simulates a multi-datacenter content delivery network.
 type CDN struct {
-	cfg        Config
-	dcs        map[timeutil.Region]*DataCenter
-	clients    *clientState // default client state used by Serve/Replay
+	cfg     Config
+	dcs     map[timeutil.Region]*DataCenter
+	clients *clientState // default client state used by Serve/Replay
+	// dcByRegion pre-resolves the region→DC map into a dense array so
+	// the serve hot path indexes instead of hashing; index 0 is unused
+	// (regions start at 1).
+	dcByRegion [timeutil.NumRegions + 1]*DataCenter
 	chunk      int64
 	browserTTL time.Duration
 }
@@ -232,8 +235,20 @@ func New(cfg Config) *CDN {
 			}
 		}
 		c.dcs[r] = dc
+		c.dcByRegion[int(r)] = dc
 	}
 	return c
+}
+
+// dcForRegion resolves a request's data center without a map lookup.
+// Unknown regions route to the first DC deterministically.
+func (c *CDN) dcForRegion(reg timeutil.Region) *DataCenter {
+	if ri := int(reg); ri >= 1 && ri < len(c.dcByRegion) {
+		if dc := c.dcByRegion[ri]; dc != nil {
+			return dc
+		}
+	}
+	return c.dcByRegion[int(timeutil.RegionNorthAmerica)]
 }
 
 // DC returns the data center serving the given region.
@@ -336,21 +351,38 @@ func (c *CDN) PurgeAll(objectID uint64, videoSize int64) int {
 // Serve is single-threaded; wrap the CDN in NewConcurrent for a
 // thread-safe serve path.
 func (c *CDN) Serve(r *trace.Record) *trace.Record {
-	return c.serve(r, c.clients, nil)
+	out := new(trace.Record)
+	c.serveInto(r, out, c.clients, nil)
+	return out
 }
 
-// serve is Serve with explicit client state (enabling per-region workers
-// and lock-striped concurrent clients) and an optional per-(DC, cache
-// partition) lock table. With a nil lock table the caller owns all
-// synchronization; with a non-nil one, cache touches happen under the
-// request's partition lock while stats/metrics rely on atomics only.
+// ServeInto is Serve writing the finalized record into a caller-provided
+// out record (every field of *out is overwritten) — the allocation-free
+// form for hot paths holding pooled or per-goroutine scratch. out may
+// alias r, in which case the record is finalized in place.
+func (c *CDN) ServeInto(r, out *trace.Record) {
+	c.serveInto(r, out, c.clients, nil)
+}
+
+// serve is serveInto allocating its result, for callers that retain the
+// finalized record (Replay sinks).
 func (c *CDN) serve(r *trace.Record, clients clientTracker, locks lockTable) *trace.Record {
-	out := *r
-	dc := c.dcs[r.Region]
-	if dc == nil {
-		// Unknown region: route to the first DC deterministically.
-		dc = c.dcs[timeutil.RegionNorthAmerica]
-	}
+	out := new(trace.Record)
+	c.serveInto(r, out, clients, locks)
+	return out
+}
+
+// serveInto is the serve hot path with explicit client state (enabling
+// per-region workers and lock-striped concurrent clients) and an
+// optional per-(DC, cache partition) lock table. With a nil lock table
+// the caller owns all synchronization; with a non-nil one, cache touches
+// happen under the request's partition lock while stats/metrics rely on
+// atomics only. A cache hit performs no heap allocation: the DC and lock
+// resolve by array index, the rejection dice and chunk keys hash without
+// hash.Hash indirection, and the result lands in *out.
+func (c *CDN) serveInto(r, out *trace.Record, clients clientTracker, locks lockTable) {
+	*out = *r
+	dc := c.dcForRegion(r.Region)
 	atomic.AddInt64(&dc.Stats.Requests, 1)
 	dc.met.requests.Inc()
 
@@ -362,7 +394,7 @@ func (c *CDN) serve(r *trace.Record, clients clientTracker, locks lockTable) *tr
 		out.StatusCode = StatusForbidden
 		out.BytesServed = 0
 		out.Cache = trace.CacheUnknown
-		return &out
+		return
 	}
 
 	isVideo := r.Category() == trace.CategoryVideo
@@ -370,26 +402,30 @@ func (c *CDN) serve(r *trace.Record, clients clientTracker, locks lockTable) *tr
 		out.StatusCode = StatusRangeError
 		out.BytesServed = 0
 		out.Cache = trace.CacheUnknown
-		return &out
+		return
 	}
 	if r.Category() == trace.CategoryOther && c.cfg.P204 > 0 && unit(die>>16) < c.cfg.P204 {
 		out.StatusCode = StatusNoContent
 		out.BytesServed = 0
 		out.Cache = trace.CacheUnknown
-		return &out
+		return
 	}
 
 	// Resolve the cache partition (and, when serving concurrently, its
 	// lock) once: a request touches exactly one partition.
 	cache := dc.Cache
 	defaultPartition := true
-	if pc, ok := dc.PublisherCache[r.Publisher]; ok {
-		cache = pc
-		defaultPartition = false
+	// The length guard keeps the common no-publisher-partitions setup
+	// from hashing the publisher string on every request.
+	if len(dc.PublisherCache) > 0 {
+		if pc, ok := dc.PublisherCache[r.Publisher]; ok {
+			cache = pc
+			defaultPartition = false
+		}
 	}
 	var mu *sync.Mutex
 	if locks != nil {
-		mu = locks[dc.Region].forPartition(r.Publisher, defaultPartition)
+		mu = locks[int(dc.Region)].forPartition(r.Publisher, defaultPartition)
 	}
 	// Occupancy gauges read the default cache; refreshing them is only
 	// race-free when this request holds the default partition's lock (or
@@ -417,7 +453,7 @@ func (c *CDN) serve(r *trace.Record, clients clientTracker, locks lockTable) *tr
 				mu.Unlock()
 			}
 			out.Cache = cacheStatus(hit)
-			return &out
+			return
 		}
 	}
 
@@ -450,7 +486,7 @@ func (c *CDN) serve(r *trace.Record, clients clientTracker, locks lockTable) *tr
 	} else {
 		out.StatusCode = StatusOK
 	}
-	return &out
+	return
 }
 
 // accessChunks touches the chunks covering [0, bytesWanted) of a video
@@ -549,28 +585,42 @@ func cacheStatus(hit bool) trace.CacheStatus {
 	return trace.CacheMiss
 }
 
+// FNV-1a constants (hash/fnv), inlined so the serve hot path hashes
+// without allocating a hash.Hash64.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv64a folds buf into an FNV-1a hash — byte-identical to
+// fnv.New64a(); Write(buf); Sum64(), allocation-free.
+func fnv64a(buf []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // chunkKey derives the cache key of a video chunk.
 func chunkKey(objectID uint64, chunk int) uint64 {
 	if chunk == 0 {
 		return objectID
 	}
-	h := fnv.New64a()
 	var b [12]byte
 	putUint64(b[:8], objectID)
 	putUint32(b[8:], uint32(chunk))
-	h.Write(b[:])
-	return h.Sum64()
+	return fnv64a(b[:])
 }
 
 // hash3 mixes three values into a deterministic die roll.
 func hash3(a, b uint64, c uint32) uint64 {
-	h := fnv.New64a()
 	var buf [20]byte
 	putUint64(buf[0:8], a)
 	putUint64(buf[8:16], b)
 	putUint32(buf[16:20], c)
-	h.Write(buf[:])
-	return h.Sum64()
+	return fnv64a(buf[:])
 }
 
 // unit maps a hash to [0, 1).

@@ -38,8 +38,11 @@ type ConcurrentCDN struct {
 	clients *stripedClients
 }
 
-// lockTable maps each region's data center to its partition locks.
-type lockTable map[timeutil.Region]*partitionLocks
+// lockTable holds each region's partition locks in a dense slice
+// indexed by int(region) (index 0 unused, regions run 1..NumRegions),
+// so the hot path resolves its lock with an array index instead of a
+// map lookup.
+type lockTable []*partitionLocks
 
 // partitionLocks serializes access to one data center's cache
 // partitions: the shared default cache and each dedicated publisher
@@ -63,13 +66,13 @@ func (pl *partitionLocks) forPartition(pub string, defaultPartition bool) *sync.
 // single-threaded Serve/Replay methods while the ConcurrentCDN is in
 // use; offline and live paths share the same caches and counters.
 func NewConcurrent(c *CDN) *ConcurrentCDN {
-	locks := lockTable{}
+	locks := make(lockTable, timeutil.NumRegions+1)
 	for region, dc := range c.dcs {
 		pl := &partitionLocks{pub: map[string]*sync.Mutex{}}
 		for pub := range dc.PublisherCache {
 			pl.pub[pub] = new(sync.Mutex)
 		}
-		locks[region] = pl
+		locks[int(region)] = pl
 	}
 	return &ConcurrentCDN{c: c, locks: locks, clients: newStripedClients()}
 }
@@ -78,6 +81,14 @@ func NewConcurrent(c *CDN) *ConcurrentCDN {
 // from many goroutines.
 func (cc *ConcurrentCDN) Serve(r *trace.Record) *trace.Record {
 	return cc.c.serve(r, cc.clients, cc.locks)
+}
+
+// ServeInto is Serve writing the response record into *out instead of
+// allocating one — the zero-allocation form for callers holding a
+// reusable record (out may alias r). A cache hit costs a partition
+// lock, an LRU touch and atomic stat adds, with no heap allocation.
+func (cc *ConcurrentCDN) ServeInto(r, out *trace.Record) {
+	cc.c.serveInto(r, out, cc.clients, cc.locks)
 }
 
 // CDN returns the wrapped CDN for configuration-time access (DC lookup,

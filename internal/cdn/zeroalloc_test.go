@@ -1,0 +1,98 @@
+package cdn
+
+import (
+	"testing"
+	"time"
+
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// TestConcurrentServeHitPathZeroAllocs is the committed guard for the
+// zero-allocation serve hot path: once the cache is warm, a
+// ConcurrentCDN.ServeInto call — lock, LRU touch, atomic stat adds —
+// must not allocate. A regression here (a map rebuilt per request, an
+// interface-boxing hash, a response record escaping to the heap) fails
+// this test before it shows up as benchmark noise.
+func TestConcurrentServeHitPathZeroAllocs(t *testing.T) {
+	cc := NewConcurrent(New(Config{
+		NewCache:   func() Cache { return NewLRU(1 << 30) },
+		ChunkBytes: 2 << 20,
+	}))
+	recs := make([]*trace.Record, 0, 4*8)
+	for i, region := range timeutil.AllRegions() {
+		for j := 0; j < 8; j++ {
+			recs = append(recs, &trace.Record{
+				Timestamp:   time.Date(2016, 4, 12, 9, 30, i, j, time.UTC),
+				Publisher:   "V-1",
+				ObjectID:    uint64(1000*i + j),
+				FileType:    trace.FileMP4,
+				ObjectSize:  5 << 20,
+				BytesServed: 3 << 20,
+				UserID:      uint64(j % 3),
+				Region:      region,
+			})
+		}
+	}
+	for _, r := range recs {
+		cc.Serve(r) // warm: every chunk admitted, client state created
+	}
+
+	var out trace.Record
+	i := 0
+	n := testing.AllocsPerRun(500, func() {
+		cc.ServeInto(recs[i%len(recs)], &out)
+		i++
+	})
+	if n != 0 {
+		t.Errorf("warm ConcurrentCDN.ServeInto: %v allocs/op, want 0", n)
+	}
+	if out.StatusCode == 0 || out.Cache == trace.CacheUnknown {
+		t.Errorf("response record not filled in: %+v", out)
+	}
+}
+
+// TestServeIntoMatchesServe pins ServeInto (including the aliased
+// out == r form) to the allocating Serve on identical traffic.
+func TestServeIntoMatchesServe(t *testing.T) {
+	mk := func() *CDN {
+		return New(Config{
+			NewCache:   func() Cache { return NewLRU(64 << 20) },
+			ChunkBytes: 2 << 20,
+		})
+	}
+	a, b, c := mk(), mk(), mk()
+	base := trace.Record{
+		Timestamp:   time.Date(2016, 4, 12, 9, 30, 0, 0, time.UTC),
+		Publisher:   "V-1",
+		FileType:    trace.FileMP4,
+		ObjectSize:  5 << 20,
+		BytesServed: 1 << 20,
+		Region:      timeutil.RegionEurope,
+	}
+	for i := 0; i < 200; i++ {
+		r := base
+		r.ObjectID = uint64(i % 37)
+		r.UserID = uint64(i % 5)
+		r.Timestamp = base.Timestamp.Add(time.Duration(i) * time.Second)
+
+		ra := r
+		want := a.Serve(&ra)
+
+		rb := r
+		var got trace.Record
+		b.ServeInto(&rb, &got)
+		if got != *want {
+			t.Fatalf("request %d: ServeInto = %+v, want %+v", i, got, *want)
+		}
+
+		aliased := r
+		c.ServeInto(&aliased, &aliased) // out aliasing r must be safe
+		if aliased != *want {
+			t.Fatalf("request %d: aliased ServeInto = %+v, want %+v", i, aliased, *want)
+		}
+	}
+	if as, bs, cs := a.TotalStats(), b.TotalStats(), c.TotalStats(); as != bs || as != cs {
+		t.Errorf("stats diverged: Serve %+v, ServeInto %+v, aliased %+v", as, bs, cs)
+	}
+}

@@ -84,6 +84,16 @@ type Server struct {
 	latency   *obs.Histogram
 }
 
+// serveScratch is the per-request scratch an object request decodes and
+// serves through, pooled so the steady-state hot path allocates nothing
+// of its own (net/http's per-request allocations remain).
+type serveScratch struct {
+	rec trace.Record
+	num [20]byte // strconv.AppendInt scratch for the X-TS-Bytes header
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(serveScratch) }}
+
 // New validates the config and builds a Server.
 func New(cfg Config) (*Server, error) {
 	if cfg.CDN == nil {
@@ -169,16 +179,19 @@ func (s *Server) handleObject(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
-	rec, err := ParseRequest(req)
-	if err != nil {
+	sc := scratchPool.Get().(*serveScratch)
+	defer scratchPool.Put(sc)
+	if err := ParseRequestInto(req, &sc.rec); err != nil {
 		s.badReq.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 
 	// No server-wide lock: the concurrent CDN serializes only requests
-	// contending for the same (DC, cache partition).
-	out := s.cdn.Serve(rec)
+	// contending for the same (DC, cache partition). The response is
+	// written over the pooled request record in place.
+	out := &sc.rec
+	s.cdn.ServeInto(out, out)
 
 	// The cache verdict is final as soon as the CDN has served the
 	// record, so commit the telemetry headers before the simulated
@@ -188,7 +201,7 @@ func (s *Server) handleObject(w http.ResponseWriter, req *http.Request) {
 	// server's.
 	h := w.Header()
 	h.Set(HeaderCache, out.Cache.String())
-	h.Set(HeaderBytes, strconv.FormatInt(out.BytesServed, 10))
+	h.Set(HeaderBytes, string(strconv.AppendInt(sc.num[:0], out.BytesServed, 10)))
 	h.Set("Content-Type", "application/octet-stream")
 
 	// Simulate the origin fetch outside any lock so slow origins stall

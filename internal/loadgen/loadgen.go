@@ -59,6 +59,11 @@ type Config struct {
 // latencyMetric is the histogram name the run records latencies under.
 const latencyMetric = "loadgen_latency_seconds"
 
+// queuedDelayMetric is the histogram name for the queued-send delay:
+// how long each record waited between its scheduled (virtual-clock)
+// send time and the moment a worker actually sent it.
+const queuedDelayMetric = "loadgen_queued_delay_seconds"
+
 // maxRetryBackoff caps the exponential retry backoff: the delay doubles
 // per attempt but never exceeds this, so a long retry budget cannot
 // drive per-record sleeps into minutes.
@@ -87,9 +92,19 @@ type Stats struct {
 	BySite       map[string]int64 `json:"by_site"`
 	ByStatus     map[int]int64    `json:"by_status"`
 	Duration     time.Duration    `json:"duration"`
-	// Latency holds the response-time histogram of completed exchanges;
-	// use Latency.Quantile for p50/p99.
+	// Latency holds the response-time histogram of completed exchanges,
+	// measured from each record's scheduled send time (the virtual
+	// clock), not from the actual send: when workers fall behind, the
+	// time a request spent queued client-side counts against the server
+	// — the standard guard against coordinated omission. Use
+	// Latency.Quantile for p50/p99.
 	Latency obs.HistogramValue `json:"latency"`
+	// QueuedDelay holds the queued-send-delay histogram (actual send −
+	// scheduled send) of the same exchanges: near zero when the
+	// generator keeps up, growing when the worker pool or the server
+	// backs up. Latency already folds this in; QueuedDelay shows how
+	// much of it was client-side queueing.
+	QueuedDelay obs.HistogramValue `json:"queued_delay"`
 }
 
 // RPS returns completed requests per wall-clock second.
@@ -121,8 +136,53 @@ type run struct {
 	mu                                 sync.Mutex // guards the maps below
 	bySite                             map[string]int64
 	byStatus                           map[int]int64
+	bounds                             []float64 // latency bucket layout
 	latency                            *obs.Histogram
+	qdelay                             *obs.Histogram
 	sentC, errC, retryC, bytesC, cancC *obs.Counter
+}
+
+// job is one scheduled request: the record plus its virtual-clock send
+// time, which latency is measured from.
+type job struct {
+	rec       *trace.Record
+	scheduled time.Time
+}
+
+// workerStats is one worker's private telemetry. Workers record here
+// without any locking — the old design's single shared locked histogram
+// serialized the whole pool at high rates — and the run folds every
+// worker's copy into the registry metrics once, at stop.
+type workerStats struct {
+	latency  *obs.Histogram
+	qdelay   *obs.Histogram
+	bySite   map[string]int64
+	byStatus map[int]int64
+}
+
+func newWorkerStats(bounds []float64) *workerStats {
+	return &workerStats{
+		latency:  obs.NewHistogram(bounds),
+		qdelay:   obs.NewHistogram(bounds),
+		bySite:   map[string]int64{},
+		byStatus: map[int]int64{},
+	}
+}
+
+// fold merges one worker's private telemetry into the run's shared
+// state. Called once per worker after the job channel closes.
+func (rn *run) fold(ws *workerStats) {
+	// Bounds are identical by construction, so Merge cannot fail.
+	rn.latency.Merge(ws.latency)
+	rn.qdelay.Merge(ws.qdelay)
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	for k, v := range ws.bySite {
+		rn.bySite[k] += v
+	}
+	for k, v := range ws.byStatus {
+		rn.byStatus[k] += v
+	}
 }
 
 // Run replays records from r against cfg.Target until the trace ends or
@@ -149,13 +209,16 @@ func Run(ctx context.Context, cfg Config, r trace.Reader) (*Stats, error) {
 	if reg == nil {
 		reg = obs.NewRegistry() // latency quantiles need a histogram either way
 	}
+	bounds := obs.ExpBuckets(50e-6, 1.6, 40)
 	rn := &run{
 		cfg:      cfg,
 		base:     strings.TrimSuffix(cfg.Target, "/"),
 		client:   cfg.Client,
 		bySite:   map[string]int64{},
 		byStatus: map[int]int64{},
-		latency:  reg.Histogram(latencyMetric, obs.ExpBuckets(50e-6, 1.6, 40)),
+		bounds:   bounds,
+		latency:  reg.Histogram(latencyMetric, bounds),
+		qdelay:   reg.Histogram(queuedDelayMetric, bounds),
 		sentC:    reg.Counter("loadgen_requests_total"),
 		errC:     reg.Counter("loadgen_errors_total"),
 		retryC:   reg.Counter("loadgen_retries_total"),
@@ -172,14 +235,16 @@ func Run(ctx context.Context, cfg Config, r trace.Reader) (*Stats, error) {
 		}
 	}
 
-	jobs := make(chan *trace.Record, cfg.QueueDepth)
+	jobs := make(chan job, cfg.QueueDepth)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for rec := range jobs {
-				rn.one(ctx, rec)
+			ws := newWorkerStats(rn.bounds)
+			defer rn.fold(ws)
+			for j := range jobs {
+				rn.one(ctx, j, ws)
 			}
 		}()
 	}
@@ -198,7 +263,13 @@ func Run(ctx context.Context, cfg Config, r trace.Reader) (*Stats, error) {
 
 // schedule reads records and dispatches them at their virtual send
 // times. It returns the first trace read error, nil otherwise.
-func (rn *run) schedule(ctx context.Context, r trace.Reader, jobs chan<- *trace.Record, start time.Time) error {
+//
+// Each job carries its scheduled send time: under pacing that is the
+// virtual-clock target even when the scheduler itself has fallen
+// behind, so latency accounting charges the backlog to the run rather
+// than silently forgiving it (coordinated omission); unpaced runs use
+// the enqueue time, making queue wait part of the measured latency.
+func (rn *run) schedule(ctx context.Context, r trace.Reader, jobs chan<- job, start time.Time) error {
 	var t0 time.Time
 	var pace *time.Timer
 	first := true
@@ -210,13 +281,14 @@ func (rn *run) schedule(ctx context.Context, r trace.Reader, jobs chan<- *trace.
 		if err != nil {
 			return fmt.Errorf("loadgen: trace read: %w", err)
 		}
+		var scheduled time.Time
 		if rn.cfg.Speedup > 0 {
 			if first {
 				t0 = rec.Timestamp
 				first = false
 			}
-			target := start.Add(time.Duration(float64(rec.Timestamp.Sub(t0)) / rn.cfg.Speedup))
-			if d := time.Until(target); d > 0 {
+			scheduled = start.Add(time.Duration(float64(rec.Timestamp.Sub(t0)) / rn.cfg.Speedup))
+			if d := time.Until(scheduled); d > 0 {
 				// One timer serves the whole schedule: Reset after the
 				// previous wait has drained the channel is race-free, and
 				// reusing it avoids allocating a timer per paced record.
@@ -232,9 +304,11 @@ func (rn *run) schedule(ctx context.Context, r trace.Reader, jobs chan<- *trace.
 					return nil
 				}
 			}
+		} else {
+			scheduled = time.Now()
 		}
 		select {
-		case jobs <- rec:
+		case jobs <- job{rec: rec, scheduled: scheduled}:
 		case <-ctx.Done():
 			return nil
 		}
@@ -242,8 +316,15 @@ func (rn *run) schedule(ctx context.Context, r trace.Reader, jobs chan<- *trace.
 }
 
 // one issues a single record's request, retrying transport errors with
-// exponential backoff.
-func (rn *run) one(ctx context.Context, rec *trace.Record) {
+// exponential backoff. Latency is measured from the job's scheduled
+// send time, so time spent queued behind other records (and in retry
+// backoffs) counts; the queued-send delay is also recorded on its own.
+func (rn *run) one(ctx context.Context, j job, ws *workerStats) {
+	rec := j.rec
+	queued := time.Since(j.scheduled)
+	if queued < 0 {
+		queued = 0 // scheduler timers can fire marginally early
+	}
 	url := rn.base + edge.RequestPath(rec)
 	backoff := rn.cfg.Backoff
 	for attempt := 0; ; attempt++ {
@@ -255,7 +336,6 @@ func (rn *run) one(ctx context.Context, rec *trace.Record) {
 			rn.errC.Inc()
 			return
 		}
-		startReq := time.Now()
 		resp, err := rn.client.Do(req)
 		if err != nil {
 			cancel()
@@ -289,8 +369,9 @@ func (rn *run) one(ctx context.Context, rec *trace.Record) {
 		wire, _ := io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		cancel()
-		rn.latency.Observe(time.Since(startReq).Seconds())
-		rn.record(rec, resp, wire)
+		ws.latency.Observe(time.Since(j.scheduled).Seconds())
+		ws.qdelay.Observe(queued.Seconds())
+		rn.record(rec, resp, wire, ws)
 		return
 	}
 }
@@ -304,8 +385,9 @@ func nextBackoff(cur time.Duration) time.Duration {
 	return next
 }
 
-// record folds one completed exchange into the run counters.
-func (rn *run) record(rec *trace.Record, resp *http.Response, wire int64) {
+// record folds one completed exchange into the run counters (shared
+// atomics) and the worker's private maps.
+func (rn *run) record(rec *trace.Record, resp *http.Response, wire int64, ws *workerStats) {
 	rn.requests.Add(1)
 	rn.sentC.Inc()
 	rn.wireBytes.Add(wire)
@@ -332,10 +414,8 @@ func (rn *run) record(rec *trace.Record, resp *http.Response, wire int64) {
 			rn.bytesC.Add(n)
 		}
 	}
-	rn.mu.Lock()
-	rn.bySite[rec.Publisher]++
-	rn.byStatus[resp.StatusCode]++
-	rn.mu.Unlock()
+	ws.bySite[rec.Publisher]++
+	ws.byStatus[resp.StatusCode]++
 }
 
 func (rn *run) stats(elapsed time.Duration, reg *obs.Registry) *Stats {
@@ -352,8 +432,10 @@ func (rn *run) stats(elapsed time.Duration, reg *obs.Registry) *Stats {
 		BySite:       map[string]int64{},
 		ByStatus:     map[int]int64{},
 		Duration:     elapsed,
-		Latency:      reg.Snapshot().Histograms[latencyMetric],
 	}
+	hists := reg.Snapshot().Histograms
+	st.Latency = hists[latencyMetric]
+	st.QueuedDelay = hists[queuedDelayMetric]
 	rn.mu.Lock()
 	for k, v := range rn.bySite {
 		st.BySite[k] = v

@@ -269,6 +269,101 @@ func TestDeadlineExceededIsNotRetried(t *testing.T) {
 	}
 }
 
+// TestLatencyIncludesQueuedDelay is the coordinated-omission regression
+// test: with one worker, a paced schedule that dispatches records
+// back-to-back, and a server that stalls each request, every record
+// after the first waits client-side before it can even be sent. The old
+// accounting started the latency clock at the actual send, hiding that
+// wait exactly when the server was slow; latency must now be measured
+// from the scheduled send time, with the queued share also reported in
+// QueuedDelay.
+func TestLatencyIncludesQueuedDelay(t *testing.T) {
+	const stall = 40 * time.Millisecond
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		time.Sleep(stall)
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	// 5 records at the same trace timestamp, huge speedup: all are
+	// scheduled at t=0, but the single worker serializes them, so record
+	// i waits ~i*stall in the queue.
+	const n = 5
+	st, err := Run(context.Background(), Config{
+		Target:  ts.URL,
+		Workers: 1,
+		Speedup: 1e9,
+	}, trace.NewSliceReader(makeRecords(n, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != n {
+		t.Fatalf("requests = %d, want %d", st.Requests, n)
+	}
+	if st.QueuedDelay.Count != n {
+		t.Errorf("queued delay count = %d, want %d", st.QueuedDelay.Count, n)
+	}
+	// Total time in queue across the run is ~(0+1+...+n-1)*stall; the
+	// histogram sum is a direct read of it (generous lower bound for CI
+	// timer slop).
+	wantQueued := (time.Duration(n*(n-1)/2) * stall).Seconds()
+	if st.QueuedDelay.Sum < wantQueued/2 {
+		t.Errorf("queued delay sum = %gs, want >= %gs (queue wait dropped?)",
+			st.QueuedDelay.Sum, wantQueued/2)
+	}
+	// Latency must fold the queued share in: its sum is at least the
+	// queued sum plus one stall per request.
+	if minLat := st.QueuedDelay.Sum + float64(n)*stall.Seconds()/2; st.Latency.Sum < minLat {
+		t.Errorf("latency sum = %gs, want >= %gs (queued delay not folded in)",
+			st.Latency.Sum, minLat)
+	}
+}
+
+// TestWorkerHistogramsMerge pins the per-worker-telemetry refactor:
+// with many workers racing, the merged latency/queued-delay histograms
+// and per-site/status maps must still account for every exchange
+// exactly once, in the same snapshot shape as before.
+func TestWorkerHistogramsMerge(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec, err := edge.ParseRequest(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set(edge.HeaderCache, trace.CacheHit.String())
+		w.Header().Set(edge.HeaderBytes, strconv.FormatInt(rec.ObjectSize, 10))
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	const n = 200
+	st, err := Run(context.Background(), Config{
+		Target:  ts.URL,
+		Workers: 8,
+	}, trace.NewSliceReader(makeRecords(n, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != n || st.Hits != n {
+		t.Fatalf("stats = %+v, want %d requests, all hits", st, n)
+	}
+	if st.Latency.Count != n {
+		t.Errorf("latency count = %d, want %d (worker histograms lost in merge?)", st.Latency.Count, n)
+	}
+	if st.QueuedDelay.Count != n {
+		t.Errorf("queued delay count = %d, want %d", st.QueuedDelay.Count, n)
+	}
+	if st.BySite["V-1"] != n {
+		t.Errorf("bySite = %v, want V-1:%d", st.BySite, n)
+	}
+	if st.ByStatus[http.StatusOK] != n {
+		t.Errorf("byStatus = %v, want 200:%d", st.ByStatus, n)
+	}
+	if st.Latency.Sum <= 0 {
+		t.Errorf("latency sum = %g, want > 0", st.Latency.Sum)
+	}
+}
+
 func TestNextBackoffCaps(t *testing.T) {
 	b := 20 * time.Millisecond
 	for i := 0; i < 20; i++ {

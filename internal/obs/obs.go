@@ -91,6 +91,49 @@ type Histogram struct {
 	sum    atomic.Uint64 // math.Float64bits of the running sum
 }
 
+// NewHistogram builds a standalone histogram with the given bucket
+// upper bounds (sorted ascending) — the registry-free form for
+// worker-private histograms that are later folded into a registered one
+// with Merge.
+func NewHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	return h
+}
+
+// Merge folds src's observations into h. The histograms must share
+// identical bucket bounds; mismatched bounds return an error and leave
+// h untouched. Merging is atomic per field (like Observe), so h may be
+// concurrently observed or snapshotted mid-merge; nil receivers and
+// sources are no-ops.
+func (h *Histogram) Merge(src *Histogram) error {
+	if h == nil || src == nil {
+		return nil
+	}
+	if len(h.bounds) != len(src.bounds) {
+		return fmt.Errorf("obs: merging histogram with %d buckets into %d", len(src.bounds), len(h.bounds))
+	}
+	for i, b := range h.bounds {
+		if src.bounds[i] != b {
+			return fmt.Errorf("obs: histogram bucket bound %d differs: %g vs %g", i, src.bounds[i], b)
+		}
+	}
+	for i := range src.counts {
+		if n := src.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(src.count.Load())
+	delta := math.Float64frombits(src.sum.Load())
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if h.sum.CompareAndSwap(old, next) {
+			return nil
+		}
+	}
+}
+
 // Observe records one value. No-op on a nil receiver.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {

@@ -247,3 +247,54 @@ func TestExpBuckets(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramMerge(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	a := NewHistogram(bounds)
+	b := NewHistogram(bounds)
+	for _, v := range []float64{0.5, 5, 50} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{5, 500} {
+		b.Observe(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	got := a.value()
+	if got.Count != 5 {
+		t.Errorf("count = %d, want 5", got.Count)
+	}
+	if got.Sum != 560.5 {
+		t.Errorf("sum = %g, want 560.5", got.Sum)
+	}
+	wantCounts := []int64{1, 2, 1, 1} // <=1, <=10, <=100, +Inf
+	for i, w := range wantCounts {
+		if got.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, got.Counts[i], w, got.Counts)
+		}
+	}
+	// src is untouched by the merge.
+	if bv := b.value(); bv.Count != 2 {
+		t.Errorf("src count = %d, want 2", bv.Count)
+	}
+
+	if err := a.Merge(NewHistogram([]float64{1, 2})); err == nil {
+		t.Error("Merge with fewer buckets: want error")
+	}
+	if err := a.Merge(NewHistogram([]float64{1, 10, 99})); err == nil {
+		t.Error("Merge with different bounds: want error")
+	}
+	if av := a.value(); av.Count != 5 {
+		t.Errorf("failed merges must leave dst untouched, count = %d", av.Count)
+	}
+
+	// nil receiver and source are no-ops, like Observe.
+	var nilH *Histogram
+	if err := nilH.Merge(a); err != nil {
+		t.Errorf("nil.Merge: %v", err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("Merge(nil): %v", err)
+	}
+}
