@@ -9,7 +9,7 @@
 
 GO ?= go
 BIN ?= bin
-CMDS := tsgen tsanalyze tscdnsim tsreport tscrawl tsserve tsload tsbench
+CMDS := tsgen tsanalyze tscdnsim tsreport tscrawl tsserve tsload tsbench tsgate
 
 # Benchmark selections backing the BENCH_*.json areas. The serve gate
 # judges only the socket-free serve-path variants (the http variant
@@ -25,7 +25,7 @@ GATE_TIME_SERVE ?= 10000x
 GATE_TIME_STREAM ?= 100x
 MAX_NS_REGRESS ?= 0.15
 
-.PHONY: all build test check vet race bench bench-mem bench-baseline bench-gate tools fmt-check serve-demo
+.PHONY: all build test check vet race bench bench-mem bench-baseline bench-gate tools fmt-check serve-demo slo-demo slo-demo-breach
 
 all: build test
 
@@ -120,3 +120,45 @@ serve-demo: tools
 		-workers $(DEMO_WORKERS) -manifest $(DEMO_DIR)/load-manifest.json \
 		-bench-json $(DEMO_DIR)/BENCH_load.json; rc=$$?; \
 	kill -INT $$srv; wait $$srv; exit $$rc
+
+# SLO demo: replay a trace against an edge running the committed demo
+# policy, then assert the SLOs three ways — tsload's own run gate, a
+# tsgate judgment of the live /slo windows, and a tsgate judgment of the
+# written run summary. Any breach fails the target (CI's slo-gate job).
+SLO_POLICY ?= policies/demo.slo
+SLO_ADDR ?= 127.0.0.1:8099
+SLO_BREACH_ADDR ?= 127.0.0.1:8100
+SLO_BREACH_SCALE ?= 0.005
+
+slo-demo: tools
+	@mkdir -p $(DEMO_DIR)
+	$(BIN)/tsgen -scale $(DEMO_SCALE) -seed 42 -out $(DEMO_DIR)/trace.bin.gz
+	@$(BIN)/tsserve -addr $(SLO_ADDR) -capacity 2147483648 \
+		-slo-policy $(SLO_POLICY) -trace-buffer 256 -trace-sample 64 & \
+	srv=$$!; sleep 1; \
+	$(BIN)/tsload -in $(DEMO_DIR)/trace.bin.gz -target http://$(SLO_ADDR) \
+		-workers $(DEMO_WORKERS) -slo $(SLO_POLICY) \
+		-summary $(DEMO_DIR)/load-summary.json; rc=$$?; \
+	if [ $$rc -eq 0 ]; then $(BIN)/tsgate -target http://$(SLO_ADDR); rc=$$?; fi; \
+	if [ $$rc -eq 0 ]; then $(BIN)/tsgate -run $(DEMO_DIR)/load-summary.json \
+		-policy $(SLO_POLICY); rc=$$?; fi; \
+	kill -INT $$srv; wait $$srv; exit $$rc
+
+# Injected-breach counterpart: a 16 MiB cache forces a miss storm and
+# 25 ms of origin latency rides on every miss, so the demo policy's
+# hit-ratio floor and p99 target must both fail. The target asserts
+# tsgate exits with exactly 1 (breach), proving the gate can fail.
+slo-demo-breach: tools
+	@mkdir -p $(DEMO_DIR)
+	$(BIN)/tsgen -scale $(SLO_BREACH_SCALE) -seed 43 -out $(DEMO_DIR)/trace-breach.bin.gz
+	@$(BIN)/tsserve -addr $(SLO_BREACH_ADDR) -capacity 16777216 -origin-latency 25ms \
+		-slo-policy $(SLO_POLICY) & \
+	srv=$$!; sleep 1; \
+	$(BIN)/tsload -in $(DEMO_DIR)/trace-breach.bin.gz -target http://$(SLO_BREACH_ADDR) \
+		-workers 64; \
+	$(BIN)/tsgate -target http://$(SLO_BREACH_ADDR); rc=$$?; \
+	kill -INT $$srv; wait $$srv; \
+	if [ $$rc -ne 1 ]; then \
+		echo "slo-demo-breach: tsgate exited $$rc, want 1 (breach)"; exit 1; \
+	fi; \
+	echo "slo-demo-breach: gate failed as expected (injected miss storm + slow origin)"

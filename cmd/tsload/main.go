@@ -9,6 +9,7 @@
 //	       [-speedup 0] [-workers 32] [-timeout 10s] [-retries 2]
 //	       [-backoff 20ms] [-debug-addr :6060] [-progress]
 //	       [-manifest run.json] [-bench-json BENCH_load.json]
+//	       [-summary load-summary.json] [-slo <policy file|inline>]
 //
 // The summary (and the -manifest extras) reports achieved RPS, p50/p99
 // latency (measured from each record's scheduled send time, so
@@ -21,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +33,7 @@ import (
 	"trafficscope/internal/benchjson"
 	"trafficscope/internal/loadgen"
 	"trafficscope/internal/obs/cliobs"
+	"trafficscope/internal/obs/slo"
 	"trafficscope/internal/report"
 	"trafficscope/internal/trace"
 )
@@ -53,6 +56,8 @@ func run() error {
 		retries   = flag.Int("retries", 2, "retries after transport errors (HTTP errors are never retried)")
 		backoff   = flag.Duration("backoff", 20*time.Millisecond, "initial retry backoff (doubles per attempt)")
 		benchJSON = flag.String("bench-json", "", "write the run summary as a benchjson file (BENCH_*.json schema)")
+		summary   = flag.String("summary", "", "write the run summary as JSON (tsgate -run input)")
+		sloSpec   = flag.String("slo", "", "SLO policy (file path or inline) to assert against the run; breach exits nonzero")
 	)
 	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -116,12 +121,64 @@ func run() error {
 				return err
 			}
 		}
+		if *summary != "" {
+			if err := writeSummary(*summary, st); err != nil {
+				return err
+			}
+		}
 	}
 	if runErr != nil {
 		sess.Finish(extra)
 		return runErr
 	}
-	return sess.Finish(extra)
+	if err := sess.Finish(extra); err != nil {
+		return err
+	}
+	if *sloSpec != "" && st != nil {
+		return gateSLO(*sloSpec, st)
+	}
+	return nil
+}
+
+// writeSummary records the full Stats as JSON — the input tsgate -run
+// judges.
+func writeSummary(path string, st *loadgen.Stats) error {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gateSLO asserts the policy's global objectives over the whole run as
+// one SLO window; a breach is an error so the process exits nonzero.
+func gateSLO(spec string, st *loadgen.Stats) error {
+	policy, err := slo.LoadPolicy(spec)
+	if err != nil {
+		return err
+	}
+	ws := st.SLOWindow()
+	reps, breached := policy.EvaluateStats(ws, "")
+	tab := report.NewTable("SLO verdicts (whole run)", "objective", "actual", "threshold", "burn", "verdict")
+	wn := slo.WindowName(time.Duration(ws.WindowSeconds * float64(time.Second)))
+	for _, r := range reps {
+		verdict := "ok"
+		if r.Breached {
+			verdict = "BREACH"
+		}
+		actual, threshold := report.Percent(r.Actual), report.Percent(r.Threshold)
+		if r.Kind == slo.KindLatency.String() {
+			actual = fmtLatency(r.Actual)
+			threshold = fmtLatency(r.Threshold)
+		}
+		tab.AddRow(r.Name, actual, threshold, fmt.Sprintf("%.2f", r.BurnRates[wn]), verdict)
+	}
+	fmt.Println(tab)
+	if breached {
+		return fmt.Errorf("SLO breached (see verdicts above)")
+	}
+	fmt.Println("SLO: all objectives within budget")
+	return nil
 }
 
 func printSummary(st *loadgen.Stats) {

@@ -12,11 +12,22 @@
 //	        [-chunk 2097152] [-origin-latency 0] [-origin-bw 0]
 //	        [-max-body 4096] [-max-conns 0] [-max-inflight 0]
 //	        [-read-timeout 5s] [-write-timeout 30s] [-idle-timeout 2m]
-//	        [-drain 10s] [-debug-addr :6060] [-progress] [-manifest run.json]
+//	        [-drain 10s] [-drain-grace 0] [-slo-policy <file|inline>]
+//	        [-trace-buffer 0] [-trace-sample 1]
+//	        [-debug-addr :6060] [-progress] [-manifest run.json]
 //
-// SIGINT/SIGTERM triggers a graceful drain: the listener closes,
-// in-flight requests finish (bounded by -drain), and the run manifest
-// is written with final serving statistics.
+// The edge always tracks rolling SLO windows and serves them at /slo
+// (JSON) and as ts_slo_* gauges on /metrics; -slo-policy adds
+// objectives (latency quantile targets, error-rate ceilings, hit-ratio
+// floors — see DESIGN.md §"SLOs and burn rates") that tsgate can gate
+// on. -trace-buffer enables a sampled per-request trace-event ring
+// dumpable at /debug/trace.
+//
+// SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503
+// "draining", the listener stays open for -drain-grace so load
+// balancers can notice, then closes; in-flight requests finish (bounded
+// by -drain) and the run manifest is written with final serving
+// statistics.
 package main
 
 import (
@@ -31,7 +42,9 @@ import (
 	"trafficscope/internal/cdn"
 	"trafficscope/internal/edge"
 	"trafficscope/internal/obs/cliobs"
+	"trafficscope/internal/obs/slo"
 	"trafficscope/internal/report"
+	"trafficscope/internal/timeutil"
 )
 
 func main() {
@@ -58,6 +71,10 @@ func run() error {
 		writeTO     = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		idleTO      = flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful drain budget on shutdown")
+		drainGrace  = flag.Duration("drain-grace", 0, "keep serving for this long after drain begins, with /healthz already 503")
+		sloPolicy   = flag.String("slo-policy", "", "SLO policy (file path or inline) with objectives to evaluate live")
+		traceBuf    = flag.Int("trace-buffer", 0, "per-request trace-event ring size for /debug/trace (0 = disabled)")
+		traceSample = flag.Int("trace-sample", 1, "trace every Nth request when the ring is enabled")
 	)
 	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -91,6 +108,20 @@ func run() error {
 		PublisherCaches: pubFactories,
 		Metrics:         sess.Registry(),
 	})
+	// The SLO engine always runs (the /slo windows cost atomic adds);
+	// -slo-policy supplies the objectives that can actually breach. Every
+	// region is registered as a scope so per-DC objectives are evaluable.
+	policySLO := slo.Policy{}
+	if *sloPolicy != "" {
+		if policySLO, err = slo.LoadPolicy(*sloPolicy); err != nil {
+			return err
+		}
+	}
+	regionScopes := make([]string, 0, timeutil.NumRegions)
+	for _, r := range timeutil.AllRegions() {
+		regionScopes = append(regionScopes, r.String())
+	}
+	engine := slo.NewEngine(policySLO, regionScopes...)
 	srv, err := edge.New(edge.Config{
 		CDN:             network,
 		OriginLatency:   *originLat,
@@ -98,6 +129,8 @@ func run() error {
 		MaxBodyBytes:    *maxBody,
 		MaxInflight:     *maxInflight,
 		Metrics:         sess.Registry(),
+		SLO:             engine,
+		Trace:           edge.NewTraceRing(*traceBuf, *traceSample),
 	})
 	if err != nil {
 		return err
@@ -111,8 +144,9 @@ func run() error {
 		IdleTimeout:  *idleTO,
 		MaxConns:     *maxConns,
 		DrainTimeout: *drain,
+		DrainGrace:   *drainGrace,
 		OnReady: func(a string) {
-			fmt.Fprintf(os.Stderr, "tsserve: serving on http://%s (%s, %s per DC; endpoints: /o/ /stats /healthz)\n",
+			fmt.Fprintf(os.Stderr, "tsserve: serving on http://%s (%s, %s per DC; endpoints: /o/ /stats /healthz /slo /metrics /debug/trace)\n",
 				a, *policy, report.Bytes(*capacity))
 		},
 	})

@@ -24,10 +24,12 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"trafficscope/internal/cdn"
 	"trafficscope/internal/obs"
+	"trafficscope/internal/obs/slo"
 	"trafficscope/internal/timeutil"
 	"trafficscope/internal/trace"
 )
@@ -63,6 +65,13 @@ type Config struct {
 	// Metrics receives live serving telemetry (request/shed/error
 	// counters, latency histogram, inflight gauge). nil disables it.
 	Metrics *obs.Registry
+	// SLO, if set, receives every request into its rolling windows and
+	// powers the /slo endpoint and the ts_slo_* gauges on /metrics. nil
+	// disables SLO tracking entirely (the hot path pays one nil check).
+	SLO *slo.Engine
+	// Trace, if set, samples per-request trace events into a ring buffer
+	// dumpable via /debug/trace. nil disables tracing.
+	Trace *TraceRing
 }
 
 // Server serves trace objects over HTTP from a CDN cache model. The hot
@@ -82,6 +91,16 @@ type Server struct {
 	bodyBytes *obs.Counter
 	inflightG *obs.Gauge
 	latency   *obs.Histogram
+
+	// SLO trackers, resolved once at construction so the hot path is a
+	// nil check plus atomic adds. sloRegion is indexed by
+	// timeutil.Region (1-based; slot 0 stays nil for "no region").
+	sloGlobal *slo.Tracker
+	sloRegion [timeutil.NumRegions + 1]*slo.Tracker
+
+	traceRing *TraceRing
+	reqSeq    atomic.Uint64
+	draining  atomic.Bool
 }
 
 // serveScratch is the per-request scratch an object request decodes and
@@ -128,19 +147,89 @@ func New(cfg Config) (*Server, error) {
 	s.bodyBytes = reg.Counter("edge_body_bytes_total")
 	s.inflightG = reg.Gauge("edge_inflight")
 	s.latency = reg.Histogram("edge_request_seconds", obs.ExpBuckets(50e-6, 2, 22))
+	if cfg.SLO != nil {
+		s.sloGlobal = cfg.SLO.Global()
+		for _, r := range timeutil.AllRegions() {
+			// Scopes the engine doesn't track resolve to nil trackers,
+			// which swallow records — per-region SLOs are opt-in.
+			s.sloRegion[r] = cfg.SLO.Scope(r.String())
+		}
+	}
+	s.traceRing = cfg.Trace
 	return s, nil
 }
 
 // Handler returns the server's HTTP handler: /o/... serves objects,
-// /stats reports live per-DC counters as JSON, /healthz answers "ok".
+// /stats reports live per-DC counters as JSON, /healthz answers "ok"
+// (503 "draining" once graceful drain begins), /metrics renders the
+// registry plus ts_slo_* gauges in Prometheus text format, /slo the SLO
+// compliance report as JSON, and /debug/trace the sampled trace-event
+// ring.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(ObjectPrefix, s.handleObject)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/slo", s.handleSLO)
+	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
 	return mux
+}
+
+// StartDraining flips /healthz to 503 "draining" so load balancers stop
+// routing new traffic here. Idempotent; ListenAndServe calls it when
+// its context is cancelled, before the listener closes.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether graceful drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.WritePrometheus(w)
+	}
+	if s.cfg.SLO != nil {
+		s.cfg.SLO.Report().WritePrometheus(w)
+	}
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.SLO == nil {
+		http.Error(w, "slo tracking disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.cfg.SLO.Report())
+}
+
+// debugTraceReply is the /debug/trace JSON document.
+type debugTraceReply struct {
+	// Total counts every sampled event ever recorded; Events holds the
+	// most recent ones still in the ring, oldest first.
+	Total  uint64       `json:"total"`
+	Events []TraceEvent `json:"events"`
+}
+
+func (s *Server) handleDebugTrace(w http.ResponseWriter, _ *http.Request) {
+	if s.traceRing == nil {
+		http.Error(w, "trace ring disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	events := s.traceRing.Events()
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	json.NewEncoder(w).Encode(debugTraceReply{Total: s.traceRing.Total(), Events: events})
 }
 
 // TotalStats returns the CDN's aggregate counters (thread-safe; an
@@ -155,13 +244,48 @@ func (s *Server) handleObject(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	// Every accepted object request is counted exactly once and observed
-	// by the latency histogram on every exit path — shed, bad-request
-	// and client-cancelled included — so edge_requests_total equals the
-	// sum of its outcome counters and the histogram never undercounts
-	// fast failures.
+	// by the latency histogram and the SLO windows on every exit path —
+	// shed, bad-request and client-cancelled included — so
+	// edge_requests_total equals the sum of its outcome counters and
+	// neither the histogram nor the windows undercount fast failures.
+	//
+	// The outcome travels in stack locals, not the pooled scratch: the
+	// scratch's deferred Put runs before this deferred observer (LIFO),
+	// so the scratch must not be read here.
 	start := time.Now()
 	s.reqs.Inc()
-	defer func() { s.latency.Observe(time.Since(start).Seconds()) }()
+	result := ResultError // until the CDN serves a verdict
+	var region timeutil.Region
+	var originNs, logicalBytes int64
+	defer func() {
+		elapsed := time.Since(start)
+		sec := elapsed.Seconds()
+		s.latency.Observe(sec)
+		if s.sloGlobal != nil {
+			hit := result == ResultHit
+			miss := result == ResultMiss
+			isErr := result == ResultError
+			s.sloGlobal.Record(sec, hit, miss, isErr)
+			s.sloRegion[region].Record(sec, hit, miss, isErr)
+		}
+		if s.traceRing != nil {
+			id := s.reqSeq.Add(1)
+			if s.traceRing.ShouldSample(id) {
+				ev := TraceEvent{
+					ID:          id,
+					UnixNanos:   start.UnixNano(),
+					Result:      result,
+					OriginNanos: originNs,
+					TotalNanos:  elapsed.Nanoseconds(),
+					Bytes:       logicalBytes,
+				}
+				if region != 0 {
+					ev.DC = region.String()
+				}
+				s.traceRing.Add(ev)
+			}
+		}
+	}()
 	if s.inflight != nil {
 		select {
 		case s.inflight <- struct{}{}:
@@ -192,6 +316,14 @@ func (s *Server) handleObject(w http.ResponseWriter, req *http.Request) {
 	// written over the pooled request record in place.
 	out := &sc.rec
 	s.cdn.ServeInto(out, out)
+	region = out.Region
+	logicalBytes = out.BytesServed
+	switch out.Cache {
+	case trace.CacheHit:
+		result = ResultHit
+	case trace.CacheMiss:
+		result = ResultMiss
+	}
 
 	// The cache verdict is final as soon as the CDN has served the
 	// record, so commit the telemetry headers before the simulated
@@ -208,8 +340,12 @@ func (s *Server) handleObject(w http.ResponseWriter, req *http.Request) {
 	// only their own request, not the whole edge.
 	if out.Cache == trace.CacheMiss {
 		if d := s.originDelay(out.BytesServed); d > 0 {
+			originNs = int64(d)
 			if !sleepCtx(req.Context(), d) {
 				s.cancelled.Inc()
+				// The CDN counted a miss, but the client saw a failure:
+				// SLO windows judge the client-visible outcome.
+				result = ResultError
 				return // client gave up mid-fetch
 			}
 		}
@@ -297,6 +433,12 @@ type ListenConfig struct {
 	// DrainTimeout bounds the graceful drain after ctx is cancelled;
 	// zero defaults to 10s.
 	DrainTimeout time.Duration
+	// DrainGrace keeps the listener open for this long after drain
+	// begins, with /healthz already answering 503 "draining" — the
+	// window a load balancer needs to observe the state change and stop
+	// routing here before connections start being refused. Zero closes
+	// the listener immediately (the pre-cluster behavior).
+	DrainGrace time.Duration
 	// OnReady, if set, is called with the bound address once the
 	// listener is open — how callers learn the port of Addr ":0".
 	OnReady func(addr string)
@@ -341,6 +483,17 @@ func (s *Server) ListenAndServe(ctx context.Context, lc ListenConfig) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Flip /healthz to "draining" first, then (optionally) keep
+		// serving for DrainGrace so load balancers can observe it before
+		// Shutdown closes the listener.
+		s.StartDraining()
+		if lc.DrainGrace > 0 {
+			select {
+			case err := <-errc:
+				return err
+			case <-time.After(lc.DrainGrace):
+			}
+		}
 		dctx, cancel := context.WithTimeout(context.Background(), lc.DrainTimeout)
 		defer cancel()
 		err := srv.Shutdown(dctx)

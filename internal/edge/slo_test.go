@@ -1,0 +1,323 @@
+package edge
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"trafficscope/internal/obs"
+	"trafficscope/internal/obs/slo"
+	"trafficscope/internal/trace"
+)
+
+func TestHealthzDraining(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get(); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("before drain: %d %q", code, body)
+	}
+	s.StartDraining()
+	if code, body := get(); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("during drain: %d %q, want 503 draining", code, body)
+	}
+	if !s.Draining() {
+		t.Fatal("Draining() = false after StartDraining")
+	}
+}
+
+// With DrainGrace set, the listener keeps serving after ctx cancel long
+// enough for a load balancer to see /healthz flip to 503 draining.
+func TestDrainGraceExposesDrainingHealthz(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- s.ListenAndServe(ctx, ListenConfig{
+			Addr:         "127.0.0.1:0",
+			DrainTimeout: 2 * time.Second,
+			DrainGrace:   500 * time.Millisecond,
+			OnReady:      func(addr string) { ready <- addr },
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	cancel()
+	// Within the grace window the server still answers — and reports
+	// draining. Retry briefly: StartDraining runs on the drain goroutine.
+	deadline := time.Now().Add(400 * time.Millisecond)
+	var code int
+	var body string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz during grace: %v", err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		code, body = resp.StatusCode, string(b)
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("healthz during grace: %d %q, want 503 draining", code, body)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Errorf("drained server returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not exit after grace + drain")
+	}
+}
+
+// End-to-end agreement check: the JSON /slo report and the ts_slo_*
+// gauges on /metrics must describe the same windows. The engine runs on
+// a frozen clock so the window contents are exact.
+func TestSLOEndpointAgreesWithMetrics(t *testing.T) {
+	policy, err := slo.ParsePolicy("window 1m; interval 1s; burn-windows 5s 1m; hit-ratio >= 90%; latency p99 <= 10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := slo.NewEngine(policy)
+	frozen := time.Unix(1_700_000_000, 0)
+	engine.SetClock(func() time.Time { return frozen })
+
+	s := newTestServer(t, Config{Metrics: obs.NewRegistry(), SLO: engine})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Two distinct objects (2 misses), then the first again (1 hit):
+	// hit ratio 1/3, breaching the 90% floor.
+	recA, recB := testRecord(), testRecord()
+	recB.ObjectID++
+	for _, rec := range []*trace.Record{recA, recB, recA} {
+		resp, err := http.Get(ts.URL + RequestPath(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// /slo JSON.
+	resp, err := http.Get(ts.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep slo.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	g := rep.Scopes[slo.GlobalScope]
+	if g == nil {
+		t.Fatalf("report has no global scope: %+v", rep)
+	}
+	ws := g.Windows["1m"]
+	if ws.Requests != 3 || ws.Hits != 1 || ws.Misses != 2 || ws.Errors != 0 {
+		t.Fatalf("1m window: %+v", ws)
+	}
+	if !rep.Breached || !g.Breached {
+		t.Fatal("1/3 hit ratio must breach the 90% floor")
+	}
+	var hitObj *slo.ObjectiveReport
+	for i := range g.Objectives {
+		if g.Objectives[i].Name == "hit_ratio" {
+			hitObj = &g.Objectives[i]
+		}
+	}
+	if hitObj == nil || !hitObj.Breached {
+		t.Fatalf("hit_ratio objective: %+v", g.Objectives)
+	}
+
+	// /metrics gauges must carry the same numbers.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(metricsBody)
+	for _, want := range []string{
+		fmt.Sprintf(`ts_slo_window_requests{scope="global",window="1m"} %d`, ws.Requests),
+		fmt.Sprintf(`ts_slo_window_hit_ratio{scope="global",window="1m"} %g`, ws.HitRatio()),
+		fmt.Sprintf(`ts_slo_burn_rate{scope="global",objective="hit_ratio",window="1m"} %g`, hitObj.BurnRates["1m"]),
+		fmt.Sprintf(`ts_slo_budget_remaining{scope="global",objective="hit_ratio"} %g`, hitObj.BudgetRemaining),
+		`ts_slo_breached{scope="global",objective="hit_ratio"} 1`,
+		`ts_slo_breached{scope="global",objective="latency_p99"} 0`,
+		// The plain registry still renders ahead of the SLO gauges.
+		"edge_requests_total 3",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+}
+
+// Failures before and after the CDN verdict land in the SLO windows as
+// errors: a bad request and a mid-fetch client cancel both count.
+func TestSLOWindowsCountErrors(t *testing.T) {
+	policy, err := slo.ParsePolicy("window 1m; interval 1s; burn-windows 1m; error-rate <= 1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := slo.NewEngine(policy)
+	frozen := time.Unix(1_700_000_000, 0)
+	engine.SetClock(func() time.Time { return frozen })
+	s := newTestServer(t, Config{SLO: engine})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + ObjectPrefix + "bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	ws := engine.Global().Window(time.Minute)
+	if ws.Requests != 1 || ws.Errors != 1 || ws.Hits != 0 || ws.Misses != 0 {
+		t.Fatalf("window after bad request: %+v", ws)
+	}
+	st := policy.Objectives[0].Evaluate(ws)
+	if !st.Breached {
+		t.Fatalf("100%% error rate must breach: %+v", st)
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	ring := NewTraceRing(4, 1)
+	s := newTestServer(t, Config{Trace: ring})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rec := testRecord()
+	for i := 0; i < 6; i++ {
+		resp, err := http.Get(ts.URL + RequestPath(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply debugTraceReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if reply.Total != 6 {
+		t.Fatalf("total = %d, want 6", reply.Total)
+	}
+	if len(reply.Events) != 4 {
+		t.Fatalf("events = %d, want ring size 4", len(reply.Events))
+	}
+	// Oldest-first, and IDs are the request sequence numbers.
+	for i := 1; i < len(reply.Events); i++ {
+		if reply.Events[i].ID <= reply.Events[i-1].ID {
+			t.Fatalf("events not oldest-first: %+v", reply.Events)
+		}
+	}
+	first := reply.Events[0]
+	if first.Result != ResultMiss && first.Result != ResultHit {
+		t.Fatalf("first event result %q", first.Result)
+	}
+	last := reply.Events[len(reply.Events)-1]
+	if last.Result != ResultHit || last.DC != rec.Region.String() || last.Bytes != rec.BytesServed {
+		t.Fatalf("last event: %+v", last)
+	}
+	if last.TotalNanos <= 0 {
+		t.Fatalf("last event has no latency: %+v", last)
+	}
+}
+
+func TestTraceRingSamplingAndEviction(t *testing.T) {
+	r := NewTraceRing(2, 3)
+	ids := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	for _, id := range ids {
+		if r.ShouldSample(id) {
+			r.Add(TraceEvent{ID: id})
+		}
+	}
+	// Sampled: 3, 6, 9. Ring of 2 keeps 6, 9.
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].ID != 6 || ev[1].ID != 9 {
+		t.Fatalf("events: %+v", ev)
+	}
+	if r.Total() != 3 {
+		t.Fatalf("total = %d, want 3", r.Total())
+	}
+	var nilRing *TraceRing
+	if nilRing.ShouldSample(1) {
+		t.Fatal("nil ring must not sample")
+	}
+	nilRing.Add(TraceEvent{}) // must not panic
+	if nilRing.Events() != nil || nilRing.Total() != 0 {
+		t.Fatal("nil ring must be empty")
+	}
+	if NewTraceRing(0, 1) != nil {
+		t.Fatal("size 0 must disable the ring")
+	}
+}
+
+// The /slo and /debug/trace endpoints 404 when the features are off, so
+// probes distinguish "disabled" from "empty".
+func TestSLOAndTraceDisabled(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/slo", "/debug/trace"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+	// /metrics works without a registry (empty body, no panic).
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics: status %d, want 200", resp.StatusCode)
+	}
+}

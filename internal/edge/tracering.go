@@ -1,0 +1,109 @@
+package edge
+
+import (
+	"sync"
+)
+
+// TraceEvent is one sampled request's forensic record: enough to chase
+// a tail-latency outlier back to its DC, cache verdict and origin cost
+// without a tracing dependency.
+type TraceEvent struct {
+	// ID is the server-assigned request sequence number.
+	ID uint64 `json:"id"`
+	// UnixNanos is the request start time.
+	UnixNanos int64 `json:"unix_nanos"`
+	// DC is the serving data center (region name); empty when the
+	// request failed before routing.
+	DC string `json:"dc,omitempty"`
+	// Result is "hit", "miss" or "error".
+	Result string `json:"result"`
+	// OriginNanos is the simulated origin fetch time spent (0 on hits).
+	OriginNanos int64 `json:"origin_nanos"`
+	// TotalNanos is the total request latency.
+	TotalNanos int64 `json:"total_nanos"`
+	// Bytes is the logical response size.
+	Bytes int64 `json:"bytes"`
+}
+
+// Trace-event results.
+const (
+	ResultHit   = "hit"
+	ResultMiss  = "miss"
+	ResultError = "error"
+)
+
+// TraceRing is a fixed-size ring buffer of sampled per-request trace
+// events, dumpable via the edge's /debug/trace endpoint. Sampling is
+// decided per request ID (every sample-th request), so the untraced
+// majority pays only an atomic sequence increment and a modulo; traced
+// requests take a short mutex to claim a slot.
+type TraceRing struct {
+	sample uint64
+	mu     sync.Mutex
+	buf    []TraceEvent
+	n      uint64 // total events ever added
+}
+
+// NewTraceRing builds a ring holding the last size sampled events,
+// sampling every sample-th request (1 = every request). Returns nil if
+// size <= 0, which disables tracing at the call sites.
+func NewTraceRing(size, sample int) *TraceRing {
+	if size <= 0 {
+		return nil
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	return &TraceRing{sample: uint64(sample), buf: make([]TraceEvent, 0, size)}
+}
+
+// ShouldSample reports whether the request with this sequence number is
+// traced. Nil-safe (false).
+func (r *TraceRing) ShouldSample(id uint64) bool {
+	return r != nil && id%r.sample == 0
+}
+
+// Add appends a sampled event, evicting the oldest once full. Nil-safe.
+func (r *TraceRing) Add(ev TraceEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.n%uint64(cap(r.buf))] = ev
+	}
+	r.n++
+	r.mu.Unlock()
+}
+
+// Events returns the buffered events oldest-first (a copy).
+func (r *TraceRing) Events() []TraceEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceEvent, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		copy(out, r.buf)
+		return out
+	}
+	// Full ring: the oldest event is at the next write position.
+	head := int(r.n % uint64(cap(r.buf)))
+	n := copy(out, r.buf[head:])
+	copy(out[n:], r.buf[:head])
+	return out
+}
+
+// Total returns how many events have ever been added (including ones
+// already evicted from the ring).
+func (r *TraceRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

@@ -22,6 +22,7 @@ import (
 
 	"trafficscope/internal/edge"
 	"trafficscope/internal/obs"
+	"trafficscope/internal/obs/slo"
 	"trafficscope/internal/trace"
 )
 
@@ -122,6 +123,25 @@ func (s *Stats) HitRatio() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(total)
+}
+
+// SLOWindow views the whole run as one SLO window, so a tsload summary
+// can be gated by the same policy objectives the live /slo endpoint
+// evaluates. Requests covers every attempted record (completed
+// exchanges plus transport failures); Errors covers the client-visible
+// failures among them (transport errors, which already include
+// mid-exchange deadline cancels, plus 503 sheds). The latency
+// distribution holds completed exchanges only — transport failures
+// never produced a response to time.
+func (s *Stats) SLOWindow() slo.WindowStats {
+	return slo.WindowStats{
+		WindowSeconds: s.Duration.Seconds(),
+		Requests:      s.Requests + s.Errors,
+		Errors:        s.Errors + s.Shed,
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Latency:       s.Latency,
+	}
 }
 
 // run carries one run's shared state across scheduler and workers.

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"trafficscope/internal/edge"
+	"trafficscope/internal/obs"
+	"trafficscope/internal/obs/slo"
 	"trafficscope/internal/timeutil"
 	"trafficscope/internal/trace"
 )
@@ -374,5 +376,45 @@ func TestNextBackoffCaps(t *testing.T) {
 	}
 	if b != maxRetryBackoff {
 		t.Errorf("backoff settled at %v, want cap %v", b, maxRetryBackoff)
+	}
+}
+
+// SLOWindow maps a run summary onto the slo.WindowStats shape: attempts
+// include transport failures, client-visible errors include sheds, and
+// the latency histogram rides along unchanged.
+func TestStatsSLOWindow(t *testing.T) {
+	st := &Stats{
+		Requests: 90, // completed exchanges (includes the 5 sheds)
+		Errors:   10, // transport failures
+		Hits:     60,
+		Misses:   25,
+		Shed:     5,
+		Duration: 30 * time.Second,
+		Latency:  obs.HistogramValue{Bounds: []float64{1}, Counts: []int64{90, 0}, Count: 90, Sum: 9},
+	}
+	ws := st.SLOWindow()
+	if ws.Requests != 100 || ws.Errors != 15 || ws.Hits != 60 || ws.Misses != 25 {
+		t.Fatalf("window: %+v", ws)
+	}
+	if ws.WindowSeconds != 30 {
+		t.Fatalf("window seconds: %g", ws.WindowSeconds)
+	}
+	if ws.Latency.Count != 90 || ws.Latency.Sum != 9 {
+		t.Fatalf("latency: %+v", ws.Latency)
+	}
+	if got := ws.ErrorRate(); got != 0.15 {
+		t.Fatalf("error rate %g, want 0.15", got)
+	}
+	// A policy evaluated against the window sees the mapped numbers.
+	p, err := slo.ParsePolicy("error-rate <= 10%; hit-ratio >= 50%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, breached := p.EvaluateStats(ws, "")
+	if !breached {
+		t.Fatal("15% error rate must breach the 10% ceiling")
+	}
+	if len(reps) != 2 || !reps[0].Breached || reps[1].Breached {
+		t.Fatalf("verdicts: %+v", reps)
 	}
 }

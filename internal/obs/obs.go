@@ -210,6 +210,39 @@ func (v HistogramValue) Quantile(q float64) float64 {
 	return lower
 }
 
+// FractionAbove estimates the fraction of observations strictly above x
+// by linear interpolation within the bucket containing x — the
+// complement of the Quantile estimator, used for SLO bad-fraction math
+// ("what share of requests exceeded the latency target"). Observations
+// in the +Inf bucket always count as above any finite x.
+func (v HistogramValue) FractionAbove(x float64) float64 {
+	if v.Count == 0 {
+		return 0
+	}
+	var below, lower float64
+	for i, c := range v.Counts {
+		upper := math.Inf(1)
+		if i < len(v.Bounds) {
+			upper = v.Bounds[i]
+		}
+		if x >= upper {
+			below += float64(c)
+			lower = upper
+			continue
+		}
+		if c > 0 && !math.IsInf(upper, 1) && x > lower {
+			// x splits this bucket; attribute counts uniformly.
+			below += float64(c) * (x - lower) / (upper - lower)
+		}
+		break
+	}
+	frac := 1 - below/float64(v.Count)
+	if frac < 0 {
+		return 0
+	}
+	return frac
+}
+
 // ExpBuckets returns n bucket upper bounds starting at start and growing
 // by factor — the usual latency-histogram layout.
 func ExpBuckets(start, factor float64, n int) []float64 {
@@ -225,7 +258,9 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 // Name formats a metric name with label pairs in Prometheus text syntax:
 // Name("cdn_hits_total", "dc", "NA") -> `cdn_hits_total{dc="NA"}`.
 // Registry names are plain strings, so labeled series are just distinct
-// entries that render natively on the /metrics page.
+// entries that render natively on the /metrics page. Label values are
+// escaped per the text exposition format (backslash, double quote and
+// newline only — Go %q-style \t or \u escapes are not valid Prometheus).
 func Name(base string, kv ...string) string {
 	if len(kv) == 0 {
 		return base
@@ -237,9 +272,36 @@ func Name(base string, kv ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value for the Prometheus text
+// exposition format: exactly backslash, double quote and newline are
+// escaped; every other byte passes through verbatim.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
 	return b.String()
 }
 
@@ -451,8 +513,9 @@ func suffixName(name, suffix string) string {
 // histSeries renders one cumulative bucket series with its le label
 // merged into any existing label block.
 func histSeries(name, le string) string {
+	le = escapeLabelValue(le)
 	if i := strings.IndexByte(name, '{'); i >= 0 {
-		return fmt.Sprintf("%s_bucket%s,le=%q}", name[:i], strings.TrimSuffix(name[i:], "}"), le)
+		return fmt.Sprintf("%s_bucket%s,le=\"%s\"}", name[:i], strings.TrimSuffix(name[i:], "}"), le)
 	}
-	return fmt.Sprintf("%s_bucket{le=%q}", name, le)
+	return fmt.Sprintf("%s_bucket{le=\"%s\"}", name, le)
 }

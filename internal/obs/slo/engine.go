@@ -1,0 +1,372 @@
+package slo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"trafficscope/internal/obs"
+)
+
+// Engine evaluates a Policy against live traffic: one Tracker for the
+// global stream plus one per named scope (the serving stack scopes by
+// DC/region name). Construct with NewEngine, hand scope trackers to the
+// request path, and ask for Report snapshots from the control plane.
+type Engine struct {
+	policy Policy
+	bounds []float64
+	global *Tracker
+	scopes map[string]*Tracker
+	order  []string // scope iteration order (registration order)
+}
+
+// NewEngine builds an engine for the (normalized) policy and the given
+// scope names. Scope names referenced by policy objectives but missing
+// from scopes are added automatically so the objectives are evaluable.
+func NewEngine(p Policy, scopes ...string) *Engine {
+	p = p.Normalize()
+	e := &Engine{
+		policy: p,
+		bounds: DefaultLatencyBounds(),
+		scopes: map[string]*Tracker{},
+	}
+	span := p.Span()
+	e.global = NewTracker(p.Interval, span, e.bounds)
+	add := func(name string) {
+		if name == "" {
+			return
+		}
+		if _, ok := e.scopes[name]; !ok {
+			e.scopes[name] = NewTracker(p.Interval, span, e.bounds)
+			e.order = append(e.order, name)
+		}
+	}
+	for _, s := range scopes {
+		add(s)
+	}
+	for _, o := range p.Objectives {
+		add(o.Scope)
+	}
+	return e
+}
+
+// Policy returns the engine's normalized policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// Global returns the all-traffic tracker. Nil-safe.
+func (e *Engine) Global() *Tracker {
+	if e == nil {
+		return nil
+	}
+	return e.global
+}
+
+// Scope returns the tracker for a named scope, or nil if the scope is
+// not tracked (callers record into nil trackers as no-ops).
+func (e *Engine) Scope(name string) *Tracker {
+	if e == nil {
+		return nil
+	}
+	return e.scopes[name]
+}
+
+// SetClock replaces the time source of every tracker (test hook). Must
+// be called before any traffic is recorded.
+func (e *Engine) SetClock(now func() time.Time) {
+	e.global.SetClock(now)
+	for _, t := range e.scopes {
+		t.SetClock(now)
+	}
+}
+
+// ObjectiveReport is one objective's multi-window verdict.
+type ObjectiveReport struct {
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"`
+	Scope    string  `json:"scope,omitempty"`
+	Quantile float64 `json:"quantile,omitempty"`
+	// Threshold is the objective bound in its own unit (seconds or
+	// fraction).
+	Threshold float64 `json:"threshold"`
+	// Actual, BadFraction and Observed are measured over the gate window.
+	Actual      float64 `json:"actual"`
+	BadFraction float64 `json:"bad_fraction"`
+	Observed    int64   `json:"observed"`
+	// BurnRates maps burn-window name ("5s", "1m", ...) to the burn rate
+	// over that window.
+	BurnRates map[string]float64 `json:"burn_rates"`
+	// BudgetRemaining is 1 - (gate-window burn rate): the fraction of
+	// the gate window's error budget still unspent (negative when
+	// overspent, floored at -BurnCap).
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// Breached reports a gate-window burn rate above 1 with traffic
+	// observed.
+	Breached bool `json:"breached"`
+}
+
+// ScopeReport is one scope's windows and objective verdicts.
+type ScopeReport struct {
+	// Windows maps window name ("5s", "1m", ...) to that window's
+	// aggregated traffic.
+	Windows map[string]WindowStats `json:"windows"`
+	// Objectives holds the verdicts for objectives bound to this scope.
+	Objectives []ObjectiveReport `json:"objectives,omitempty"`
+	// Breached reports whether any objective in this scope breached.
+	Breached bool `json:"breached"`
+}
+
+// Report is a point-in-time SLO compliance snapshot — the payload of
+// the edge's /slo endpoint and tsgate's input.
+type Report struct {
+	IntervalSeconds   float64 `json:"interval_seconds"`
+	GateWindowSeconds float64 `json:"gate_window_seconds"`
+	// WindowsSeconds lists the burn-window spans, ascending.
+	WindowsSeconds []float64 `json:"windows_seconds"`
+	// Scopes maps scope name to its report; "global" is always present.
+	Scopes map[string]*ScopeReport `json:"scopes"`
+	// Breached reports whether any objective anywhere breached.
+	Breached bool `json:"breached"`
+}
+
+// GlobalScope is the Scopes key for the all-traffic scope.
+const GlobalScope = "global"
+
+// WindowName renders a window span the way reports key them ("5s",
+// "1m", "2m30s") — time.Duration.String with the trailing zero units
+// ("1m0s") trimmed.
+func WindowName(d time.Duration) string {
+	s := d.String()
+	if strings.HasSuffix(s, "m0s") {
+		s = s[:len(s)-2]
+	}
+	if strings.HasSuffix(s, "h0m") {
+		s = s[:len(s)-2]
+	}
+	return s
+}
+
+// Report evaluates the policy over the trackers as of now.
+func (e *Engine) Report() Report {
+	rep := Report{
+		IntervalSeconds:   e.policy.Interval.Seconds(),
+		GateWindowSeconds: e.policy.Window.Seconds(),
+		Scopes:            map[string]*ScopeReport{},
+	}
+	for _, w := range e.policy.BurnWindows {
+		rep.WindowsSeconds = append(rep.WindowsSeconds, w.Seconds())
+	}
+
+	scopeWindows := func(t *Tracker) map[string]WindowStats {
+		m := make(map[string]WindowStats, len(e.policy.BurnWindows))
+		for _, w := range e.policy.BurnWindows {
+			m[WindowName(w)] = t.Window(w)
+		}
+		return m
+	}
+	rep.Scopes[GlobalScope] = &ScopeReport{Windows: scopeWindows(e.global)}
+	for _, name := range e.order {
+		rep.Scopes[name] = &ScopeReport{Windows: scopeWindows(e.scopes[name])}
+	}
+
+	for _, o := range e.policy.Objectives {
+		scopeName := o.Scope
+		if scopeName == "" {
+			scopeName = GlobalScope
+		}
+		sr := rep.Scopes[scopeName]
+		or := ObjectiveReport{
+			Name:      o.Name(),
+			Kind:      o.Kind.String(),
+			Scope:     o.Scope,
+			Quantile:  o.Quantile,
+			Threshold: o.Threshold,
+			BurnRates: map[string]float64{},
+		}
+		for _, w := range e.policy.BurnWindows {
+			st := o.Evaluate(sr.Windows[WindowName(w)])
+			or.BurnRates[WindowName(w)] = st.BurnRate
+			if w == e.policy.Window {
+				or.Actual = st.Actual
+				or.BadFraction = st.BadFraction
+				or.Observed = st.Observed
+				or.Breached = st.Breached
+				or.BudgetRemaining = 1 - st.BurnRate
+				if or.BudgetRemaining < -BurnCap {
+					or.BudgetRemaining = -BurnCap
+				}
+			}
+		}
+		sr.Objectives = append(sr.Objectives, or)
+		if or.Breached {
+			sr.Breached = true
+			rep.Breached = true
+		}
+	}
+	return rep
+}
+
+// Breaches flattens the report's breached objectives into "scope:
+// name actual vs threshold" strings for log and gate output.
+func (r Report) Breaches() []string {
+	var out []string
+	names := make([]string, 0, len(r.Scopes))
+	for name := range r.Scopes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, scope := range names {
+		for _, o := range r.Scopes[scope].Objectives {
+			if !o.Breached {
+				continue
+			}
+			out = append(out, fmt.Sprintf("%s: %s actual %s vs threshold %s (burn %.2f, %d observed)",
+				scope, o.Name, formatValue(o.Kind, o.Actual), formatValue(o.Kind, o.Threshold),
+				o.BurnRates[WindowName(time.Duration(r.GateWindowSeconds*float64(time.Second)))], o.Observed))
+		}
+	}
+	return out
+}
+
+func formatValue(kind string, v float64) string {
+	if kind == KindLatency.String() {
+		return time.Duration(v * float64(time.Second)).Round(10 * time.Microsecond).String()
+	}
+	return strconv.FormatFloat(100*v, 'f', 2, 64) + "%"
+}
+
+// WritePrometheus renders the report as ts_slo_* gauges in the
+// Prometheus text exposition format:
+//
+//	ts_slo_window_requests{scope,window}      requests in the window
+//	ts_slo_window_error_ratio{scope,window}   windowed error fraction
+//	ts_slo_window_hit_ratio{scope,window}     windowed hit ratio
+//	ts_slo_burn_rate{scope,objective,window}  burn rate per burn window
+//	ts_slo_budget_remaining{scope,objective}  gate-window budget left
+//	ts_slo_breached{scope,objective}          1 when breached
+func (r Report) WritePrometheus(w io.Writer) error {
+	scopes := make([]string, 0, len(r.Scopes))
+	for name := range r.Scopes {
+		scopes = append(scopes, name)
+	}
+	sort.Strings(scopes)
+
+	var err error
+	emit := func(name string, v float64) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, "%s %g\n", name, v)
+		}
+	}
+	gaugeType := func(base string) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n", base)
+		}
+	}
+
+	windowNames := make([]string, 0, len(r.WindowsSeconds))
+	for _, ws := range r.WindowsSeconds {
+		windowNames = append(windowNames, WindowName(time.Duration(ws*float64(time.Second))))
+	}
+
+	gaugeType("ts_slo_window_requests")
+	for _, scope := range scopes {
+		for _, wn := range windowNames {
+			st, ok := r.Scopes[scope].Windows[wn]
+			if !ok {
+				continue
+			}
+			emit(obs.Name("ts_slo_window_requests", "scope", scope, "window", wn), float64(st.Requests))
+		}
+	}
+	gaugeType("ts_slo_window_error_ratio")
+	for _, scope := range scopes {
+		for _, wn := range windowNames {
+			if st, ok := r.Scopes[scope].Windows[wn]; ok {
+				emit(obs.Name("ts_slo_window_error_ratio", "scope", scope, "window", wn), st.ErrorRate())
+			}
+		}
+	}
+	gaugeType("ts_slo_window_hit_ratio")
+	for _, scope := range scopes {
+		for _, wn := range windowNames {
+			if st, ok := r.Scopes[scope].Windows[wn]; ok {
+				emit(obs.Name("ts_slo_window_hit_ratio", "scope", scope, "window", wn), st.HitRatio())
+			}
+		}
+	}
+
+	hasObjectives := false
+	for _, scope := range scopes {
+		if len(r.Scopes[scope].Objectives) > 0 {
+			hasObjectives = true
+		}
+	}
+	if hasObjectives {
+		gaugeType("ts_slo_burn_rate")
+		for _, scope := range scopes {
+			for _, o := range r.Scopes[scope].Objectives {
+				for _, wn := range windowNames {
+					if burn, ok := o.BurnRates[wn]; ok {
+						emit(obs.Name("ts_slo_burn_rate", "scope", scope, "objective", o.Name, "window", wn), burn)
+					}
+				}
+			}
+		}
+		gaugeType("ts_slo_budget_remaining")
+		for _, scope := range scopes {
+			for _, o := range r.Scopes[scope].Objectives {
+				emit(obs.Name("ts_slo_budget_remaining", "scope", scope, "objective", o.Name), o.BudgetRemaining)
+			}
+		}
+		gaugeType("ts_slo_breached")
+		for _, scope := range scopes {
+			for _, o := range r.Scopes[scope].Objectives {
+				v := 0.0
+				if o.Breached {
+					v = 1
+				}
+				emit(obs.Name("ts_slo_breached", "scope", scope, "objective", o.Name), v)
+			}
+		}
+	}
+	return err
+}
+
+// EvaluateStats runs the policy's objectives against a single
+// already-aggregated window (a tsload run summary). Only objectives
+// whose scope matches scopeName (or global objectives when scopeName is
+// "") are evaluated. Returns the verdicts and whether any breached.
+func (p Policy) EvaluateStats(ws WindowStats, scopeName string) ([]ObjectiveReport, bool) {
+	var out []ObjectiveReport
+	breached := false
+	wn := WindowName(time.Duration(ws.WindowSeconds * float64(time.Second)))
+	for _, o := range p.Objectives {
+		if o.Scope != scopeName {
+			continue
+		}
+		st := o.Evaluate(ws)
+		or := ObjectiveReport{
+			Name:        o.Name(),
+			Kind:        o.Kind.String(),
+			Scope:       o.Scope,
+			Quantile:    o.Quantile,
+			Threshold:   o.Threshold,
+			Actual:      st.Actual,
+			BadFraction: st.BadFraction,
+			Observed:    st.Observed,
+			BurnRates:   map[string]float64{wn: st.BurnRate},
+			Breached:    st.Breached,
+		}
+		or.BudgetRemaining = 1 - st.BurnRate
+		if or.BudgetRemaining < -BurnCap {
+			or.BudgetRemaining = -BurnCap
+		}
+		out = append(out, or)
+		if st.Breached {
+			breached = true
+		}
+	}
+	return out, breached
+}
