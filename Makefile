@@ -9,7 +9,7 @@
 
 GO ?= go
 BIN ?= bin
-CMDS := tsgen tsanalyze tscdnsim tsreport tscrawl tsserve tsload tsbench tsgate
+CMDS := tsgen tsanalyze tscdnsim tsreport tscrawl tsserve tsload tsbench tsgate tsrouter tscluster
 
 # Benchmark selections backing the BENCH_*.json areas. The serve gate
 # judges only the socket-free serve-path variants (the http variant
@@ -25,7 +25,7 @@ GATE_TIME_SERVE ?= 10000x
 GATE_TIME_STREAM ?= 100x
 MAX_NS_REGRESS ?= 0.15
 
-.PHONY: all build test check vet race bench bench-mem bench-baseline bench-gate tools fmt-check serve-demo slo-demo slo-demo-breach
+.PHONY: all build test check vet race bench bench-mem bench-baseline bench-gate tools fmt-check serve-demo slo-demo slo-demo-breach cluster-demo
 
 all: build test
 
@@ -50,7 +50,7 @@ vet:
 # generate→replay→analyze pipeline, so its equivalence tests exercise
 # the per-region replay fan-out and the analysis worker pool under -race.
 race:
-	$(GO) test -race ./internal/synth/... ./internal/pipeline/... ./internal/cdn/... ./internal/trace/... ./internal/obs/... ./internal/edge/... ./internal/loadgen/... ./internal/core/... ./internal/analysis/... ./internal/crawler/...
+	$(GO) test -race ./internal/synth/... ./internal/pipeline/... ./internal/cdn/... ./internal/trace/... ./internal/obs/... ./internal/edge/... ./internal/loadgen/... ./internal/fleet/... ./internal/core/... ./internal/analysis/... ./internal/crawler/...
 
 # Fail if any file is not gofmt-clean (CI runs this before check).
 fmt-check:
@@ -143,6 +143,25 @@ slo-demo: tools
 	if [ $$rc -eq 0 ]; then $(BIN)/tsgate -run $(DEMO_DIR)/load-summary.json \
 		-policy $(SLO_POLICY); rc=$$?; fi; \
 	kill -INT $$srv; wait $$srv; exit $$rc
+
+# Cluster demo: tscluster spawns a 3-backend fleet (one process for the
+# Americas, one each for Europe and Asia) behind a tsrouter, tsload
+# replays the demo trace through the router, and tsgate judges the demo
+# policy against the collector's merged cluster /slo — the whole fleet
+# gated as if it were one tsserve.
+CLUSTER_ADDR ?= 127.0.0.1:8101
+
+cluster-demo: tools
+	@mkdir -p $(DEMO_DIR)
+	$(BIN)/tsgen -scale $(DEMO_SCALE) -seed 42 -out $(DEMO_DIR)/trace.bin.gz
+	@$(BIN)/tscluster -router-addr $(CLUSTER_ADDR) \
+		-dcs 'north-america,south-america;europe;asia' \
+		-capacity 2147483648 -slo-policy $(SLO_POLICY) & \
+	clu=$$!; sleep 3; \
+	$(BIN)/tsload -in $(DEMO_DIR)/trace.bin.gz -target http://$(CLUSTER_ADDR) \
+		-workers $(DEMO_WORKERS) -manifest $(DEMO_DIR)/cluster-load-manifest.json; rc=$$?; \
+	if [ $$rc -eq 0 ]; then $(BIN)/tsgate -target http://$(CLUSTER_ADDR); rc=$$?; fi; \
+	kill -INT $$clu; wait $$clu; exit $$rc
 
 # Injected-breach counterpart: a 16 MiB cache forces a miss storm and
 # 25 ms of origin latency rides on every miss, so the demo policy's

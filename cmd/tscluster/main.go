@@ -1,0 +1,233 @@
+// Command tscluster spawns a whole serving fleet on one machine: one
+// DC-scoped tsserve backend per -dcs group (times -replicas) on
+// ephemeral ports, plus a tsrouter front tier wired to all of them. It
+// scrapes each child's bound address from its readiness line, waits for
+// /healthz, prefixes child logs ("[europe] ...", "[router] ..."), and
+// fans SIGINT out for a graceful cluster-wide drain. Point tsload and
+// tsgate at the router address and the fleet behaves like one tsserve.
+//
+// Usage:
+//
+//	tscluster [-router-addr 127.0.0.1:8090]
+//	          [-dcs 'north-america,south-america;europe;asia']
+//	          [-replicas 1] [-redirect]
+//	          [-policy lru] [-capacity 1073741824] [-shards 0]
+//	          [-chunk 2097152] [-origin-latency 0] [-origin-bw 0]
+//	          [-max-body 4096] [-max-inflight 0] [-slo-policy <file>]
+//	          [-retries 1] [-probe-interval 500ms] [-fail-after 2]
+//	          [-collect-interval 1s] [-drain-grace 0]
+//	          [-ready-timeout 15s] [-shutdown-timeout 15s]
+//	          [-tsserve-bin path] [-tsrouter-bin path]
+//
+// -dcs groups regions into backend processes: ';' separates processes,
+// ',' co-hosts regions on one process. The default runs four single-DC
+// backends. -replicas > 1 starts several backends per group; the router
+// splits each group's objects across them by consistent hash.
+//
+// Child binaries default to tsserve/tsrouter next to the tscluster
+// executable, then $PATH.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"trafficscope/internal/fleet"
+	"trafficscope/internal/obs/cliobs"
+	"trafficscope/internal/timeutil"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tscluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		routerAddr = flag.String("router-addr", "127.0.0.1:8090", "tsrouter listen address (the cluster's public address)")
+		dcs        = flag.String("dcs", "north-america;south-america;europe;asia", "region groups, one backend process per ';'-separated group, ','-separated regions co-hosted")
+		replicas   = flag.Int("replicas", 1, "backend processes per group (objects split by consistent hash)")
+		redirect   = flag.Bool("redirect", false, "router answers 307 redirects instead of proxying")
+
+		policy      = flag.String("policy", "lru", "per-DC eviction policy")
+		capacity    = flag.Int64("capacity", 1<<30, "per-datacenter cache capacity in bytes")
+		shards      = flag.Int("shards", 0, "consistent-hash shards per DC cache")
+		chunk       = flag.Int64("chunk", 2<<20, "video chunk size in bytes (negative disables chunking)")
+		originLat   = flag.Duration("origin-latency", 0, "simulated origin round-trip on miss")
+		originBW    = flag.Int64("origin-bw", 0, "simulated origin bandwidth in bytes/s (0 = infinite)")
+		maxBody     = flag.Int64("max-body", 4096, "max on-wire body bytes per response")
+		maxInflight = flag.Int("max-inflight", 0, "per-backend max concurrently served requests")
+		sloPolicy   = flag.String("slo-policy", "", "SLO policy file passed to every backend")
+		drainGrace  = flag.Duration("drain-grace", 0, "backend drain grace window")
+
+		retries       = flag.Int("retries", fleet.DefaultRetries, "router retry budget on transport failure")
+		probeInterval = flag.Duration("probe-interval", fleet.DefaultProbeInterval, "router backend probe period")
+		failAfter     = flag.Int("fail-after", fleet.DefaultFailAfter, "consecutive failures before backend eviction")
+		collectEvery  = flag.Duration("collect-interval", fleet.DefaultCollectInterval, "collector polling period")
+
+		readyTimeout    = flag.Duration("ready-timeout", fleet.DefaultReadyTimeout, "per-child readiness budget")
+		shutdownTimeout = flag.Duration("shutdown-timeout", fleet.DefaultShutdownTimeout, "graceful drain budget before children are killed")
+		tsserveBin      = flag.String("tsserve-bin", "", "tsserve binary (default: next to tscluster, then $PATH)")
+		tsrouterBin     = flag.String("tsrouter-bin", "", "tsrouter binary (default: next to tscluster, then $PATH)")
+	)
+	flag.Parse()
+
+	groups, err := parseGroups(*dcs)
+	if err != nil {
+		return err
+	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be >= 1")
+	}
+
+	ctx, stop := cliobs.SignalContext()
+	defer stop()
+
+	cluster := fleet.NewCluster(fleet.ClusterConfig{
+		ReadyTimeout:    *readyTimeout,
+		ShutdownTimeout: *shutdownTimeout,
+	})
+
+	serveBin := findBin(*tsserveBin, "tsserve")
+	routerBin := findBin(*tsrouterBin, "tsrouter")
+
+	// Backends first: each announces its ephemeral port, then must
+	// answer /healthz before the router is wired to it.
+	type started struct {
+		group string
+		proc  *fleet.Proc
+	}
+	var backends []started
+	for _, group := range groups {
+		for rep := 0; rep < *replicas; rep++ {
+			name := group
+			if *replicas > 1 {
+				name = group + "#" + strconv.Itoa(rep)
+			}
+			args := []string{
+				"-addr", "127.0.0.1:0",
+				"-dc", group,
+				"-policy", *policy,
+				"-capacity", strconv.FormatInt(*capacity, 10),
+				"-shards", strconv.Itoa(*shards),
+				"-chunk", strconv.FormatInt(*chunk, 10),
+				"-origin-latency", originLat.String(),
+				"-origin-bw", strconv.FormatInt(*originBW, 10),
+				"-max-body", strconv.FormatInt(*maxBody, 10),
+				"-max-inflight", strconv.Itoa(*maxInflight),
+				"-drain-grace", drainGrace.String(),
+			}
+			if *sloPolicy != "" {
+				args = append(args, "-slo-policy", *sloPolicy)
+			}
+			p, err := cluster.Start(name, serveBin, args...)
+			if err != nil {
+				cluster.Shutdown()
+				return fmt.Errorf("starting backend %s: %w", name, err)
+			}
+			backends = append(backends, started{group: group, proc: p})
+		}
+	}
+	var routerArgs []string
+	for _, b := range backends {
+		addr, err := cluster.Addr(ctx, b.proc)
+		if err != nil {
+			cluster.Shutdown()
+			return err
+		}
+		if err := cluster.WaitHealthy(ctx, addr); err != nil {
+			cluster.Shutdown()
+			return err
+		}
+		routerArgs = append(routerArgs, "-backend", b.group+"=http://"+addr)
+	}
+
+	routerArgs = append(routerArgs,
+		"-addr", *routerAddr,
+		"-retries", strconv.Itoa(*retries),
+		"-probe-interval", probeInterval.String(),
+		"-fail-after", strconv.Itoa(*failAfter),
+		"-collect-interval", collectEvery.String(),
+	)
+	if *redirect {
+		routerArgs = append(routerArgs, "-redirect")
+	}
+	router, err := cluster.Start("router", routerBin, routerArgs...)
+	if err != nil {
+		cluster.Shutdown()
+		return fmt.Errorf("starting router: %w", err)
+	}
+	addr, err := cluster.Addr(ctx, router)
+	if err != nil {
+		cluster.Shutdown()
+		return err
+	}
+	if err := cluster.WaitHealthy(ctx, addr); err != nil {
+		cluster.Shutdown()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tscluster: cluster ready on http://%s (%d backends, %d region groups)\n",
+		addr, len(backends), len(groups))
+
+	// Supervise: come down on SIGINT/SIGTERM or when any child dies
+	// (a degraded topology should fail loudly, not limp).
+	name, exitErr := cluster.WaitAny(ctx)
+	shutdownErr := cluster.Shutdown()
+	if ctx.Err() == nil {
+		if exitErr != nil {
+			return fmt.Errorf("child %s exited: %w", name, exitErr)
+		}
+		return fmt.Errorf("child %s exited unexpectedly", name)
+	}
+	fmt.Fprintln(os.Stderr, "tscluster: cluster stopped")
+	return shutdownErr
+}
+
+// parseGroups validates the -dcs grammar and returns the per-process
+// region groups (still in flag syntax — tsserve re-parses its -dc).
+func parseGroups(spec string) ([]string, error) {
+	var groups []string
+	seen := map[timeutil.Region]string{}
+	for _, group := range strings.Split(spec, ";") {
+		group = strings.TrimSpace(group)
+		if group == "" {
+			continue
+		}
+		for _, part := range strings.Split(group, ",") {
+			r, err := timeutil.ParseRegion(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("bad -dcs: %v", err)
+			}
+			if prev, dup := seen[r]; dup {
+				return nil, fmt.Errorf("bad -dcs: region %s appears in groups %q and %q", r, prev, group)
+			}
+			seen[r] = group
+		}
+		groups = append(groups, group)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("bad -dcs: no region groups")
+	}
+	return groups, nil
+}
+
+// findBin resolves a child binary: explicit flag, then a sibling of the
+// tscluster executable, then $PATH.
+func findBin(flagVal, name string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	if exe, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(exe), name)
+		if st, err := os.Stat(cand); err == nil && !st.IsDir() {
+			return cand
+		}
+	}
+	return name
+}

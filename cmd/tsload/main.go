@@ -7,9 +7,13 @@
 //
 //	tsload -in trace.bin -target http://127.0.0.1:8080
 //	       [-speedup 0] [-workers 32] [-timeout 10s] [-retries 2]
-//	       [-backoff 20ms] [-debug-addr :6060] [-progress]
-//	       [-manifest run.json] [-bench-json BENCH_load.json]
+//	       [-backoff 20ms] [-max-redirects 0] [-debug-addr :6060]
+//	       [-progress] [-manifest run.json] [-bench-json BENCH_load.json]
 //	       [-summary load-summary.json] [-slo <policy file|inline>]
+//
+// The target may be a tsserve edge or a tsrouter front tier; against a
+// redirect-mode router, 307 hops are followed (bounded by
+// -max-redirects) and counted in the summary's redirects row.
 //
 // The summary (and the -manifest extras) reports achieved RPS, p50/p99
 // latency (measured from each record's scheduled send time, so
@@ -55,6 +59,7 @@ func run() error {
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request deadline")
 		retries   = flag.Int("retries", 2, "retries after transport errors (HTTP errors are never retried)")
 		backoff   = flag.Duration("backoff", 20*time.Millisecond, "initial retry backoff (doubles per attempt)")
+		redirects = flag.Int("max-redirects", 0, "max 307 hops followed per request, e.g. from a redirect-mode tsrouter (0 = default 5, negative = don't follow)")
 		benchJSON = flag.String("bench-json", "", "write the run summary as a benchjson file (BENCH_*.json schema)")
 		summary   = flag.String("summary", "", "write the run summary as JSON (tsgate -run input)")
 		sloSpec   = flag.String("slo", "", "SLO policy (file path or inline) to assert against the run; breach exits nonzero")
@@ -95,13 +100,14 @@ func run() error {
 	defer fr.Close()
 
 	st, runErr := loadgen.Run(ctx, loadgen.Config{
-		Target:  *target,
-		Speedup: *speedup,
-		Workers: *workers,
-		Timeout: *timeout,
-		Retries: *retries,
-		Backoff: *backoff,
-		Metrics: sess.Registry(),
+		Target:       *target,
+		Speedup:      *speedup,
+		Workers:      *workers,
+		Timeout:      *timeout,
+		Retries:      *retries,
+		Backoff:      *backoff,
+		MaxRedirects: *redirects,
+		Metrics:      sess.Registry(),
 	}, fr)
 	if st != nil {
 		printSummary(st)
@@ -109,6 +115,7 @@ func run() error {
 		extra["errors"] = st.Errors
 		extra["shed"] = st.Shed
 		extra["cancelled"] = st.Cancelled
+		extra["redirects"] = st.Redirects
 		extra["rps"] = st.RPS()
 		extra["hit_ratio"] = st.HitRatio()
 		extra["logical_bytes"] = st.LogicalBytes
@@ -188,6 +195,7 @@ func printSummary(st *loadgen.Stats) {
 	tab.AddRow("retries", st.Retries)
 	tab.AddRow("shed (503)", st.Shed)
 	tab.AddRow("cancelled", st.Cancelled)
+	tab.AddRow("redirects", st.Redirects)
 	tab.AddRow("duration", st.Duration.Round(time.Millisecond).String())
 	tab.AddRow("throughput", fmt.Sprintf("%.0f req/s", st.RPS()))
 	tab.AddRow("hit ratio", report.Percent(st.HitRatio()))
@@ -229,6 +237,7 @@ func writeBenchJSON(path string, st *loadgen.Stats, speedup float64, workers int
 			"errors":    float64(st.Errors),
 			"shed":      float64(st.Shed),
 			"cancelled": float64(st.Cancelled),
+			"redirects": float64(st.Redirects),
 		},
 		Quantiles: map[string]float64{
 			"latency_p50_s":      st.Latency.Quantile(0.50),

@@ -13,7 +13,7 @@
 //	        [-max-body 4096] [-max-conns 0] [-max-inflight 0]
 //	        [-read-timeout 5s] [-write-timeout 30s] [-idle-timeout 2m]
 //	        [-drain 10s] [-drain-grace 0] [-slo-policy <file|inline>]
-//	        [-trace-buffer 0] [-trace-sample 1]
+//	        [-trace-buffer 0] [-trace-sample 1] [-dc europe]
 //	        [-debug-addr :6060] [-progress] [-manifest run.json]
 //
 // The edge always tracks rolling SLO windows and serves them at /slo
@@ -22,6 +22,12 @@
 // floors — see DESIGN.md §"SLOs and burn rates") that tsgate can gate
 // on. -trace-buffer enables a sampled per-request trace-event ring
 // dumpable at /debug/trace.
+//
+// -dc scopes the edge to one or more regions for fleet deployments: a
+// scoped edge refuses requests for foreign regions with 421, reports
+// only its own DCs at /stats, and registers only its own regions as SLO
+// scopes. tsrouter maps traffic to a fleet of scoped edges and a
+// collector merges their stats back into one cluster view.
 //
 // SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503
 // "draining", the listener stays open for -drain-grace so load
@@ -75,6 +81,7 @@ func run() error {
 		sloPolicy   = flag.String("slo-policy", "", "SLO policy (file path or inline) with objectives to evaluate live")
 		traceBuf    = flag.Int("trace-buffer", 0, "per-request trace-event ring size for /debug/trace (0 = disabled)")
 		traceSample = flag.Int("trace-sample", 1, "trace every Nth request when the ring is enabled")
+		dcFlag      = flag.String("dc", "", "comma-separated regions this edge owns (e.g. europe or north-america,south-america); requests for other regions get 421. Empty serves all regions")
 	)
 	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -93,6 +100,14 @@ func run() error {
 		"gomaxprocs": runtime.GOMAXPROCS(0),
 	}
 	defer sess.Finish(extra)
+
+	dcs, err := parseDCs(*dcFlag)
+	if err != nil {
+		return err
+	}
+	if len(dcs) > 0 {
+		extra["dc"] = *dcFlag
+	}
 
 	factory, err := cacheFactory(*policy, *capacity, *shards)
 	if err != nil {
@@ -117,12 +132,19 @@ func run() error {
 			return err
 		}
 	}
-	regionScopes := make([]string, 0, timeutil.NumRegions)
-	for _, r := range timeutil.AllRegions() {
+	// A DC-scoped edge only registers its own regions as scopes; a
+	// cluster collector merges the per-DC reports back into one view.
+	scopeRegions := dcs
+	if len(scopeRegions) == 0 {
+		scopeRegions = timeutil.AllRegions()
+	}
+	regionScopes := make([]string, 0, len(scopeRegions))
+	for _, r := range scopeRegions {
 		regionScopes = append(regionScopes, r.String())
 	}
 	engine := slo.NewEngine(policySLO, regionScopes...)
 	srv, err := edge.New(edge.Config{
+		Regions:         dcs,
 		CDN:             network,
 		OriginLatency:   *originLat,
 		OriginBandwidth: *originBW,
@@ -146,8 +168,12 @@ func run() error {
 		DrainTimeout: *drain,
 		DrainGrace:   *drainGrace,
 		OnReady: func(a string) {
-			fmt.Fprintf(os.Stderr, "tsserve: serving on http://%s (%s, %s per DC; endpoints: /o/ /stats /healthz /slo /metrics /debug/trace)\n",
-				a, *policy, report.Bytes(*capacity))
+			scope := "all regions"
+			if *dcFlag != "" {
+				scope = "dc " + *dcFlag
+			}
+			fmt.Fprintf(os.Stderr, "tsserve: serving on http://%s (%s, %s per DC, %s; endpoints: /o/ /stats /healthz /slo /metrics /debug/trace)\n",
+				a, *policy, report.Bytes(*capacity), scope)
 		},
 	})
 
@@ -163,6 +189,24 @@ func run() error {
 		return serveErr
 	}
 	return sess.Finish(extra)
+}
+
+// parseDCs parses a comma-separated region list ("europe" or
+// "north-america,south-america") into the regions this edge owns. Empty
+// means unscoped.
+func parseDCs(spec string) ([]timeutil.Region, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []timeutil.Region
+	for _, part := range strings.Split(spec, ",") {
+		r, err := timeutil.ParseRegion(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -dc entry: %v", err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }
 
 // cacheFactory builds the per-DC cache constructor, optionally sharding

@@ -58,6 +58,39 @@ func (r *HashRing) Shard(key uint64) int {
 	return r.points[i].shard
 }
 
+// ShardOrderAppend appends the key's shard preference order to dst and
+// returns the extended slice: the owning shard first, then the remaining
+// shards in ring-walk order. The order is stable for a given ring and
+// key, and removing the first shard leaves the second as the consistent
+// next owner — the property a routing tier needs to fail a request over
+// to the next backend without re-shuffling every other key.
+func (r *HashRing) ShardOrderAppend(dst []int, key uint64) []int {
+	start := len(dst)
+	kh := mix64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	if i == len(r.points) {
+		i = 0
+	}
+	for n := 0; n < len(r.points) && len(dst)-start < r.shards; n++ {
+		s := r.points[(i+n)%len(r.points)].shard
+		if !containsInt(dst[start:], s) {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// containsInt reports whether v occurs in s (the candidate lists walked
+// here are a handful of backends, so a linear scan beats a set).
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
 // mix64 is the splitmix64 finalizer: a fast, high-quality 64-bit mixer.
 func mix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15

@@ -62,6 +62,14 @@ type Config struct {
 	// MaxInflight bounds concurrently served object requests; excess
 	// requests are shed with 503 + Retry-After. Zero means unlimited.
 	MaxInflight int
+	// Regions, when non-empty, scopes the edge to those DCs: object
+	// requests for any other region are refused with 421 Misdirected
+	// Request (counted in edge_misrouted_total) and /stats reports only
+	// the owned DCs. Empty serves every region — the single-process
+	// default. A fleet runs one scoped edge per DC behind a router that
+	// owns the region mapping; the 421 makes a routing bug loud instead
+	// of silently double-counting a DC on two backends.
+	Regions []timeutil.Region
 	// Metrics receives live serving telemetry (request/shed/error
 	// counters, latency histogram, inflight gauge). nil disables it.
 	Metrics *obs.Registry
@@ -84,10 +92,16 @@ type Server struct {
 	inflight chan struct{}
 	body     []byte // repeated payload chunk for body writes
 
+	// Region ownership, resolved once so the hot path pays one array
+	// index. With no Regions configured every slot is owned.
+	owned  [timeutil.NumRegions + 1]bool
+	scoped bool
+
 	reqs      *obs.Counter
 	shed      *obs.Counter
 	badReq    *obs.Counter
 	cancelled *obs.Counter
+	misrouted *obs.Counter
 	bodyBytes *obs.Counter
 	inflightG *obs.Gauge
 	latency   *obs.Histogram
@@ -125,6 +139,19 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("edge: negative OriginBandwidth")
 	}
 	s := &Server{cfg: cfg, cdn: cdn.NewConcurrent(cfg.CDN)}
+	if len(cfg.Regions) > 0 {
+		s.scoped = true
+		for _, r := range cfg.Regions {
+			if r < 1 || r > timeutil.NumRegions {
+				return nil, errors.New("edge: Config.Regions contains an unknown region")
+			}
+			s.owned[r] = true
+		}
+	} else {
+		for _, r := range timeutil.AllRegions() {
+			s.owned[r] = true
+		}
+	}
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
@@ -144,6 +171,7 @@ func New(cfg Config) (*Server, error) {
 	s.shed = reg.Counter("edge_shed_total")
 	s.badReq = reg.Counter("edge_bad_requests_total")
 	s.cancelled = reg.Counter("edge_client_cancelled_total")
+	s.misrouted = reg.Counter("edge_misrouted_total")
 	s.bodyBytes = reg.Counter("edge_body_bytes_total")
 	s.inflightG = reg.Gauge("edge_inflight")
 	s.latency = reg.Histogram("edge_request_seconds", obs.ExpBuckets(50e-6, 2, 22))
@@ -310,6 +338,16 @@ func (s *Server) handleObject(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if s.scoped && !s.owned[sc.rec.Region] {
+		// A scoped edge must never account traffic for a DC it doesn't
+		// own — serving it would double-count the region across the
+		// fleet. 421 tells the router (or a misconfigured client) the
+		// request reached the wrong backend.
+		region = sc.rec.Region
+		s.misrouted.Inc()
+		http.Error(w, "region "+sc.rec.Region.String()+" not served by this edge", http.StatusMisdirectedRequest)
+		return
+	}
 
 	// No server-wide lock: the concurrent CDN serializes only requests
 	// contending for the same (DC, cache partition). The response is
@@ -410,6 +448,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	total := s.cdn.TotalStats()
 	perDC := map[string]cdn.DCStats{}
 	for _, r := range timeutil.AllRegions() {
+		if !s.owned[r] {
+			continue // a scoped edge reports only the DCs it owns
+		}
 		if dc := s.cdn.CDN().DC(r); dc != nil {
 			perDC[r.String()] = dc.StatsSnapshot()
 		}

@@ -530,3 +530,71 @@ func TestConcurrentObjectServing(t *testing.T) {
 		t.Errorf("misses = %d, want %d (every object distinct)", st.Misses, workers*perWorker)
 	}
 }
+
+func TestScopedEdgeRefusesForeignRegions(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{
+		Regions: []timeutil.Region{timeutil.RegionEurope},
+		Metrics: reg,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The owned region serves normally.
+	eu := testRecord() // RegionEurope
+	resp, err := http.Get(ts.URL + RequestPath(eu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("owned region: status %d, want %d", resp.StatusCode, http.StatusPartialContent)
+	}
+
+	// A foreign region is refused with 421 and never touches the CDN.
+	asia := testRecord()
+	asia.Region = timeutil.RegionAsia
+	resp, err = http.Get(ts.URL + RequestPath(asia))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("foreign region: status %d, want %d", resp.StatusCode, http.StatusMisdirectedRequest)
+	}
+	if st := s.TotalStats(); st.Requests != 1 {
+		t.Errorf("CDN saw %d requests, want 1 (misroute must not be served)", st.Requests)
+	}
+	if got := reg.Counter("edge_misrouted_total").Value(); got != 1 {
+		t.Errorf("edge_misrouted_total = %d, want 1", got)
+	}
+
+	// /stats reports only the owned DC.
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply struct {
+		PerDC map[string]cdn.DCStats `json:"per_dc"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&reply)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.PerDC) != 1 {
+		t.Errorf("scoped /stats reports %d DCs, want 1: %v", len(reply.PerDC), reply.PerDC)
+	}
+	if dc := reply.PerDC[timeutil.RegionEurope.String()]; dc.Requests != 1 {
+		t.Errorf("per_dc[europe].requests = %d, want 1", dc.Requests)
+	}
+}
+
+func TestNewRejectsUnknownRegion(t *testing.T) {
+	network := cdn.New(cdn.Config{NewCache: func() cdn.Cache { return cdn.NewLRU(1 << 20) }})
+	if _, err := New(Config{CDN: network, Regions: []timeutil.Region{99}}); err == nil {
+		t.Error("New with out-of-range region: want error")
+	}
+}

@@ -1,0 +1,263 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ClusterConfig configures a process Cluster.
+type ClusterConfig struct {
+	// Output receives every child line, prefixed "[name] "; nil uses
+	// os.Stderr.
+	Output io.Writer
+	// ReadyTimeout bounds each child's address discovery and /healthz
+	// readiness wait; zero defaults to DefaultReadyTimeout.
+	ReadyTimeout time.Duration
+	// ShutdownTimeout bounds the graceful SIGINT drain before children
+	// are killed; zero defaults to DefaultShutdownTimeout.
+	ShutdownTimeout time.Duration
+	// Client issues readiness probes; nil uses http.DefaultClient.
+	Client *http.Client
+}
+
+// Cluster launcher defaults.
+const (
+	DefaultReadyTimeout    = 15 * time.Second
+	DefaultShutdownTimeout = 15 * time.Second
+)
+
+// Cluster spawns and supervises the fleet's processes (backends +
+// router) on one machine: children listen on ephemeral ports and report
+// their bound address on stderr, the launcher scrapes it, waits for
+// /healthz, prefixes all child output, and fans SIGINT out on shutdown.
+type Cluster struct {
+	cfg    ClusterConfig
+	client *http.Client
+
+	mu    sync.Mutex
+	procs []*Proc
+}
+
+// Proc is one supervised child process.
+type Proc struct {
+	// Name prefixes the child's log lines.
+	Name string
+
+	cmd    *exec.Cmd
+	addrCh chan string // closed after the serving address is sent (cap 1)
+	done   chan error  // closed after Wait; holds the exit error
+	outWG  sync.WaitGroup
+}
+
+// NewCluster builds an empty cluster supervisor.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Output == nil {
+		cfg.Output = os.Stderr
+	}
+	if cfg.ReadyTimeout <= 0 {
+		cfg.ReadyTimeout = DefaultReadyTimeout
+	}
+	if cfg.ShutdownTimeout <= 0 {
+		cfg.ShutdownTimeout = DefaultShutdownTimeout
+	}
+	c := &Cluster{cfg: cfg, client: cfg.Client}
+	if c.client == nil {
+		c.client = http.DefaultClient
+	}
+	return c
+}
+
+// parseServingAddr extracts the bound address from a child's readiness
+// line ("tsserve: serving on http://127.0.0.1:43571 (lru, ...)").
+func parseServingAddr(line string) (string, bool) {
+	const marker = " on http://"
+	i := strings.Index(line, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := line[i+len(marker):]
+	end := len(rest)
+	for j, c := range rest {
+		if c == ' ' || c == '/' {
+			end = j
+			break
+		}
+	}
+	if end == 0 {
+		return "", false
+	}
+	return rest[:end], true
+}
+
+// Start spawns one child in its own process group (so a terminal ^C at
+// the launcher doesn't reach it directly; the launcher forwards signals
+// deliberately) and begins relaying its output.
+func (c *Cluster) Start(name, bin string, args ...string) (*Proc, error) {
+	cmd := exec.Command(bin, args...)
+	setProcGroup(cmd)
+	p := &Proc{
+		Name:   name,
+		cmd:    cmd,
+		addrCh: make(chan string, 1),
+		done:   make(chan error, 1),
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var addrOnce sync.Once
+	relay := func(rd io.Reader) {
+		defer p.outWG.Done()
+		sc := bufio.NewScanner(rd)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if addr, ok := parseServingAddr(line); ok {
+				addrOnce.Do(func() { p.addrCh <- addr; close(p.addrCh) })
+			}
+			fmt.Fprintf(c.cfg.Output, "[%s] %s\n", name, line)
+		}
+	}
+	p.outWG.Add(2)
+	go relay(stdout)
+	go relay(stderr)
+	go func() {
+		p.outWG.Wait() // drain pipes before Wait closes them
+		err := cmd.Wait()
+		p.done <- err
+		close(p.done)
+	}()
+	c.mu.Lock()
+	c.procs = append(c.procs, p)
+	c.mu.Unlock()
+	return p, nil
+}
+
+// Addr waits for the child to announce its serving address (bounded by
+// ReadyTimeout and ctx).
+func (c *Cluster) Addr(ctx context.Context, p *Proc) (string, error) {
+	t := time.NewTimer(c.cfg.ReadyTimeout)
+	defer t.Stop()
+	select {
+	case addr, ok := <-p.addrCh:
+		if !ok || addr == "" {
+			return "", fmt.Errorf("fleet: %s exited before announcing its address", p.Name)
+		}
+		return addr, nil
+	case err := <-p.done:
+		return "", fmt.Errorf("fleet: %s exited before announcing its address: %v", p.Name, err)
+	case <-t.C:
+		return "", fmt.Errorf("fleet: %s did not announce its address within %s", p.Name, c.cfg.ReadyTimeout)
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+
+// WaitHealthy polls addr's /healthz until it answers 200 (bounded by
+// ReadyTimeout and ctx).
+func (c *Cluster) WaitHealthy(ctx context.Context, addr string) error {
+	deadline := time.Now().Add(c.cfg.ReadyTimeout)
+	url := "http://" + addr + "/healthz"
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet: %s not healthy within %s", addr, c.cfg.ReadyTimeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Shutdown fans SIGINT out to every child (triggering their graceful
+// drains in parallel), waits up to ShutdownTimeout, then kills
+// stragglers. Returns the first child exit error, if any.
+func (c *Cluster) Shutdown() error {
+	c.mu.Lock()
+	procs := append([]*Proc(nil), c.procs...)
+	c.mu.Unlock()
+	for _, p := range procs {
+		p.cmd.Process.Signal(os.Interrupt)
+	}
+	deadline := time.Now().Add(c.cfg.ShutdownTimeout)
+	var firstErr error
+	for _, p := range procs {
+		remaining := time.Until(deadline)
+		if remaining < 0 {
+			remaining = 0
+		}
+		t := time.NewTimer(remaining)
+		select {
+		case err := <-p.done:
+			t.Stop()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("fleet: %s: %w", p.Name, err)
+			}
+		case <-t.C:
+			p.cmd.Process.Kill()
+			err := <-p.done
+			if firstErr == nil {
+				firstErr = fmt.Errorf("fleet: %s killed after %s drain budget (%v)", p.Name, c.cfg.ShutdownTimeout, err)
+			}
+		}
+	}
+	return firstErr
+}
+
+// WaitAny blocks until any child exits (or ctx is cancelled) and
+// returns its name and exit error — the supervisor's signal that the
+// topology is degraded and should come down.
+func (c *Cluster) WaitAny(ctx context.Context) (string, error) {
+	c.mu.Lock()
+	procs := append([]*Proc(nil), c.procs...)
+	c.mu.Unlock()
+	type exited struct {
+		name string
+		err  error
+	}
+	ch := make(chan exited, len(procs))
+	for _, p := range procs {
+		go func(p *Proc) {
+			err, ok := <-p.done
+			if ok {
+				ch <- exited{p.Name, err}
+			} else {
+				ch <- exited{p.Name, nil}
+			}
+		}(p)
+	}
+	select {
+	case e := <-ch:
+		return e.name, e.err
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}

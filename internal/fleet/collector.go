@@ -1,0 +1,320 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"trafficscope/internal/cdn"
+	"trafficscope/internal/obs/slo"
+)
+
+// EdgeStats mirrors the edge's /stats JSON document (the backend side of
+// the wire; internal/edge keeps its reply type private).
+type EdgeStats struct {
+	Total    cdn.DCStats            `json:"total"`
+	HitRatio float64                `json:"hit_ratio"`
+	PerDC    map[string]cdn.DCStats `json:"per_dc"`
+}
+
+// ClusterStats is the collector's merged /stats document: the same
+// shape tsload and scripts already read from a single edge, extended
+// with per-backend rows and poll metadata. Per-DC entries from several
+// backends (a region split across two processes) sum field-wise.
+type ClusterStats struct {
+	Total    cdn.DCStats            `json:"total"`
+	HitRatio float64                `json:"hit_ratio"`
+	PerDC    map[string]cdn.DCStats `json:"per_dc"`
+	// Backends maps backend name to its own aggregate counters.
+	Backends map[string]cdn.DCStats `json:"backends"`
+	// Unreachable lists backends the last poll could not read, in name
+	// order. Their traffic is missing from the merged numbers.
+	Unreachable []string `json:"unreachable,omitempty"`
+	// AsOf is when the merged snapshot was assembled.
+	AsOf time.Time `json:"as_of"`
+}
+
+// CollectorConfig configures a cluster stats Collector.
+type CollectorConfig struct {
+	// Backends are the processes to poll. Required.
+	Backends []*Backend
+	// Interval is the polling period for Run; zero defaults to
+	// DefaultCollectInterval.
+	Interval time.Duration
+	// Timeout bounds one backend poll (all three endpoints together);
+	// zero defaults to DefaultCollectTimeout.
+	Timeout time.Duration
+	// Client issues poll requests; nil uses http.DefaultClient.
+	Client *http.Client
+	// Logf receives poll-failure log lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Collector defaults.
+const (
+	DefaultCollectInterval = time.Second
+	DefaultCollectTimeout  = 5 * time.Second
+)
+
+// Collector polls every backend's /stats, /slo and /metrics and serves
+// merged cluster views on the same endpoints: tsgate judges the whole
+// cluster through the collector exactly as it would one tsserve.
+//
+// Consistency: each backend is polled at a slightly different instant
+// and backends keep serving between polls, so merged views are
+// weakly consistent snapshots, the same contract a single live server's
+// /stats already has. After traffic stops, the next poll converges on
+// exact totals.
+type Collector struct {
+	cfg    CollectorConfig
+	client *http.Client
+
+	mu      sync.RWMutex
+	polled  bool // at least one poll completed
+	stats   ClusterStats
+	slo     slo.Report
+	sloErr  error
+	metrics []byte
+}
+
+// NewCollector validates the config and builds a Collector. Polling
+// starts with Run (or call PollOnce directly).
+func NewCollector(cfg CollectorConfig) (*Collector, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("fleet: CollectorConfig.Backends is required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultCollectInterval
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultCollectTimeout
+	}
+	c := &Collector{cfg: cfg, client: cfg.Client}
+	if c.client == nil {
+		c.client = http.DefaultClient
+	}
+	return c, nil
+}
+
+// Run polls all backends every Interval until ctx is cancelled. One
+// final poll runs on the way out so post-drain totals are captured.
+func (c *Collector) Run(ctx context.Context) {
+	tick := time.NewTicker(c.cfg.Interval)
+	defer tick.Stop()
+	c.PollOnce(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			// Backends drain before they exit; a last poll (with a fresh
+			// context — ctx is already dead) snapshots their final totals.
+			fctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeout)
+			c.PollOnce(fctx)
+			cancel()
+			return
+		case <-tick.C:
+			c.PollOnce(ctx)
+		}
+	}
+}
+
+// backendPoll is one backend's fetched state.
+type backendPoll struct {
+	backend *Backend
+	stats   EdgeStats
+	slo     slo.Report
+	metrics []byte
+	err     error
+}
+
+// PollOnce fetches every backend's /stats, /slo and /metrics once and
+// rebuilds the merged views. Unreachable backends are recorded, not
+// fatal: the cluster view degrades to the reachable subset.
+func (c *Collector) PollOnce(ctx context.Context) {
+	polls := make([]backendPoll, len(c.cfg.Backends))
+	var wg sync.WaitGroup
+	for i, b := range c.cfg.Backends {
+		wg.Add(1)
+		go func(i int, b *Backend) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+			defer cancel()
+			polls[i] = c.pollBackend(pctx, b)
+		}(i, b)
+	}
+	wg.Wait()
+
+	merged := ClusterStats{
+		PerDC:    map[string]cdn.DCStats{},
+		Backends: map[string]cdn.DCStats{},
+		AsOf:     time.Now().UTC(),
+	}
+	var reports []slo.Report
+	var pages [][]byte
+	for _, p := range polls {
+		if p.err != nil {
+			merged.Unreachable = append(merged.Unreachable, p.backend.Name)
+			c.logf("fleet: collector: backend %s unreachable: %v", p.backend.Name, p.err)
+			continue
+		}
+		addDCStats(&merged.Total, p.stats.Total)
+		merged.Backends[p.backend.Name] = p.stats.Total
+		for dc, st := range p.stats.PerDC {
+			sum := merged.PerDC[dc]
+			addDCStats(&sum, st)
+			merged.PerDC[dc] = sum
+		}
+		reports = append(reports, p.slo)
+		pages = append(pages, p.metrics)
+	}
+	sort.Strings(merged.Unreachable)
+	merged.HitRatio = merged.Total.HitRatio()
+
+	var mergedSLO slo.Report
+	var sloErr error
+	if len(reports) > 0 {
+		mergedSLO, sloErr = slo.MergeReports(reports...)
+	} else {
+		sloErr = fmt.Errorf("fleet: no backend reachable")
+	}
+	mergedMetrics, metricsErr := MergePrometheus(pages...)
+	if metricsErr != nil {
+		c.logf("fleet: collector: metrics merge: %v", metricsErr)
+		mergedMetrics = nil
+	}
+	if sloErr != nil {
+		c.logf("fleet: collector: slo merge: %v", sloErr)
+	}
+
+	c.mu.Lock()
+	c.polled = true
+	c.stats = merged
+	c.slo, c.sloErr = mergedSLO, sloErr
+	c.metrics = mergedMetrics
+	c.mu.Unlock()
+}
+
+func (c *Collector) pollBackend(ctx context.Context, b *Backend) backendPoll {
+	p := backendPoll{backend: b}
+	statsBody, err := c.get(ctx, b.URL+"/stats")
+	if err != nil {
+		p.err = err
+		return p
+	}
+	if p.err = json.Unmarshal(statsBody, &p.stats); p.err != nil {
+		return p
+	}
+	sloBody, err := c.get(ctx, b.URL+"/slo")
+	if err != nil {
+		p.err = err
+		return p
+	}
+	if p.err = json.Unmarshal(sloBody, &p.slo); p.err != nil {
+		return p
+	}
+	p.metrics, p.err = c.get(ctx, b.URL+"/metrics")
+	return p
+}
+
+func (c *Collector) get(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return body, nil
+}
+
+func (c *Collector) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Stats returns the latest merged cluster stats and whether a poll has
+// completed yet.
+func (c *Collector) Stats() (ClusterStats, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats, c.polled
+}
+
+// SLOReport returns the latest merged SLO report.
+func (c *Collector) SLOReport() (slo.Report, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !c.polled {
+		return slo.Report{}, fmt.Errorf("fleet: collector has not polled yet")
+	}
+	return c.slo, c.sloErr
+}
+
+// Register mounts the merged cluster views on mux: /stats, /slo and
+// /metrics, shape-compatible with a single edge's endpoints. Before the
+// first completed poll all three answer 503 so a gate never judges an
+// empty view.
+func (c *Collector) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		stats, ok := c.Stats()
+		if !ok {
+			http.Error(w, "collector warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(stats)
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		rep, err := c.SLOReport()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		c.mu.RLock()
+		polled, page := c.polled, c.metrics
+		rep, sloErr := c.slo, c.sloErr
+		c.mu.RUnlock()
+		if !polled {
+			http.Error(w, "collector warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Write(page)
+		// ts_slo_* gauges are stripped from the summed backend pages
+		// (ratios don't sum); re-derive them from the merged report.
+		if sloErr == nil {
+			var buf bytes.Buffer
+			if rep.WritePrometheus(&buf) == nil {
+				w.Write(buf.Bytes())
+			}
+		}
+	})
+}
+
+// addDCStats sums src into dst field-wise.
+func addDCStats(dst *cdn.DCStats, src cdn.DCStats) {
+	dst.Requests += src.Requests
+	dst.Hits += src.Hits
+	dst.Misses += src.Misses
+	dst.OriginBytes += src.OriginBytes
+	dst.EgressBytes += src.EgressBytes
+}

@@ -1,0 +1,241 @@
+package fleet
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"trafficscope/internal/edge"
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// failoverRecord builds a valid europe request for one of many distinct
+// objects, so the ring splits them across the region's two backends.
+func failoverRecord(i int) *trace.Record {
+	return &trace.Record{
+		Timestamp:   time.Date(2016, 4, 12, 9, 30, 0, 0, time.UTC),
+		Publisher:   "V-1",
+		ObjectID:    uint64(i)*0x9e3779b97f4a7c15 + 1,
+		FileType:    "mp4",
+		ObjectSize:  1 << 20,
+		BytesServed: 512 << 10,
+		UserID:      7,
+		Region:      timeutil.RegionEurope,
+	}
+}
+
+// newEuropeEdge builds a europe-scoped edge server for the failover
+// backends (fresh cache per call, as a restarted process would have).
+func newEuropeEdge(t *testing.T) *edge.Server {
+	t.Helper()
+	srv, err := edge.New(edge.Config{
+		CDN:     mkE2ECDN(),
+		Regions: []timeutil.Region{timeutil.RegionEurope},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// waitFor polls cond until it holds or the deadline lapses.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRouterFailoverAndRecovery kills one of a region's two backends
+// mid-traffic and asserts the router's full failure lifecycle: requests
+// fail over to the surviving backend within the retry budget (no
+// client-visible errors), the dead backend is evicted from /backends,
+// and once it restarts on the same address the health probes restore it
+// and the consistent hash sends its objects back.
+func TestRouterFailoverAndRecovery(t *testing.T) {
+	// Backend A listens on an explicitly held port so its "process" can
+	// restart on the same address later.
+	la, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrA := la.Addr().String()
+	tsA := httptest.NewUnstartedServer(newEuropeEdge(t).Handler())
+	tsA.Listener.Close()
+	tsA.Listener = la
+	tsA.Start()
+
+	tsB := httptest.NewServer(newEuropeEdge(t).Handler())
+	defer tsB.Close()
+
+	bA := NewBackend("eu-a", "http://"+addrA, timeutil.RegionEurope)
+	bB := NewBackend("eu-b", tsB.URL, timeutil.RegionEurope)
+	router, err := NewRouter(RouterConfig{
+		Backends:      []*Backend{bA, bB},
+		Retries:       2,
+		FailAfter:     2,
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  500 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	router.Start(ctx)
+
+	mux := http.NewServeMux()
+	router.Register(mux)
+	front := httptest.NewServer(mux)
+	defer front.Close()
+	client := front.Client()
+
+	const objects = 64
+	get := func(i int) (status int, backend string, err error) {
+		resp, err := client.Get(front.URL + edge.RequestPath(failoverRecord(i)))
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get(HeaderBackend), nil
+	}
+
+	// Phase 1: both backends up; record which backend owns each object.
+	owner := make(map[int]string, objects)
+	seen := map[string]bool{}
+	for i := 0; i < objects; i++ {
+		status, backend, err := get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != http.StatusOK && status != http.StatusPartialContent {
+			t.Fatalf("object %d: status %d", i, status)
+		}
+		owner[i] = backend
+		seen[backend] = true
+	}
+	if !seen["eu-a"] || !seen["eu-b"] {
+		t.Fatalf("ring did not split objects across both backends: %v", seen)
+	}
+
+	// Phase 2: kill A mid-traffic. Every request must still succeed —
+	// A's objects fail over to B within the retry budget — and the
+	// failures must evict A from the healthy set.
+	tsA.CloseClientConnections()
+	tsA.Close()
+	for i := 0; i < objects; i++ {
+		status, backend, err := get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != http.StatusOK && status != http.StatusPartialContent {
+			t.Errorf("object %d after kill: status %d (client-visible error leaked through failover)", i, status)
+		}
+		if backend != "eu-b" {
+			t.Errorf("object %d after kill served by %q, want eu-b", i, backend)
+		}
+	}
+	waitFor(t, "eu-a eviction", func() bool { return !bA.Healthy() })
+	var evicted bool
+	for _, st := range router.Statuses() {
+		if st.Name == "eu-a" {
+			evicted = !st.Healthy
+		}
+	}
+	if !evicted {
+		t.Fatal("/backends still reports eu-a healthy after eviction")
+	}
+
+	// Phase 3: restart A on the same address (a supervisor restarting
+	// the process). The listener may linger briefly; retry the bind.
+	var la2 net.Listener
+	bindDeadline := time.Now().Add(5 * time.Second)
+	for {
+		la2, err = net.Listen("tcp", addrA)
+		if err == nil {
+			break
+		}
+		if time.Now().After(bindDeadline) {
+			t.Fatalf("rebinding %s: %v", addrA, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	tsA2 := httptest.NewUnstartedServer(newEuropeEdge(t).Handler())
+	tsA2.Listener.Close()
+	tsA2.Listener = la2
+	tsA2.Start()
+	defer tsA2.Close()
+
+	// Phase 4: probes restore A, and the unchanged hash order routes its
+	// objects back to it.
+	waitFor(t, "eu-a recovery", func() bool { return bA.Healthy() })
+	backToA := 0
+	for i := 0; i < objects; i++ {
+		status, backend, err := get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status != http.StatusOK && status != http.StatusPartialContent {
+			t.Errorf("object %d after recovery: status %d", i, status)
+		}
+		if backend != owner[i] {
+			t.Errorf("object %d after recovery served by %q, want original owner %q", i, backend, owner[i])
+		}
+		if backend == "eu-a" {
+			backToA++
+		}
+	}
+	if backToA == 0 {
+		t.Error("no traffic returned to the recovered backend")
+	}
+	t.Logf("recovery: %d/%d objects back on eu-a", backToA, objects)
+}
+
+// TestRouterAllBackendsDown asserts the router's last-resort answer:
+// with every backend of a region evicted, requests get 503 plus a
+// Retry-After hint instead of hanging or crashing.
+func TestRouterAllBackendsDown(t *testing.T) {
+	b := NewBackend("eu", "http://127.0.0.1:1", timeutil.RegionEurope)
+	b.noteFailure(1) // evict immediately; no probe goroutine needed
+	router, err := NewRouter(RouterConfig{Backends: []*Backend{b}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	router.Register(mux)
+	front := httptest.NewServer(mux)
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + edge.RequestPath(failoverRecord(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+
+	// A region nobody owns gets the same answer.
+	asia := failoverRecord(2)
+	asia.Region = timeutil.RegionAsia
+	resp, err = http.Get(front.URL + edge.RequestPath(asia))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("unowned region: status %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"trafficscope/internal/timeutil"
+)
+
+func TestParseBackendSpec(t *testing.T) {
+	b, err := ParseBackendSpec("europe=http://127.0.0.1:8081")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "europe" || b.URL != "http://127.0.0.1:8081" {
+		t.Errorf("got name=%q url=%q", b.Name, b.URL)
+	}
+	if len(b.Regions) != 1 || b.Regions[0] != timeutil.RegionEurope {
+		t.Errorf("regions = %v, want [europe]", b.Regions)
+	}
+	if !b.Healthy() {
+		t.Error("parsed backend must start healthy")
+	}
+
+	b, err = ParseBackendSpec("north-america,south-america=http://h:1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.URL != "http://h:1" {
+		t.Errorf("trailing slash not trimmed: %q", b.URL)
+	}
+	if len(b.Regions) != 2 {
+		t.Errorf("regions = %v, want two", b.Regions)
+	}
+
+	for _, bad := range []string{
+		"",
+		"europe",
+		"=http://127.0.0.1:8081",
+		"europe=",
+		"europe=127.0.0.1:8081", // no scheme
+		"europe=ftp://127.0.0.1",
+		"mars=http://127.0.0.1:8081",
+		"europe,=http://127.0.0.1:8081",
+	} {
+		if _, err := ParseBackendSpec(bad); err == nil {
+			t.Errorf("ParseBackendSpec(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseServingAddr(t *testing.T) {
+	cases := []struct {
+		line string
+		want string
+		ok   bool
+	}{
+		{"tsserve: serving on http://127.0.0.1:43571 (lru, 1.0 GiB per DC, all regions; endpoints: ...)", "127.0.0.1:43571", true},
+		{"tsrouter: serving on http://127.0.0.1:8090 (proxy mode, 4 backends; endpoints: ...)", "127.0.0.1:8090", true},
+		{"ready on http://10.0.0.7:80/healthz soon", "10.0.0.7:80", true},
+		{"serving on http://host:1234", "host:1234", true},
+		{"no address in this line", "", false},
+		{"half a marker on http://", "", false},
+	}
+	for _, c := range cases {
+		got, ok := parseServingAddr(c.line)
+		if got != c.want || ok != c.ok {
+			t.Errorf("parseServingAddr(%q) = %q, %v; want %q, %v", c.line, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestBackendHealthTransitions(t *testing.T) {
+	b := NewBackend("eu", "http://127.0.0.1:1", timeutil.RegionEurope)
+	if !b.Healthy() {
+		t.Fatal("new backend must start healthy")
+	}
+	if evicted := b.noteFailure(2); evicted || !b.Healthy() {
+		t.Fatal("one failure below FailAfter must not evict")
+	}
+	if evicted := b.noteFailure(2); !evicted || b.Healthy() {
+		t.Fatal("second consecutive failure must evict")
+	}
+	if evicted := b.noteFailure(2); evicted {
+		t.Fatal("already-evicted backend must not report eviction again")
+	}
+	if recovered := b.noteSuccess(); !recovered || !b.Healthy() {
+		t.Fatal("one success must restore an evicted backend")
+	}
+	if recovered := b.noteSuccess(); recovered {
+		t.Fatal("healthy backend must not report recovery")
+	}
+	// One success resets the consecutive-failure streak.
+	if evicted := b.noteFailure(2); evicted {
+		t.Fatal("first failure after recovery must not evict")
+	}
+
+	st := b.Status()
+	if st.Name != "eu" || !st.Healthy || st.Failures != 4 || st.Probes != 6 {
+		t.Errorf("status = %+v", st)
+	}
+	if len(st.Regions) != 1 || st.Regions[0] != "europe" {
+		t.Errorf("status regions = %v", st.Regions)
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(RouterConfig{}); err == nil {
+		t.Error("NewRouter with no backends must fail")
+	}
+	if _, err := NewRouter(RouterConfig{Backends: []*Backend{{Name: "x", URL: "http://h:1"}}}); err == nil {
+		t.Error("backend owning no regions must be rejected")
+	}
+	b := NewBackend("bad", "http://h:1", timeutil.Region(99))
+	if _, err := NewRouter(RouterConfig{Backends: []*Backend{b}}); err == nil {
+		t.Error("backend owning an unknown region must be rejected")
+	}
+}
+
+func TestMergePrometheus(t *testing.T) {
+	pageA := []byte(`# TYPE edge_requests_total counter
+edge_requests_total 10
+# TYPE edge_latency_seconds histogram
+edge_latency_seconds_bucket{le="0.1"} 5
+edge_latency_seconds_bucket{le="+Inf"} 10
+edge_latency_seconds_sum 1.5
+edge_latency_seconds_count 10
+# TYPE ts_slo_error_rate gauge
+ts_slo_error_rate{scope="global"} 0.5
+`)
+	pageB := []byte(`# TYPE edge_requests_total counter
+edge_requests_total 32
+# TYPE edge_latency_seconds histogram
+edge_latency_seconds_bucket{le="0.1"} 30
+edge_latency_seconds_bucket{le="+Inf"} 32
+edge_latency_seconds_sum 0.75
+edge_latency_seconds_count 32
+# TYPE ts_slo_error_rate gauge
+ts_slo_error_rate{scope="global"} 0.25
+`)
+	merged, err := MergePrometheus(pageA, pageB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(merged)
+	for _, want := range []string{
+		"edge_requests_total 42\n",
+		`edge_latency_seconds_bucket{le="0.1"} 35` + "\n",
+		`edge_latency_seconds_bucket{le="+Inf"} 42` + "\n",
+		"edge_latency_seconds_sum 2.25\n",
+		"edge_latency_seconds_count 42\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged page missing %q:\n%s", want, out)
+		}
+	}
+	// Ratio-style SLO gauges must be dropped, not summed (the collector
+	// re-derives them from the merged report).
+	if strings.Contains(out, "ts_slo_") {
+		t.Errorf("merged page leaks ts_slo_ series:\n%s", out)
+	}
+	// One TYPE line per family, placed before the family's first series.
+	if n := strings.Count(out, "# TYPE edge_requests_total counter"); n != 1 {
+		t.Errorf("edge_requests_total TYPE line appears %d times", n)
+	}
+	typeIdx := strings.Index(out, "# TYPE edge_latency_seconds histogram")
+	seriesIdx := strings.Index(out, "edge_latency_seconds_bucket")
+	if typeIdx < 0 || seriesIdx < 0 || typeIdx > seriesIdx {
+		t.Errorf("histogram TYPE line not before its series:\n%s", out)
+	}
+
+	if _, err := MergePrometheus([]byte("edge_requests_total notanumber\n")); err == nil {
+		t.Error("malformed value must error")
+	}
+	if _, err := MergePrometheus([]byte("lonely-token\n")); err == nil {
+		t.Error("valueless line must error")
+	}
+}
+
+// TestCollectorWarmupAndUnreachable drives the collector against a
+// backend that does not exist: the merged endpoints must answer 503
+// before the first poll, and afterwards /stats must degrade to an empty
+// view that names the unreachable backend while /slo stays 503.
+func TestCollectorWarmupAndUnreachable(t *testing.T) {
+	b := NewBackend("ghost", "http://127.0.0.1:1", timeutil.RegionEurope)
+	c, err := NewCollector(CollectorConfig{Backends: []*Backend{b}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	c.Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	for _, ep := range []string{"/stats", "/slo", "/metrics"} {
+		resp, err := http.Get(ts.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s before first poll: status %d, want 503", ep, resp.StatusCode)
+		}
+	}
+
+	c.PollOnce(context.Background())
+	stats, ok := c.Stats()
+	if !ok {
+		t.Fatal("PollOnce did not mark the collector polled")
+	}
+	if len(stats.Unreachable) != 1 || stats.Unreachable[0] != "ghost" {
+		t.Errorf("unreachable = %v, want [ghost]", stats.Unreachable)
+	}
+	if stats.Total.Requests != 0 {
+		t.Errorf("total = %+v, want zero", stats.Total)
+	}
+	if _, err := c.SLOReport(); err == nil {
+		t.Error("SLO report with no reachable backend must error")
+	}
+}

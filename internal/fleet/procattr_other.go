@@ -1,0 +1,8 @@
+//go:build !unix
+
+package fleet
+
+import "os/exec"
+
+// setProcGroup is a no-op where process groups are unavailable.
+func setProcGroup(*exec.Cmd) {}

@@ -1,0 +1,15 @@
+//go:build unix
+
+package fleet
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setProcGroup puts the child in its own process group so a terminal
+// SIGINT to the launcher is not delivered to the whole group; the
+// launcher forwards signals explicitly during Shutdown.
+func setProcGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}

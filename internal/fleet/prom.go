@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// promMerger folds several Prometheus text exposition pages into one by
+// summing series with identical names+labels. Counters sum trivially;
+// histogram _bucket/_sum/_count series sum correctly because every
+// backend runs the same binary and therefore the same bucket layout;
+// gauges (inflight, cache bytes) sum into cluster totals. Ratio-style
+// ts_slo_* gauges would NOT survive summing, so those series are skipped
+// here — the collector re-derives them from the merged SLO report
+// instead.
+//
+// Series order is first-seen across pages, and one # TYPE line is kept
+// per metric family, so the merged page looks like a single server's.
+type promMerger struct {
+	order  []string           // series keys in first-seen order
+	values map[string]float64 // series key -> summed value
+	types  []string           // "# TYPE ..." lines in first-seen order
+	typed  map[string]bool    // families with an emitted TYPE line
+}
+
+func newPromMerger() *promMerger {
+	return &promMerger{values: map[string]float64{}, typed: map[string]bool{}}
+}
+
+// skipSeries reports whether a series must not be summed across
+// backends (cluster SLO gauges are recomputed from merged windows).
+func skipSeries(name string) bool {
+	return strings.HasPrefix(name, "ts_slo_")
+}
+
+// add folds one exposition page in.
+func (m *promMerger) add(page []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(page))
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if fields := strings.Fields(line); len(fields) >= 3 && fields[1] == "TYPE" {
+				family := fields[2]
+				if skipSeries(family) || m.typed[family] {
+					continue
+				}
+				m.typed[family] = true
+				m.types = append(m.types, line)
+			}
+			continue
+		}
+		// "<name>[{labels}] <value>": the value is the last field.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return fmt.Errorf("fleet: bad metrics line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		if skipSeries(key) {
+			continue
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("fleet: bad metrics value in %q: %v", line, err)
+		}
+		if _, seen := m.values[key]; !seen {
+			m.order = append(m.order, key)
+		}
+		m.values[key] += v
+	}
+	return sc.Err()
+}
+
+// render writes the merged page: TYPE headers first-seen, then each
+// family's series grouped under it in first-seen order.
+func (m *promMerger) render(buf *bytes.Buffer) {
+	// Group series by family (the series name up to '{' or a known
+	// histogram suffix maps onto the TYPE line's family name, but for
+	// rendering we only need the original first-seen order with TYPE
+	// lines interleaved where their family first appears).
+	emittedType := map[string]bool{}
+	typeFor := map[string]string{}
+	for _, tl := range m.types {
+		fields := strings.Fields(tl)
+		typeFor[fields[2]] = tl
+	}
+	for _, key := range m.order {
+		family := key
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(family, suffix); ok && typeFor[f] != "" {
+				family = f
+				break
+			}
+		}
+		if tl := typeFor[family]; tl != "" && !emittedType[family] {
+			emittedType[family] = true
+			buf.WriteString(tl)
+			buf.WriteByte('\n')
+		}
+		fmt.Fprintf(buf, "%s %g\n", key, m.values[key])
+	}
+}
+
+// MergePrometheus merges exposition pages from identical binaries into
+// one page (see promMerger for the summing rules).
+func MergePrometheus(pages ...[]byte) ([]byte, error) {
+	m := newPromMerger()
+	for _, p := range pages {
+		if err := m.add(p); err != nil {
+			return nil, err
+		}
+	}
+	var buf bytes.Buffer
+	m.render(&buf)
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,365 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"trafficscope/internal/cdn"
+	"trafficscope/internal/edge"
+	"trafficscope/internal/obs"
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// HeaderBackend names the backend that served a proxied request, so a
+// client (and the failover tests) can see which process traffic landed
+// on without scraping backend stats.
+const HeaderBackend = "X-TS-Backend"
+
+// RouterConfig configures the fleet Router.
+type RouterConfig struct {
+	// Backends are the tsserve processes behind the router. Required.
+	// Several backends may own the same region; objects then split
+	// between them by consistent hash, and the hash order doubles as the
+	// failover preference chain.
+	Backends []*Backend
+	// Redirect switches the router from proxying (default) to answering
+	// 307 Temporary Redirect pointing at the owning backend.
+	Redirect bool
+	// Retries bounds additional proxy attempts after the first fails
+	// with a transport error (the backend's HTTP responses, including
+	// 5xx, are never retried — they are answers). Negative disables
+	// retries; zero defaults to DefaultRetries.
+	Retries int
+	// ProbeInterval is the /healthz polling period per backend; zero
+	// defaults to DefaultProbeInterval.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request; zero defaults to
+	// DefaultProbeTimeout.
+	ProbeTimeout time.Duration
+	// FailAfter evicts a backend after this many consecutive failures
+	// (probe or proxy); one success restores it. Zero defaults to
+	// DefaultFailAfter.
+	FailAfter int
+	// Metrics receives fleet_* routing telemetry. nil disables it.
+	Metrics *obs.Registry
+	// Client issues proxy and probe requests; nil builds one with a
+	// connection pool sized for the backend count.
+	Client *http.Client
+	// Logf receives eviction/recovery log lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Router defaults.
+const (
+	DefaultRetries       = 1
+	DefaultProbeInterval = 500 * time.Millisecond
+	DefaultProbeTimeout  = 2 * time.Second
+	DefaultFailAfter     = 2
+)
+
+// Router maps object requests to the backend owning their region and
+// carries them there (proxy or 307), failing over along the consistent
+// hash order when a backend dies mid-request.
+type Router struct {
+	cfg    RouterConfig
+	client *http.Client
+
+	// regionSet[r] lists the backends owning region r; regionRing[r] is
+	// a consistent-hash ring over that list (nil when one backend owns
+	// the region alone — no ring walk needed).
+	regionSet  [timeutil.NumRegions + 1][]*Backend
+	regionRing [timeutil.NumRegions + 1]*cdn.HashRing
+
+	reqs       *obs.Counter
+	proxied    *obs.Counter
+	redirects  *obs.Counter
+	retries    *obs.Counter
+	unrouted   *obs.Counter // no healthy backend for the region
+	upstreamEr *obs.Counter // all proxy attempts failed in transport
+	badReq     *obs.Counter
+	probeFails *obs.Counter
+}
+
+// routeScratch is pooled per-request decode state, mirroring the edge's
+// zero-alloc posture on the routing hot path.
+type routeScratch struct {
+	rec   trace.Record
+	order [8]int // ring-walk buffer; regions rarely have >8 backends
+}
+
+var routePool = sync.Pool{New: func() any { return new(routeScratch) }}
+
+// NewRouter validates the config and builds a Router. Probing starts
+// with Start.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("fleet: RouterConfig.Backends is required")
+	}
+	switch {
+	case cfg.Retries == 0:
+		cfg.Retries = DefaultRetries
+	case cfg.Retries < 0:
+		cfg.Retries = 0
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = DefaultFailAfter
+	}
+	r := &Router{cfg: cfg, client: cfg.Client}
+	if r.client == nil {
+		r.client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     time.Minute,
+		}}
+	}
+	for _, b := range cfg.Backends {
+		if len(b.Regions) == 0 {
+			return nil, errors.New("fleet: backend " + b.Name + " owns no regions")
+		}
+		for _, reg := range b.Regions {
+			if reg < 1 || reg > timeutil.NumRegions {
+				return nil, errors.New("fleet: backend " + b.Name + " owns an unknown region")
+			}
+			r.regionSet[reg] = append(r.regionSet[reg], b)
+		}
+	}
+	for reg := range r.regionSet {
+		if n := len(r.regionSet[reg]); n > 1 {
+			ring, err := cdn.NewHashRing(n, 64)
+			if err != nil {
+				return nil, err
+			}
+			r.regionRing[reg] = ring
+		}
+	}
+	reg := cfg.Metrics
+	r.reqs = reg.Counter("fleet_requests_total")
+	r.proxied = reg.Counter("fleet_proxied_total")
+	r.redirects = reg.Counter("fleet_redirects_total")
+	r.retries = reg.Counter("fleet_retries_total")
+	r.unrouted = reg.Counter("fleet_unrouted_total")
+	r.upstreamEr = reg.Counter("fleet_upstream_errors_total")
+	r.badReq = reg.Counter("fleet_bad_requests_total")
+	r.probeFails = reg.Counter("fleet_probe_failures_total")
+	return r, nil
+}
+
+// Backends returns the configured backend set.
+func (r *Router) Backends() []*Backend { return r.cfg.Backends }
+
+// Statuses snapshots every backend's health for /backends.
+func (r *Router) Statuses() []BackendStatus {
+	out := make([]BackendStatus, len(r.cfg.Backends))
+	for i, b := range r.cfg.Backends {
+		out[i] = b.Status()
+	}
+	return out
+}
+
+// Start launches one health-probe goroutine per backend; they stop when
+// ctx is cancelled. Request-path failures feed the same health state, so
+// eviction typically happens faster than the probe period under load.
+func (r *Router) Start(ctx context.Context) {
+	for _, b := range r.cfg.Backends {
+		go r.probeLoop(ctx, b)
+	}
+}
+
+func (r *Router) probeLoop(ctx context.Context, b *Backend) {
+	tick := time.NewTicker(r.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		pctx, cancel := context.WithTimeout(ctx, r.cfg.ProbeTimeout)
+		ok := r.probeOnce(pctx, b)
+		cancel()
+		if ok {
+			if b.noteSuccess() {
+				r.logf("fleet: backend %s recovered", b.Name)
+			}
+		} else {
+			r.probeFails.Inc()
+			if b.noteFailure(r.cfg.FailAfter) {
+				r.logf("fleet: backend %s evicted after %d consecutive failures", b.Name, r.cfg.FailAfter)
+			}
+		}
+	}
+}
+
+func (r *Router) probeOnce(ctx context.Context, b *Backend) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.URL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	// A draining backend answers 503: treat it as unhealthy so traffic
+	// moves away during its drain grace window.
+	return resp.StatusCode == http.StatusOK
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Register mounts the router's endpoints on mux: object routing under
+// /o/, the router's own /healthz, and /backends health JSON.
+func (r *Router) Register(mux *http.ServeMux) {
+	mux.HandleFunc(edge.ObjectPrefix, r.handleObject)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/backends", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.Statuses())
+	})
+}
+
+func (r *Router) handleObject(w http.ResponseWriter, req *http.Request) {
+	r.reqs.Inc()
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	sc := routePool.Get().(*routeScratch)
+	defer routePool.Put(sc)
+	// The router validates the request itself rather than forwarding
+	// junk: a parse failure here is the same 400 the edge would emit,
+	// minus one network hop.
+	if err := edge.ParseRequestInto(req, &sc.rec); err != nil {
+		r.badReq.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	region := sc.rec.Region
+	set := r.regionSet[region]
+	if len(set) == 0 {
+		r.unrouted.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "no backend for region "+region.String(), http.StatusServiceUnavailable)
+		return
+	}
+
+	// Candidate order: consistent hash by object so one backend owns
+	// each object (first-touch misses stay per-DC-exact), with the ring
+	// walk as the failover chain. A single-backend region skips the ring.
+	order := sc.order[:0]
+	if ring := r.regionRing[region]; ring != nil {
+		order = ring.ShardOrderAppend(order, sc.rec.ObjectID)
+	} else {
+		order = append(order, 0)
+	}
+
+	if r.cfg.Redirect {
+		for _, i := range order {
+			b := set[i]
+			if !b.Healthy() {
+				continue
+			}
+			r.redirects.Inc()
+			w.Header().Set(HeaderBackend, b.Name)
+			w.Header().Set("Location", b.URL+req.URL.RequestURI())
+			w.WriteHeader(http.StatusTemporaryRedirect)
+			return
+		}
+		r.unrouted.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "region "+region.String()+" backends down", http.StatusServiceUnavailable)
+		return
+	}
+
+	attempts := 0
+	maxAttempts := 1 + r.cfg.Retries
+	for _, i := range order {
+		b := set[i]
+		if !b.Healthy() {
+			continue
+		}
+		if attempts >= maxAttempts {
+			break
+		}
+		if attempts > 0 {
+			r.retries.Inc()
+		}
+		attempts++
+		if r.proxy(w, req, b) {
+			return
+		}
+		// Transport failure: the backend never answered. Feed the health
+		// state so repeated failures evict it without waiting for probes,
+		// then try the next backend in the hash order.
+		if b.noteFailure(r.cfg.FailAfter) {
+			r.logf("fleet: backend %s evicted after %d consecutive failures", b.Name, r.cfg.FailAfter)
+		}
+	}
+	if attempts == 0 {
+		r.unrouted.Inc()
+	} else {
+		r.upstreamEr.Inc()
+	}
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "region "+region.String()+" backends down", http.StatusServiceUnavailable)
+}
+
+// proxyBufPool holds body-copy buffers; edge bodies default to 4 KiB on
+// the wire, so a modest buffer avoids io.Copy's per-call allocation.
+var proxyBufPool = sync.Pool{New: func() any { b := make([]byte, 32<<10); return &b }}
+
+// proxy carries one request to backend b. Returns false on a transport
+// error before any response bytes reached the client (safe to retry
+// elsewhere); any received HTTP response — success or failure — is
+// relayed as-is and ends routing.
+func (r *Router) proxy(w http.ResponseWriter, req *http.Request, b *Backend) bool {
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, b.URL+req.URL.RequestURI(), nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(out)
+	if err != nil {
+		// The client giving up must not count against the backend; report
+		// "handled" so the caller doesn't retry a request nobody wants.
+		if req.Context().Err() != nil {
+			return true
+		}
+		return false
+	}
+	defer resp.Body.Close()
+	b.noteSuccess()
+	r.proxied.Inc()
+
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	h.Set(HeaderBackend, b.Name)
+	w.WriteHeader(resp.StatusCode)
+	if req.Method == http.MethodGet {
+		buf := proxyBufPool.Get().(*[]byte)
+		io.CopyBuffer(w, resp.Body, *buf)
+		proxyBufPool.Put(buf)
+	}
+	return true
+}

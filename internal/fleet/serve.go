@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ServeConfig configures ListenAndServe for the router process.
+type ServeConfig struct {
+	// Addr is the TCP listen address (":8090", "127.0.0.1:0", ...).
+	Addr string
+	// ReadTimeout/WriteTimeout/IdleTimeout harden the http.Server; zero
+	// values default to 5s / 30s / 2m (matching the edge).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+	// DrainTimeout bounds the graceful drain after ctx is cancelled;
+	// zero defaults to 10s.
+	DrainTimeout time.Duration
+	// OnReady, if set, is called with the bound address once the
+	// listener is open.
+	OnReady func(addr string)
+}
+
+// ListenAndServe serves handler until ctx is cancelled, then drains
+// gracefully — the fleet-side sibling of edge.Server.ListenAndServe for
+// processes (the router) whose handler isn't an edge.Server.
+func ListenAndServe(ctx context.Context, handler http.Handler, sc ServeConfig) error {
+	if sc.ReadTimeout == 0 {
+		sc.ReadTimeout = 5 * time.Second
+	}
+	if sc.WriteTimeout == 0 {
+		sc.WriteTimeout = 30 * time.Second
+	}
+	if sc.IdleTimeout == 0 {
+		sc.IdleTimeout = 2 * time.Minute
+	}
+	if sc.DrainTimeout == 0 {
+		sc.DrainTimeout = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", sc.Addr)
+	if err != nil {
+		return err
+	}
+	if sc.OnReady != nil {
+		sc.OnReady(ln.Addr().String())
+	}
+	srv := &http.Server{
+		Handler:      handler,
+		ReadTimeout:  sc.ReadTimeout,
+		WriteTimeout: sc.WriteTimeout,
+		IdleTimeout:  sc.IdleTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		dctx, cancel := context.WithTimeout(context.Background(), sc.DrainTimeout)
+		defer cancel()
+		err := srv.Shutdown(dctx)
+		if err != nil {
+			srv.Close()
+		}
+		<-errc
+		return err
+	}
+}

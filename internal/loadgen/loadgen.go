@@ -42,6 +42,12 @@ type Config struct {
 	// Retries is how many times a request is retried after a transport
 	// (connection) error; HTTP error statuses are never retried.
 	Retries int
+	// MaxRedirects bounds how many 307 hops a request follows (a
+	// redirect-mode tsrouter answers one per request). Zero defaults to
+	// DefaultMaxRedirects; negative disables following — the 3xx
+	// response itself is recorded. Followed hops are counted in
+	// Stats.Redirects, never as errors.
+	MaxRedirects int
 	// Backoff is the initial retry backoff, doubling per attempt. Zero
 	// defaults to 20ms.
 	Backoff time.Duration
@@ -70,6 +76,11 @@ const queuedDelayMetric = "loadgen_queued_delay_seconds"
 // drive per-record sleeps into minutes.
 const maxRetryBackoff = 2 * time.Second
 
+// DefaultMaxRedirects is the redirect-hop budget when
+// Config.MaxRedirects is zero — enough for a router hop plus failover
+// re-redirects, far below net/http's silent default of 10.
+const DefaultMaxRedirects = 5
+
 // Stats summarizes a completed (or interrupted) run. Requests counts
 // completed HTTP exchanges of any status; Errors counts records whose
 // request still failed at the transport level after retries.
@@ -87,7 +98,11 @@ type Stats struct {
 	// may still have been served — and counted — by the CDN, which is
 	// why they are surfaced separately instead of silently skewing the
 	// client-observed hit ratio.
-	Cancelled    int64            `json:"cancelled"`
+	Cancelled int64 `json:"cancelled"`
+	// Redirects counts followed redirect hops (307s from a
+	// redirect-mode tsrouter); the exchange they belong to is counted
+	// once, under its final response.
+	Redirects    int64            `json:"redirects"`
 	LogicalBytes int64            `json:"logical_bytes"`
 	WireBytes    int64            `json:"wire_bytes"`
 	BySite       map[string]int64 `json:"by_site"`
@@ -150,16 +165,16 @@ type run struct {
 	base   string
 	client *http.Client
 
-	requests, errors, retries          atomic.Int64
-	hits, misses, shed, cancelled      atomic.Int64
-	logicalBytes, wireBytes            atomic.Int64
-	mu                                 sync.Mutex // guards the maps below
-	bySite                             map[string]int64
-	byStatus                           map[int]int64
-	bounds                             []float64 // latency bucket layout
-	latency                            *obs.Histogram
-	qdelay                             *obs.Histogram
-	sentC, errC, retryC, bytesC, cancC *obs.Counter
+	requests, errors, retries                  atomic.Int64
+	hits, misses, shed, cancelled, redirects   atomic.Int64
+	logicalBytes, wireBytes                    atomic.Int64
+	mu                                         sync.Mutex // guards the maps below
+	bySite                                     map[string]int64
+	byStatus                                   map[int]int64
+	bounds                                     []float64 // latency bucket layout
+	latency                                    *obs.Histogram
+	qdelay                                     *obs.Histogram
+	sentC, errC, retryC, bytesC, cancC, redirC *obs.Counter
 }
 
 // job is one scheduled request: the record plus its virtual-clock send
@@ -244,6 +259,7 @@ func Run(ctx context.Context, cfg Config, r trace.Reader) (*Stats, error) {
 		retryC:   reg.Counter("loadgen_retries_total"),
 		bytesC:   reg.Counter("loadgen_logical_bytes_total"),
 		cancC:    reg.Counter("loadgen_cancelled_total"),
+		redirC:   reg.Counter("loadgen_redirects_total"),
 	}
 	if rn.client == nil {
 		rn.client = &http.Client{
@@ -252,6 +268,26 @@ func Run(ctx context.Context, cfg Config, r trace.Reader) (*Stats, error) {
 				MaxIdleConnsPerHost: cfg.Workers + 2,
 				IdleConnTimeout:     time.Minute,
 			},
+		}
+	}
+	// Redirect policy: net/http silently follows up to 10 hops; replace
+	// that with a counted, configurable budget so a redirect-mode router
+	// shows up in the stats instead of hiding in the latency numbers. A
+	// caller-provided client with its own CheckRedirect is left alone.
+	if rn.client.CheckRedirect == nil {
+		maxRedirects := cfg.MaxRedirects
+		if maxRedirects == 0 {
+			maxRedirects = DefaultMaxRedirects
+		}
+		rn.client.CheckRedirect = func(req *http.Request, via []*http.Request) error {
+			// len(via) counts requests already sent: following now would
+			// be hop len(via).
+			if maxRedirects < 0 || len(via) > maxRedirects {
+				return http.ErrUseLastResponse // record the 3xx itself
+			}
+			rn.redirects.Add(1)
+			rn.redirC.Inc()
+			return nil
 		}
 	}
 
@@ -447,6 +483,7 @@ func (rn *run) stats(elapsed time.Duration, reg *obs.Registry) *Stats {
 		Misses:       rn.misses.Load(),
 		Shed:         rn.shed.Load(),
 		Cancelled:    rn.cancelled.Load(),
+		Redirects:    rn.redirects.Load(),
 		LogicalBytes: rn.logicalBytes.Load(),
 		WireBytes:    rn.wireBytes.Load(),
 		BySite:       map[string]int64{},

@@ -172,6 +172,47 @@ func (h *Histogram) value() HistogramValue {
 	return out
 }
 
+// Merge folds src's observations into v — the snapshot-level counterpart
+// of Histogram.Merge, for aggregators (the fleet collector) combining
+// histogram readings fetched from remote processes without access to the
+// live *Histogram. A zero-valued receiver adopts src's bucket layout;
+// otherwise the bounds must match exactly, and mismatched bounds return
+// an error leaving v untouched. Merging a zero-count src with no bounds
+// is a no-op.
+func (v *HistogramValue) Merge(src HistogramValue) error {
+	if len(src.Bounds) == 0 && src.Count == 0 {
+		return nil
+	}
+	if len(v.Bounds) == 0 && v.Count == 0 {
+		v.Bounds = append([]float64(nil), src.Bounds...)
+		v.Counts = append([]int64(nil), src.Counts...)
+		v.Count = src.Count
+		v.Sum = src.Sum
+		return nil
+	}
+	if len(src.Bounds) != len(v.Bounds) {
+		return fmt.Errorf("obs: merging histogram value with %d buckets into %d", len(src.Bounds), len(v.Bounds))
+	}
+	for i, b := range v.Bounds {
+		if src.Bounds[i] != b {
+			return fmt.Errorf("obs: histogram value bucket bound %d differs: %g vs %g", i, src.Bounds[i], b)
+		}
+	}
+	// Counts may be shorter than len(Bounds)+1 on hand-built values;
+	// normalize so the +Inf bucket exists before adding.
+	if n := len(v.Bounds) + 1; len(v.Counts) < n {
+		v.Counts = append(v.Counts, make([]int64, n-len(v.Counts))...)
+	}
+	for i, c := range src.Counts {
+		if i < len(v.Counts) {
+			v.Counts[i] += c
+		}
+	}
+	v.Count += src.Count
+	v.Sum += src.Sum
+	return nil
+}
+
 // Quantile estimates the q-th quantile (0 <= q <= 1) from the bucket
 // counts by linear interpolation within the containing bucket — the
 // standard Prometheus histogram_quantile estimator. Observations in the

@@ -298,3 +298,74 @@ func TestHistogramMerge(t *testing.T) {
 		t.Errorf("Merge(nil): %v", err)
 	}
 }
+
+func TestHistogramValueMerge(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	a := NewHistogram(bounds)
+	b := NewHistogram(bounds)
+	for _, v := range []float64{0.5, 5, 50} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{5, 500} {
+		b.Observe(v)
+	}
+	av, bv := a.value(), b.value()
+	if err := av.Merge(bv); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if av.Count != 5 || av.Sum != 560.5 {
+		t.Errorf("count/sum = %d/%g, want 5/560.5", av.Count, av.Sum)
+	}
+	wantCounts := []int64{1, 2, 1, 1}
+	for i, w := range wantCounts {
+		if av.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, av.Counts[i], w, av.Counts)
+		}
+	}
+	// The merged value keeps working as a snapshot: quantiles see the
+	// pooled observations.
+	if q := av.Quantile(0.5); q <= 0 {
+		t.Errorf("median of merged value = %g", q)
+	}
+	// src is untouched.
+	if bv.Count != 2 {
+		t.Errorf("src count = %d, want 2", bv.Count)
+	}
+
+	// Merging into a zero value adopts the source wholesale — this is
+	// how a collector folds the first backend's histogram in.
+	var zero HistogramValue
+	if err := zero.Merge(bv); err != nil {
+		t.Fatalf("zero.Merge: %v", err)
+	}
+	if zero.Count != 2 || len(zero.Bounds) != 3 {
+		t.Errorf("zero merge: %+v", zero)
+	}
+	// ... and the adopted buckets are a copy, not an alias.
+	zero.Counts[0] += 100
+	if b.value().Counts[0] >= 100 {
+		t.Error("zero merge aliased the source counts")
+	}
+
+	// Merging an empty value is a no-op.
+	before := av.Count
+	if err := av.Merge(HistogramValue{}); err != nil {
+		t.Fatalf("Merge(empty): %v", err)
+	}
+	if av.Count != before {
+		t.Error("empty merge changed dst")
+	}
+
+	// Mismatched layouts must error without corrupting dst.
+	cv := NewHistogram([]float64{1, 10, 99}).value()
+	if err := av.Merge(cv); err == nil {
+		t.Error("mismatched bounds: want error")
+	}
+	dv := NewHistogram([]float64{1, 10}).value()
+	if err := av.Merge(dv); err == nil {
+		t.Error("mismatched bucket count: want error")
+	}
+	if av.Count != before {
+		t.Error("failed merge changed dst")
+	}
+}

@@ -1,0 +1,177 @@
+package slo
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// twoBackendReports builds two engine reports the way a fleet produces
+// them: each backend records its own traffic into global + its DC scope,
+// and the collector snapshots both at the same instant.
+func twoBackendReports(t *testing.T, policy string) (Report, Report) {
+	t.Helper()
+	p, err := ParsePolicy(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := at(5 * time.Second)
+	mk := func(scope string) *Engine {
+		e := NewEngine(p, scope)
+		e.SetClock(func() time.Time { return now })
+		return e
+	}
+	eu, as := mk("europe"), mk("asia")
+
+	// Backend A (europe): 100 hits at 1ms, clean.
+	for i := 0; i < 100; i++ {
+		eu.Global().RecordAt(at(time.Second), 0.001, true, false, false)
+		eu.Scope("europe").RecordAt(at(time.Second), 0.001, true, false, false)
+	}
+	// Backend B (asia): 50 hits + 50 misses at 2ms, 2 of them errors.
+	for i := 0; i < 100; i++ {
+		isErr := i < 2
+		hit := i%2 == 0 && !isErr
+		miss := !hit && !isErr
+		as.Global().RecordAt(at(2*time.Second), 0.002, hit, miss, isErr)
+		as.Scope("asia").RecordAt(at(2*time.Second), 0.002, hit, miss, isErr)
+	}
+	return eu.Report(), as.Report()
+}
+
+func TestMergeReports(t *testing.T) {
+	repA, repB := twoBackendReports(t,
+		"window 10s; interval 1s; burn-windows 2s 10s; latency p99 <= 100ms; error-rate <= 5%; hit-ratio >= 50%")
+	merged, err := MergeReports(repA, repB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, scope := range []string{GlobalScope, "europe", "asia"} {
+		if merged.Scopes[scope] == nil {
+			t.Fatalf("merged report missing scope %q", scope)
+		}
+	}
+	g := merged.Scopes[GlobalScope].Windows["10s"]
+	if g.Requests != 200 || g.Errors != 2 || g.Hits != 149 || g.Misses != 49 {
+		t.Fatalf("merged global 10s window: %+v", g)
+	}
+	if g.Latency.Count != 200 {
+		t.Fatalf("merged latency count = %d, want 200", g.Latency.Count)
+	}
+	almost(t, "merged latency sum", g.Latency.Sum, 100*0.001+100*0.002)
+	// Per-DC scopes carry only their own backend's traffic.
+	if eu := merged.Scopes["europe"].Windows["10s"]; eu.Requests != 100 || eu.Hits != 100 {
+		t.Fatalf("merged europe window: %+v", eu)
+	}
+	if as := merged.Scopes["asia"].Windows["10s"]; as.Requests != 100 || as.Errors != 2 {
+		t.Fatalf("merged asia window: %+v", as)
+	}
+
+	// Objectives were re-evaluated over the pooled traffic: error rate
+	// 2/200 = 1% under the 5% budget, hit ratio 149/198 > 50%.
+	if merged.Breached {
+		t.Fatalf("merged report breached: %v", merged.Breaches())
+	}
+	gObjs := merged.Scopes[GlobalScope].Objectives
+	if len(gObjs) != 3 {
+		t.Fatalf("merged global objectives: %d, want 3", len(gObjs))
+	}
+	for _, o := range gObjs {
+		if o.Observed == 0 {
+			t.Fatalf("objective %s saw no traffic", o.Name)
+		}
+		if _, ok := o.BurnRates["2s"]; !ok {
+			t.Fatalf("objective %s missing 2s burn window: %v", o.Name, o.BurnRates)
+		}
+	}
+
+	// tsgate reads the report back over HTTP: the merged report must
+	// survive a JSON round trip with its verdicts intact.
+	buf, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Breached != merged.Breached || back.Scopes[GlobalScope].Windows["10s"].Requests != 200 {
+		t.Fatal("merged report did not survive JSON round trip")
+	}
+}
+
+func TestMergeReportsPooledBreach(t *testing.T) {
+	// The verdict must come from pooled traffic, not from any single
+	// backend: A is clean (1000 requests, 0 errors), B is tiny but on
+	// fire (20 requests, 15 errors). Pooled error rate 15/1020 ≈ 1.47%
+	// breaches a 1% budget even though A alone is far under it.
+	p, err := ParsePolicy("window 10s; interval 1s; burn-windows 10s; error-rate <= 1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := at(5 * time.Second)
+	mk := func() *Engine {
+		e := NewEngine(p)
+		e.SetClock(func() time.Time { return now })
+		return e
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 1000; i++ {
+		a.Global().RecordAt(at(time.Second), 0.001, true, false, false)
+	}
+	for i := 0; i < 20; i++ {
+		b.Global().RecordAt(at(time.Second), 0.001, false, false, i < 15)
+	}
+	repA, repB := a.Report(), b.Report()
+	if repA.Breached {
+		t.Fatal("backend A alone must be compliant")
+	}
+	merged, err := MergeReports(repA, repB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Breached {
+		t.Fatal("pooled error rate 15/1020 must breach the 1% budget")
+	}
+	o := merged.Scopes[GlobalScope].Objectives[0]
+	almost(t, "pooled actual", o.Actual, 15.0/1020.0)
+	almost(t, "pooled burn", o.BurnRates["10s"], (15.0/1020.0)/0.01)
+}
+
+func TestMergeReportsSingleIsIdentity(t *testing.T) {
+	repA, _ := twoBackendReports(t,
+		"window 10s; interval 1s; burn-windows 2s 10s; latency p99 <= 100ms; error-rate <= 5%")
+	merged, err := MergeReports(repA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(repA)
+	got, _ := json.Marshal(merged)
+	if string(got) != string(want) {
+		t.Fatalf("single-report merge is not the identity:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestMergeReportsErrors(t *testing.T) {
+	if _, err := MergeReports(); err == nil {
+		t.Error("no reports: want error")
+	}
+	repA, _ := twoBackendReports(t, "window 10s; interval 1s; burn-windows 10s; error-rate <= 5%")
+	repB, _ := twoBackendReports(t, "window 20s; interval 1s; burn-windows 20s; error-rate <= 5%")
+	if _, err := MergeReports(repA, repB); err == nil {
+		t.Error("mismatched gate windows: want error")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{KindLatency, KindErrorRate, KindHitRatio} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("throughput"); err == nil {
+		t.Error("unknown kind: want error")
+	}
+}
