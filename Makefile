@@ -148,13 +148,17 @@ slo-demo: tools
 # Americas, one each for Europe and Asia) behind a tsrouter, tsload
 # replays the demo trace through the router, and tsgate judges the demo
 # policy against the collector's merged cluster /slo — the whole fleet
-# gated as if it were one tsserve.
+# gated as if it were one tsserve. The fleet runs with -shield, so every
+# backend's misses resolve through the router's origin shield (peer-DC
+# probing + concurrent-miss dedupe); on shutdown the router's exit
+# summary ("[router] tsrouter: fills: ...") reports the cluster's origin
+# egress and the bytes the fill hierarchy saved.
 CLUSTER_ADDR ?= 127.0.0.1:8101
 
 cluster-demo: tools
 	@mkdir -p $(DEMO_DIR)
 	$(BIN)/tsgen -scale $(DEMO_SCALE) -seed 42 -out $(DEMO_DIR)/trace.bin.gz
-	@$(BIN)/tscluster -router-addr $(CLUSTER_ADDR) \
+	@$(BIN)/tscluster -router-addr $(CLUSTER_ADDR) -shield \
 		-dcs 'north-america,south-america;europe;asia' \
 		-capacity 2147483648 -slo-policy $(SLO_POLICY) & \
 	clu=$$!; sleep 3; \

@@ -10,7 +10,7 @@
 //
 //	tscluster [-router-addr 127.0.0.1:8090]
 //	          [-dcs 'north-america,south-america;europe;asia']
-//	          [-replicas 1] [-redirect]
+//	          [-replicas 1] [-redirect] [-shield] [-peer-fill]
 //	          [-policy lru] [-capacity 1073741824] [-shards 0]
 //	          [-chunk 2097152] [-origin-latency 0] [-origin-bw 0]
 //	          [-max-body 4096] [-max-inflight 0] [-slo-policy <file>]
@@ -24,6 +24,16 @@
 // backends. -replicas > 1 starts several backends per group; the router
 // splits each group's objects across them by consistent hash.
 //
+// -shield routes every backend's miss through an origin shield on the
+// router (tsrouter -shield): concurrent misses for one object collapse
+// into a single origin fetch and peer DCs are probed before the origin.
+// The router address is fixed up front, so backends can point at the
+// shield before the router exists. -peer-fill instead wires a direct
+// peer mesh: backend listen ports are reserved first so every backend
+// starts knowing its peers' /fill/ addresses (no dedupe tier). The two
+// compose — with both, backends ask the shield first and fall back to
+// direct peer probes if it is unreachable.
+//
 // Child binaries default to tsserve/tsrouter next to the tscluster
 // executable, then $PATH.
 package main
@@ -31,6 +41,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -54,6 +65,8 @@ func run() error {
 		dcs        = flag.String("dcs", "north-america;south-america;europe;asia", "region groups, one backend process per ';'-separated group, ','-separated regions co-hosted")
 		replicas   = flag.Int("replicas", 1, "backend processes per group (objects split by consistent hash)")
 		redirect   = flag.Bool("redirect", false, "router answers 307 redirects instead of proxying")
+		shield     = flag.Bool("shield", false, "route backend misses through an origin shield on the router (dedupe + peer fill)")
+		peerFill   = flag.Bool("peer-fill", false, "wire backends into a direct peer-fill mesh (no shield dedupe)")
 
 		policy      = flag.String("policy", "lru", "per-DC eviction policy")
 		capacity    = flag.Int64("capacity", 1<<30, "per-datacenter cache capacity in bytes")
@@ -98,21 +111,39 @@ func run() error {
 	routerBin := findBin(*tsrouterBin, "tsrouter")
 
 	// Backends first: each announces its ephemeral port, then must
-	// answer /healthz before the router is wired to it.
+	// answer /healthz before the router is wired to it. A direct
+	// peer-fill mesh needs every backend to know its peers' addresses at
+	// start, so -peer-fill reserves the listen ports up front instead.
+	nBackends := len(groups) * *replicas
+	var meshAddrs []string
+	if *peerFill {
+		var err error
+		if meshAddrs, err = reservePorts(nBackends); err != nil {
+			return err
+		}
+	}
 	type started struct {
 		group string
 		proc  *fleet.Proc
 	}
 	var backends []started
+	idx := 0
 	for _, group := range groups {
 		for rep := 0; rep < *replicas; rep++ {
 			name := group
 			if *replicas > 1 {
 				name = group + "#" + strconv.Itoa(rep)
 			}
+			listen := "127.0.0.1:0"
+			if *peerFill {
+				listen = meshAddrs[idx]
+			}
 			args := []string{
-				"-addr", "127.0.0.1:0",
+				"-addr", listen,
 				"-dc", group,
+				// The fill name must match the router-side backend name
+				// (derived from the group) so the shield skips the requester.
+				"-name", group,
 				"-policy", *policy,
 				"-capacity", strconv.FormatInt(*capacity, 10),
 				"-shards", strconv.Itoa(*shards),
@@ -123,6 +154,18 @@ func run() error {
 				"-max-inflight", strconv.Itoa(*maxInflight),
 				"-drain-grace", drainGrace.String(),
 			}
+			if *shield {
+				args = append(args, "-shield", "http://"+*routerAddr)
+			}
+			if *peerFill {
+				var peers []string
+				for i, a := range meshAddrs {
+					if i != idx {
+						peers = append(peers, "http://"+a)
+					}
+				}
+				args = append(args, "-peer-fill", strings.Join(peers, ","))
+			}
 			if *sloPolicy != "" {
 				args = append(args, "-slo-policy", *sloPolicy)
 			}
@@ -132,6 +175,7 @@ func run() error {
 				return fmt.Errorf("starting backend %s: %w", name, err)
 			}
 			backends = append(backends, started{group: group, proc: p})
+			idx++
 		}
 	}
 	var routerArgs []string
@@ -158,6 +202,13 @@ func run() error {
 	if *redirect {
 		routerArgs = append(routerArgs, "-redirect")
 	}
+	if *shield {
+		routerArgs = append(routerArgs,
+			"-shield",
+			"-origin-latency", originLat.String(),
+			"-origin-bw", strconv.FormatInt(*originBW, 10),
+		)
+	}
 	router, err := cluster.Start("router", routerBin, routerArgs...)
 	if err != nil {
 		cluster.Shutdown()
@@ -172,8 +223,17 @@ func run() error {
 		cluster.Shutdown()
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "tscluster: cluster ready on http://%s (%d backends, %d region groups)\n",
-		addr, len(backends), len(groups))
+	fill := ""
+	switch {
+	case *shield && *peerFill:
+		fill = ", shield + peer-fill mesh"
+	case *shield:
+		fill = ", origin shield"
+	case *peerFill:
+		fill = ", peer-fill mesh"
+	}
+	fmt.Fprintf(os.Stderr, "tscluster: cluster ready on http://%s (%d backends, %d region groups%s)\n",
+		addr, len(backends), len(groups), fill)
 
 	// Supervise: come down on SIGINT/SIGTERM or when any child dies
 	// (a degraded topology should fail loudly, not limp).
@@ -215,6 +275,30 @@ func parseGroups(spec string) ([]string, error) {
 		return nil, fmt.Errorf("bad -dcs: no region groups")
 	}
 	return groups, nil
+}
+
+// reservePorts binds n ephemeral loopback ports, records their
+// addresses and releases them, so a peer-fill mesh can be computed
+// before any backend starts. The usual bind race is acceptable for a
+// single-machine demo launcher: the window between release and the
+// child's own bind is milliseconds.
+func reservePorts(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("reserving backend port: %w", err)
+		}
+		listeners = append(listeners, l)
+		addrs = append(addrs, l.Addr().String())
+	}
+	return addrs, nil
 }
 
 // findBin resolves a child binary: explicit flag, then a sibling of the

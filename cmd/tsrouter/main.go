@@ -12,6 +12,14 @@
 // the router's own endpoints of the same names — tsgate judges the
 // whole cluster through the router with zero changes.
 //
+// -shield mounts an origin shield at /fill/ on the router's mux:
+// backends started with `tsserve -shield http://<router>` send their
+// misses here, where concurrent misses for one object collapse into a
+// single origin fetch and peer DCs are probed before the origin pays
+// anything (-origin-latency/-origin-bw model the shielded origin). The
+// exit summary then reports the cluster's origin egress and how many
+// bytes the fill hierarchy saved.
+//
 // Usage:
 //
 //	tsrouter -backend europe=http://127.0.0.1:8081 \
@@ -19,6 +27,7 @@
 //	         [-addr :8090] [-redirect] [-retries 1]
 //	         [-probe-interval 500ms] [-probe-timeout 2s] [-fail-after 2]
 //	         [-collect-interval 1s]
+//	         [-shield] [-origin-latency 0] [-origin-bw 0]
 //	         [-debug-addr :6060] [-progress] [-manifest run.json]
 package main
 
@@ -32,6 +41,7 @@ import (
 
 	"trafficscope/internal/fleet"
 	"trafficscope/internal/obs/cliobs"
+	"trafficscope/internal/report"
 )
 
 // backendFlags collects repeatable -backend values.
@@ -63,6 +73,9 @@ func run() error {
 		failAfter     = flag.Int("fail-after", fleet.DefaultFailAfter, "consecutive failures before a backend is evicted")
 		collectEvery  = flag.Duration("collect-interval", fleet.DefaultCollectInterval, "backend stats polling period for the merged cluster views")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful drain budget on shutdown")
+		shield        = flag.Bool("shield", false, "mount an origin shield at /fill/ (backends opt in with tsserve -shield)")
+		originLat     = flag.Duration("origin-latency", 0, "simulated origin round-trip per shielded origin fetch")
+		originBW      = flag.Int64("origin-bw", 0, "simulated origin fill bandwidth in bytes/s (0 = infinite)")
 	)
 	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -126,6 +139,18 @@ func run() error {
 	mux := http.NewServeMux()
 	router.Register(mux)
 	collector.Register(mux)
+	var sh *fleet.Shield
+	if *shield {
+		sh = fleet.NewShield(fleet.ShieldConfig{
+			Backends:        bs,
+			OriginLatency:   *originLat,
+			OriginBandwidth: *originBW,
+			Metrics:         sess.Registry(),
+			Logf:            logf,
+		})
+		sh.Register(mux)
+		extra["shield"] = true
+	}
 
 	router.Start(ctx)
 	go collector.Run(ctx)
@@ -146,6 +171,16 @@ func run() error {
 		extra["unreachable"] = stats.Unreachable
 		fmt.Fprintf(os.Stderr, "tsrouter: cluster served %d requests, hit ratio %.1f%%\n",
 			stats.Total.Requests, 100*stats.HitRatio)
+		if fill := stats.Fill; fill.PeerFills+fill.OriginFills+fill.DedupFills > 0 {
+			extra["origin_fill_bytes"] = fill.OriginFillBytes
+			extra["fill_saved_bytes"] = fill.SavedBytes()
+			fmt.Fprintf(os.Stderr, "tsrouter: fills: %d peer, %d origin, %d deduped; origin egress %s, saved %s\n",
+				fill.PeerFills, fill.OriginFills, fill.DedupFills,
+				report.Bytes(fill.OriginFillBytes), report.Bytes(fill.SavedBytes()))
+		}
+	}
+	if sh != nil {
+		extra["shield_origin_fetches"] = sh.OriginFetches()
 	}
 	if serveErr != nil {
 		sess.Finish(extra)

@@ -14,6 +14,8 @@
 //	        [-read-timeout 5s] [-write-timeout 30s] [-idle-timeout 2m]
 //	        [-drain 10s] [-drain-grace 0] [-slo-policy <file|inline>]
 //	        [-trace-buffer 0] [-trace-sample 1] [-dc europe]
+//	        [-name europe] [-shield http://127.0.0.1:8090]
+//	        [-peer-fill http://...,http://...] [-fill-timeout 5s]
 //	        [-debug-addr :6060] [-progress] [-manifest run.json]
 //
 // The edge always tracks rolling SLO windows and serves them at /slo
@@ -28,6 +30,16 @@
 // only its own DCs at /stats, and registers only its own regions as SLO
 // scopes. tsrouter maps traffic to a fleet of scoped edges and a
 // collector merges their stats back into one cluster view.
+//
+// -shield and -peer-fill put the edge's miss path behind a fill
+// hierarchy: instead of a flat simulated origin fetch, a miss first asks
+// the shield (typically tsrouter -shield, which dedupes concurrent
+// misses cluster-wide and probes peer DCs) or the given peer edges'
+// /fill/ endpoints, and only pays the origin when nobody has the object.
+// The cache model is untouched — only where bytes come from changes —
+// so offline replay equivalence holds with fills on. The /fill/
+// residency endpoint itself is always served. -name tells the shield who
+// is asking so it never probes the requester back (defaults to -dc).
 //
 // SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503
 // "draining", the listener stays open for -drain-grace so load
@@ -82,6 +94,10 @@ func run() error {
 		traceBuf    = flag.Int("trace-buffer", 0, "per-request trace-event ring size for /debug/trace (0 = disabled)")
 		traceSample = flag.Int("trace-sample", 1, "trace every Nth request when the ring is enabled")
 		dcFlag      = flag.String("dc", "", "comma-separated regions this edge owns (e.g. europe or north-america,south-america); requests for other regions get 421. Empty serves all regions")
+		name        = flag.String("name", "", "backend name sent with fill requests so the shield skips the requester (defaults to -dc)")
+		shieldURL   = flag.String("shield", "", "origin shield base URL; misses fill through it (dedupe + peer probing) instead of the flat origin model")
+		peerFill    = flag.String("peer-fill", "", "comma-separated peer edge base URLs to probe on miss (after -shield, before local origin)")
+		fillTimeout = flag.Duration("fill-timeout", edge.DefaultFillTimeout, "budget for one shield or peer fill attempt")
 	)
 	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -143,6 +159,19 @@ func run() error {
 		regionScopes = append(regionScopes, r.String())
 	}
 	engine := slo.NewEngine(policySLO, regionScopes...)
+	if *name == "" {
+		*name = *dcFlag
+	}
+	var peers []string
+	for _, p := range strings.Split(*peerFill, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
+	if *shieldURL != "" || len(peers) > 0 {
+		extra["shield"] = *shieldURL
+		extra["peer_fill"] = len(peers)
+	}
 	srv, err := edge.New(edge.Config{
 		Regions:         dcs,
 		CDN:             network,
@@ -150,6 +179,10 @@ func run() error {
 		OriginBandwidth: *originBW,
 		MaxBodyBytes:    *maxBody,
 		MaxInflight:     *maxInflight,
+		Name:            *name,
+		ShieldURL:       strings.TrimRight(*shieldURL, "/"),
+		PeerFillURLs:    peers,
+		FillTimeout:     *fillTimeout,
 		Metrics:         sess.Registry(),
 		SLO:             engine,
 		Trace:           edge.NewTraceRing(*traceBuf, *traceSample),
@@ -184,6 +217,13 @@ func run() error {
 	extra["egress_bytes"] = stats.EgressBytes
 	fmt.Fprintf(os.Stderr, "tsserve: served %d requests, hit ratio %.1f%%, egress %s\n",
 		stats.Requests, 100*stats.HitRatio(), report.Bytes(stats.EgressBytes))
+	if fs := srv.FillStats(); fs.PeerFills+fs.OriginFills+fs.DedupFills > 0 {
+		extra["origin_fill_bytes"] = fs.OriginFillBytes
+		extra["fill_saved_bytes"] = fs.SavedBytes()
+		fmt.Fprintf(os.Stderr, "tsserve: fills: %d peer, %d origin, %d deduped; origin egress %s, saved %s\n",
+			fs.PeerFills, fs.OriginFills, fs.DedupFills,
+			report.Bytes(fs.OriginFillBytes), report.Bytes(fs.SavedBytes()))
+	}
 	if serveErr != nil {
 		sess.Finish(extra)
 		return serveErr

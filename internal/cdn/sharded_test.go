@@ -237,6 +237,29 @@ func TestHashRingShardOrderAppend(t *testing.T) {
 	if out[0] != 77 || len(out) != 6 {
 		t.Fatalf("append mode broke prefix: %v", out)
 	}
+	// A prefix that happens to contain a valid shard index must not
+	// suppress that shard from the appended order: dedup is scoped to
+	// the appended suffix, never the caller's existing contents.
+	for key := uint64(0); key < 50; key++ {
+		out := r.ShardOrderAppend([]int{2}, key)
+		if out[0] != 2 {
+			t.Fatalf("key %d: prefix clobbered: %v", key, out)
+		}
+		suffix := out[1:]
+		if len(suffix) != 5 {
+			t.Fatalf("key %d: suffix length %d, want 5: %v", key, len(suffix), out)
+		}
+		if suffix[0] != r.Shard(key) {
+			t.Fatalf("key %d: suffix head %d, want owner %d", key, suffix[0], r.Shard(key))
+		}
+		seen := map[int]bool{}
+		for _, s := range suffix {
+			if s < 0 || s >= 5 || seen[s] {
+				t.Fatalf("key %d: suffix %v not a permutation of 0..4", key, suffix)
+			}
+			seen[s] = true
+		}
+	}
 }
 
 func TestHashRingShardOrderFailover(t *testing.T) {

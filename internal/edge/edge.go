@@ -23,6 +23,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +71,23 @@ type Config struct {
 	// owns the region mapping; the 421 makes a routing bug loud instead
 	// of silently double-counting a DC on two backends.
 	Regions []timeutil.Region
+	// Name identifies this edge on outgoing fill requests
+	// (X-TS-Fill-From) so a shield probing peers on its behalf skips the
+	// requester itself. Conventionally the tsserve -dc value.
+	Name string
+	// PeerFillURLs lists peer edge base URLs to probe directly on a miss
+	// before falling back to the origin. Empty disables direct peer fill.
+	PeerFillURLs []string
+	// ShieldURL, when set, routes every miss through an origin shield
+	// (fleet.Shield) instead of probing peers directly: the shield dedupes
+	// concurrent origin fetches across all backends and does the peer
+	// probing itself. Takes precedence over PeerFillURLs.
+	ShieldURL string
+	// FillTimeout bounds one shield or peer fill attempt; zero defaults
+	// to DefaultFillTimeout.
+	FillTimeout time.Duration
+	// FillClient issues fill requests; nil builds a pooled client.
+	FillClient *http.Client
 	// Metrics receives live serving telemetry (request/shed/error
 	// counters, latency histogram, inflight gauge). nil disables it.
 	Metrics *obs.Registry
@@ -105,6 +123,22 @@ type Server struct {
 	bodyBytes *obs.Counter
 	inflightG *obs.Gauge
 	latency   *obs.Histogram
+
+	// Fill hierarchy: fill is non-nil when this edge resolves misses
+	// through peers or a shield (requesting side); the /fill/ endpoint
+	// and its counters are always live (serving side).
+	fill            *filler
+	fillPeer        *obs.Counter
+	fillOrigin      *obs.Counter
+	fillDedup       *obs.Counter
+	fillPeerBytes   *obs.Counter
+	fillOriginBytes *obs.Counter
+	fillDedupBytes  *obs.Counter
+	fillErrors      *obs.Counter
+	fillReqs        *obs.Counter
+	fillHits        *obs.Counter
+	fillMisses      *obs.Counter
+	fillServedBytes *obs.Counter
 
 	// SLO trackers, resolved once at construction so the hot path is a
 	// nil check plus atomic adds. sloRegion is indexed by
@@ -167,6 +201,12 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	reg := cfg.Metrics
+	if reg == nil {
+		// A private registry: /metrics stays silent (it renders
+		// cfg.Metrics), but the /stats fill section and FillStats still
+		// count — stats must not depend on telemetry being exported.
+		reg = obs.NewRegistry()
+	}
 	s.reqs = reg.Counter("edge_requests_total")
 	s.shed = reg.Counter("edge_shed_total")
 	s.badReq = reg.Counter("edge_bad_requests_total")
@@ -175,6 +215,44 @@ func New(cfg Config) (*Server, error) {
 	s.bodyBytes = reg.Counter("edge_body_bytes_total")
 	s.inflightG = reg.Gauge("edge_inflight")
 	s.latency = reg.Histogram("edge_request_seconds", obs.ExpBuckets(50e-6, 2, 22))
+	s.fillPeer = reg.Counter("edge_peer_fills_total")
+	s.fillOrigin = reg.Counter("edge_origin_fills_total")
+	s.fillDedup = reg.Counter("edge_fill_dedup_total")
+	s.fillPeerBytes = reg.Counter("edge_peer_fill_bytes_total")
+	s.fillOriginBytes = reg.Counter("edge_origin_fill_bytes_total")
+	s.fillDedupBytes = reg.Counter("edge_dedup_fill_bytes_total")
+	s.fillErrors = reg.Counter("edge_fill_errors_total")
+	s.fillReqs = reg.Counter("edge_fill_requests_total")
+	s.fillHits = reg.Counter("edge_fill_hits_total")
+	s.fillMisses = reg.Counter("edge_fill_misses_total")
+	s.fillServedBytes = reg.Counter("edge_fill_served_bytes_total")
+	if cfg.ShieldURL != "" || len(cfg.PeerFillURLs) > 0 {
+		timeout := cfg.FillTimeout
+		if timeout <= 0 {
+			timeout = DefaultFillTimeout
+		}
+		client := cfg.FillClient
+		if client == nil {
+			client = &http.Client{Transport: &http.Transport{
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     time.Minute,
+			}}
+		}
+		f := &filler{
+			name:    cfg.Name,
+			shield:  strings.TrimRight(cfg.ShieldURL, "/"),
+			client:  client,
+			timeout: timeout,
+			origin:  s.originDelay,
+			s:       s,
+		}
+		for _, p := range cfg.PeerFillURLs {
+			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+				f.peers = append(f.peers, p)
+			}
+		}
+		s.fill = f
+	}
 	if cfg.SLO != nil {
 		s.sloGlobal = cfg.SLO.Global()
 		for _, r := range timeutil.AllRegions() {
@@ -196,6 +274,7 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(ObjectPrefix, s.handleObject)
+	mux.HandleFunc(FillPrefix, s.handleFill)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -374,10 +453,41 @@ func (s *Server) handleObject(w http.ResponseWriter, req *http.Request) {
 	h.Set(HeaderBytes, string(strconv.AppendInt(sc.num[:0], out.BytesServed, 10)))
 	h.Set("Content-Type", "application/octet-stream")
 
-	// Simulate the origin fetch outside any lock so slow origins stall
-	// only their own request, not the whole edge.
+	// Resolve the miss outside any lock so slow fills stall only their
+	// own request, not the whole edge. With a fill hierarchy configured
+	// the miss goes shield → peers → local origin (deduped per object);
+	// otherwise it is the flat simulated origin fetch.
 	if out.Cache == trace.CacheMiss {
-		if d := s.originDelay(out.BytesServed); d > 0 {
+		if s.fill != nil {
+			fillStart := time.Now()
+			res, shared, ferr := s.fill.fill(req.Context(), out)
+			originNs = time.Since(fillStart).Nanoseconds()
+			if ferr != nil {
+				// A follower whose client died while waiting on the
+				// in-flight fill; the flight itself completes.
+				s.cancelled.Inc()
+				result = ResultError
+				return
+			}
+			switch {
+			case shared || res.Deduped:
+				// This request rode another's in-flight resolution: its
+				// bytes never cost the origin anything extra.
+				s.fillDedup.Inc()
+				s.fillDedupBytes.Add(fillBytes(out))
+			case res.Source == cdn.FillPeer:
+				s.fillPeer.Inc()
+				s.fillPeerBytes.Add(res.Bytes)
+			default:
+				s.fillOrigin.Inc()
+				s.fillOriginBytes.Add(res.Bytes)
+			}
+			if req.Context().Err() != nil {
+				s.cancelled.Inc()
+				result = ResultError
+				return // client gave up while the fill ran
+			}
+		} else if d := s.originDelay(out.BytesServed); d > 0 {
 			originNs = int64(d)
 			if !sleepCtx(req.Context(), d) {
 				s.cancelled.Inc()
@@ -439,6 +549,7 @@ type statsReply struct {
 	Total    cdn.DCStats            `json:"total"`
 	HitRatio float64                `json:"hit_ratio"`
 	PerDC    map[string]cdn.DCStats `json:"per_dc"`
+	Fill     FillStats              `json:"fill"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -456,7 +567,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(statsReply{Total: total, HitRatio: total.HitRatio(), PerDC: perDC})
+	json.NewEncoder(w).Encode(statsReply{Total: total, HitRatio: total.HitRatio(), PerDC: perDC, Fill: s.FillStats()})
 }
 
 // ListenConfig configures the networked serving loop.

@@ -1,0 +1,248 @@
+package edge
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"trafficscope/internal/cdn"
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// The fill hierarchy's edge half. Serving side: /fill/ answers "do you
+// hold this object?" from cache residency alone (cdn.DCContains — no
+// admission, no recency touch, no stats), so peers can fill from here
+// without perturbing this DC's cache model. Requesting side: on a
+// regional miss, a filler replaces the flat simulated-origin sleep with
+// shield → peer → local-origin resolution, deduping concurrent misses
+// for the same object through a cdn.SingleFlight. The CDN model is
+// untouched either way — the cache already admitted the object when
+// ServeInto counted the miss; the fill layer only decides where the
+// bytes come from and how long they take, which is exactly why offline
+// Replay equivalence survives.
+
+// DefaultFillTimeout bounds one shield or peer fill attempt when
+// Config.FillTimeout is zero.
+const DefaultFillTimeout = 5 * time.Second
+
+// FillStats is the /stats "fill" section: where this edge's misses were
+// filled from (requesting side) and what it served to peers (serving
+// side). All fields are monotonic counters, so per-backend documents sum
+// field-wise into a cluster view.
+type FillStats struct {
+	// Requesting side: one of PeerFills/OriginFills/DedupFills is counted
+	// per filled miss.
+	PeerFills   int64 `json:"peer_fills"`
+	OriginFills int64 `json:"origin_fills"`
+	DedupFills  int64 `json:"dedup_fills"`
+	// PeerFillBytes/OriginFillBytes are the logical bytes the fill moved;
+	// DedupFillBytes are bytes a deduped request wanted but that rode an
+	// already-in-flight fetch. Origin egress is OriginFillBytes alone.
+	PeerFillBytes   int64 `json:"peer_fill_bytes"`
+	OriginFillBytes int64 `json:"origin_fill_bytes"`
+	DedupFillBytes  int64 `json:"dedup_fill_bytes"`
+	// FillErrors counts shield/peer attempts that failed in transport;
+	// the miss still resolves (next tier, ultimately local origin).
+	FillErrors int64 `json:"fill_errors"`
+	// Serving side: /fill/ requests answered for peers.
+	ServedRequests int64 `json:"served_requests"`
+	ServedHits     int64 `json:"served_hits"`
+	ServedBytes    int64 `json:"served_bytes"`
+}
+
+// Add sums src into f field-wise (the cluster-merge operation).
+func (f *FillStats) Add(src FillStats) {
+	f.PeerFills += src.PeerFills
+	f.OriginFills += src.OriginFills
+	f.DedupFills += src.DedupFills
+	f.PeerFillBytes += src.PeerFillBytes
+	f.OriginFillBytes += src.OriginFillBytes
+	f.DedupFillBytes += src.DedupFillBytes
+	f.FillErrors += src.FillErrors
+	f.ServedRequests += src.ServedRequests
+	f.ServedHits += src.ServedHits
+	f.ServedBytes += src.ServedBytes
+}
+
+// SavedBytes is the headline number: origin egress avoided, i.e. bytes
+// that would have been origin fetches without the fill hierarchy (peer
+// fills plus deduped rides on in-flight fetches).
+func (f FillStats) SavedBytes() int64 { return f.PeerFillBytes + f.DedupFillBytes }
+
+// FillStats snapshots the edge's fill counters (atomic reads, safe while
+// traffic is in flight).
+func (s *Server) FillStats() FillStats {
+	return FillStats{
+		PeerFills:       s.fillPeer.Value(),
+		OriginFills:     s.fillOrigin.Value(),
+		DedupFills:      s.fillDedup.Value(),
+		PeerFillBytes:   s.fillPeerBytes.Value(),
+		OriginFillBytes: s.fillOriginBytes.Value(),
+		DedupFillBytes:  s.fillDedupBytes.Value(),
+		FillErrors:      s.fillErrors.Value(),
+		ServedRequests:  s.fillReqs.Value(),
+		ServedHits:      s.fillHits.Value(),
+		ServedBytes:     s.fillServedBytes.Value(),
+	}
+}
+
+// fillBytes is the logical byte count a fill for r moves: the whole
+// object. A miss admits the full object into cache, so the fill that
+// backs it transfers ObjectSize bytes regardless of how much of the
+// object this request serves — the same accounting the CDN model uses
+// for DCStats.OriginBytes under whole-object caching. (Under chunked
+// video caching the model refetches only missing chunks, so there the
+// fill layer's per-object granularity is an upper bound.)
+func fillBytes(r *trace.Record) int64 {
+	return r.ObjectSize
+}
+
+// handleFill answers a peer's (or shield's) residency probe: 200 when an
+// owned DC holds every chunk the request covers, 404 otherwise. The
+// check is strictly read-only — no origin fetch is triggered, no LRU
+// state moves, no DCStats count — so serving fills leaves this edge's
+// cache model in exactly the state its own traffic alone would produce.
+// Responses are logical (headers only, no body): the simulation tracks
+// byte accounting, not byte movement.
+func (s *Server) handleFill(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.fillReqs.Inc()
+	sc := scratchPool.Get().(*serveScratch)
+	defer scratchPool.Put(sc)
+	if err := ParseFillRequestInto(req, &sc.rec); err != nil {
+		s.badReq.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	found := false
+	for _, r := range timeutil.AllRegions() {
+		if s.owned[r] && s.cdn.DCContains(r, &sc.rec) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		s.fillMisses.Inc()
+		w.Header().Set(HeaderCache, trace.CacheMiss.String())
+		http.Error(w, "not cached", http.StatusNotFound)
+		return
+	}
+	n := fillBytes(&sc.rec)
+	s.fillHits.Inc()
+	s.fillServedBytes.Add(n)
+	h := w.Header()
+	h.Set(HeaderCache, trace.CacheHit.String())
+	h.Set(HeaderFillSource, cdn.FillPeer.String())
+	h.Set(HeaderBytes, string(strconv.AppendInt(sc.num[:0], n, 10)))
+	w.WriteHeader(http.StatusOK)
+}
+
+// filler is the requesting side: it resolves a regional miss through the
+// fill hierarchy. Resolution order is shield (if configured) → direct
+// peer probes → local simulated origin; concurrent misses for the same
+// object within this edge collapse into one resolution via SingleFlight.
+type filler struct {
+	name    string
+	shield  string   // shield base URL, "" when unshielded
+	peers   []string // peer edge base URLs for direct probing
+	client  *http.Client
+	timeout time.Duration
+	origin  func(int64) time.Duration // local origin delay model
+	sf      cdn.SingleFlight
+	s       *Server // fill counters
+}
+
+// fill resolves the miss rec describes. The leader for an object runs
+// the resolution to completion even if its client disconnects — the
+// result is shared, and the cache model admitted the object when the
+// miss was counted, so abandoning a fill mid-flight would only desync
+// followers. Followers wait under ctx and may give up individually
+// (ctx.Err() is returned). shared reports this call rode another
+// caller's in-flight resolution.
+func (f *filler) fill(ctx context.Context, rec *trace.Record) (cdn.FillResult, bool, error) {
+	// Copy out of the pooled scratch: followers may still read the
+	// leader's closure state after the leader's handler returned it.
+	r := *rec
+	return f.sf.Do(ctx, r.ObjectID, func() (cdn.FillResult, error) {
+		return f.fetch(&r), nil
+	})
+}
+
+// fetch is the leader's resolution: shield, then peers, then local
+// origin. It never fails — every error falls through to the next tier,
+// counted in edge_fill_errors_total.
+func (f *filler) fetch(r *trace.Record) cdn.FillResult {
+	n := fillBytes(r)
+	if f.shield != "" {
+		if res, ok := f.ask(f.shield, r, n); ok {
+			return res
+		}
+		f.s.fillErrors.Inc()
+	}
+	for _, p := range f.peers {
+		res, ok := f.ask(p, r, n)
+		if ok && res.Source != cdn.FillNone {
+			res.Source = cdn.FillPeer
+			if res.Backend == "" {
+				res.Backend = p
+			}
+			return res
+		}
+		if !ok {
+			f.s.fillErrors.Inc()
+		}
+	}
+	// Local origin simulation: an uninterruptible sleep by design — the
+	// leader's fill completes for whoever shares it.
+	if d := f.origin(n); d > 0 {
+		time.Sleep(d)
+	}
+	return cdn.FillResult{Source: cdn.FillOrigin, Bytes: n}
+}
+
+// ask issues one fill request against base. ok=false means transport or
+// protocol failure (try the next tier); ok=true with Source FillNone
+// means a clean "not cached" 404 from a peer.
+func (f *filler) ask(base string, r *trace.Record, n int64) (cdn.FillResult, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+	defer cancel()
+	uri := string(AppendFillPath(make([]byte, 0, 96), r))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+uri, nil)
+	if err != nil {
+		return cdn.FillResult{}, false
+	}
+	if f.name != "" {
+		req.Header.Set(HeaderFillFrom, f.name)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return cdn.FillResult{}, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		res := cdn.FillResult{
+			Source:  cdn.ParseFillSource(resp.Header.Get(HeaderFillSource)),
+			Backend: resp.Header.Get(HeaderFillBackend),
+			Deduped: resp.Header.Get(HeaderFillDedup) == "1",
+			Bytes:   n,
+		}
+		if v, err := strconv.ParseInt(resp.Header.Get(HeaderBytes), 10, 64); err == nil && v > 0 {
+			res.Bytes = v
+		}
+		if res.Source == cdn.FillNone {
+			// A bare 200 without a source header is a peer edge's hit.
+			res.Source = cdn.FillPeer
+		}
+		return res, true
+	case http.StatusNotFound:
+		return cdn.FillResult{Source: cdn.FillNone}, true
+	default:
+		return cdn.FillResult{}, false
+	}
+}

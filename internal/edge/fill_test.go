@@ -1,0 +1,270 @@
+package edge
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"trafficscope/internal/cdn"
+	"trafficscope/internal/timeutil"
+	"trafficscope/internal/trace"
+)
+
+// TestFillEndpoint: /fill/ answers residency from cache alone — 404
+// before the object is cached, 200 after — and probing never moves the
+// DC's stats (the read-only contract offline Replay equivalence needs).
+func TestFillEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rec := testRecord()
+	fillURL := ts.URL + string(AppendFillPath(nil, rec))
+
+	resp, err := http.Get(fillURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("fill before caching: status %d, want 404", resp.StatusCode)
+	}
+
+	// Serve the object (a miss admits it), then probe repeatedly.
+	if resp, err = http.Get(ts.URL + RequestPath(rec)); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	before := s.TotalStats()
+	for i := 0; i < 3; i++ {
+		resp, err = http.Get(fillURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fill after caching: status %d, want 200", resp.StatusCode)
+		}
+	}
+	if got := resp.Header.Get(HeaderFillSource); got != "peer" {
+		t.Errorf("%s = %q, want peer", HeaderFillSource, got)
+	}
+	if got := resp.Header.Get(HeaderCache); got != trace.CacheHit.String() {
+		t.Errorf("%s = %q, want HIT", HeaderCache, got)
+	}
+	if after := s.TotalStats(); after != before {
+		t.Errorf("fill probes moved DC stats: %+v -> %+v", before, after)
+	}
+
+	fs := s.FillStats()
+	if fs.ServedRequests != 4 || fs.ServedHits != 3 {
+		t.Errorf("served fill stats = %+v, want 4 requests / 3 hits", fs)
+	}
+	wantBytes := 3 * rec.ObjectSize
+	if fs.ServedBytes != wantBytes {
+		t.Errorf("ServedBytes = %d, want %d", fs.ServedBytes, wantBytes)
+	}
+
+	// Bad fill requests 400 like bad object requests.
+	resp, err = http.Get(ts.URL + FillPrefix + "nopublisher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad fill request: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestPeerFill: a miss on one edge is filled from a peer edge that
+// already holds the object, counted as a peer fill on the requester and
+// a served hit on the peer — and the requester's CDN stats stay exactly
+// what an offline replay of its own traffic would produce.
+func TestPeerFill(t *testing.T) {
+	peer := newTestServer(t, Config{Name: "peer-dc"})
+	peerTS := httptest.NewServer(peer.Handler())
+	defer peerTS.Close()
+
+	rec := testRecord()
+	// Warm the peer: its own miss admits the object.
+	resp, err := http.Get(peerTS.URL + RequestPath(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	s := newTestServer(t, Config{
+		Name:          "local-dc",
+		PeerFillURLs:  []string{peerTS.URL},
+		OriginLatency: 200 * time.Millisecond, // only paid if peer fill fails
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	resp, err = http.Get(ts.URL + RequestPath(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	elapsed := time.Since(start)
+	if got := resp.Header.Get(HeaderCache); got != trace.CacheMiss.String() {
+		t.Fatalf("%s = %q, want MISS", HeaderCache, got)
+	}
+	if elapsed >= 200*time.Millisecond {
+		t.Errorf("peer-filled miss took %v — looks like it paid the origin latency", elapsed)
+	}
+
+	fs := s.FillStats()
+	if fs.PeerFills != 1 || fs.OriginFills != 0 || fs.DedupFills != 0 {
+		t.Errorf("fill stats = %+v, want exactly one peer fill", fs)
+	}
+	if fs.PeerFillBytes != rec.ObjectSize {
+		t.Errorf("PeerFillBytes = %d, want %d", fs.PeerFillBytes, rec.ObjectSize)
+	}
+	if fs.SavedBytes() != rec.ObjectSize {
+		t.Errorf("SavedBytes = %d, want %d", fs.SavedBytes(), rec.ObjectSize)
+	}
+	if pfs := peer.FillStats(); pfs.ServedHits != 1 {
+		t.Errorf("peer fill stats = %+v, want one served hit", pfs)
+	}
+
+	// Equivalence: the requester's cache model never saw the fill layer.
+	offline := cdn.New(cdn.Config{
+		NewCache:   func() cdn.Cache { return cdn.NewLRU(64 << 20) },
+		ChunkBytes: -1,
+	})
+	want := *rec
+	offline.Serve(&want)
+	if got := s.TotalStats(); got != offline.TotalStats() {
+		t.Errorf("live stats with peer fill %+v != offline replay %+v", got, offline.TotalStats())
+	}
+}
+
+// TestPeerFillMissFallsBack: when no peer holds the object the miss
+// falls back to the (local) origin and is counted as an origin fill.
+func TestPeerFillMissFallsBack(t *testing.T) {
+	peer := newTestServer(t, Config{})
+	peerTS := httptest.NewServer(peer.Handler())
+	defer peerTS.Close()
+
+	s := newTestServer(t, Config{PeerFillURLs: []string{peerTS.URL}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rec := testRecord()
+	resp, err := http.Get(ts.URL + RequestPath(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	fs := s.FillStats()
+	if fs.OriginFills != 1 || fs.PeerFills != 0 || fs.FillErrors != 0 {
+		t.Errorf("fill stats = %+v, want exactly one origin fill", fs)
+	}
+	if fs.OriginFillBytes != rec.ObjectSize {
+		t.Errorf("OriginFillBytes = %d, want %d", fs.OriginFillBytes, rec.ObjectSize)
+	}
+	if pfs := peer.FillStats(); pfs.ServedRequests != 1 || pfs.ServedHits != 0 {
+		t.Errorf("peer fill stats = %+v, want one served miss", pfs)
+	}
+}
+
+// TestPeerFillUnreachableFallsBack: a dead peer costs a fill error, not
+// a failed request.
+func TestPeerFillUnreachableFallsBack(t *testing.T) {
+	s := newTestServer(t, Config{
+		PeerFillURLs: []string{"http://127.0.0.1:1"}, // nothing listens here
+		FillTimeout:  500 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + RequestPath(testRecord()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("status %d, want %d", resp.StatusCode, http.StatusPartialContent)
+	}
+	fs := s.FillStats()
+	if fs.FillErrors != 1 || fs.OriginFills != 1 {
+		t.Errorf("fill stats = %+v, want one fill error + one origin fill", fs)
+	}
+}
+
+// TestFillDedup is the tentpole's edge-local half: concurrent misses for
+// one object (one per region — each DC's cache misses independently)
+// collapse into exactly one origin fetch; every other request is
+// counted as deduped. Run under -race in CI's cluster-e2e job.
+func TestFillDedup(t *testing.T) {
+	// The peer blocks the leader's probe until released, guaranteeing
+	// the followers' misses arrive while the flight is open.
+	gate := make(chan struct{})
+	peerMux := http.NewServeMux()
+	peerMux.HandleFunc(FillPrefix, func(w http.ResponseWriter, _ *http.Request) {
+		<-gate
+		http.Error(w, "not cached", http.StatusNotFound)
+	})
+	peerTS := httptest.NewServer(peerMux)
+	defer peerTS.Close()
+
+	s := newTestServer(t, Config{PeerFillURLs: []string{peerTS.URL}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	regions := timeutil.AllRegions()
+	var wg sync.WaitGroup
+	for _, r := range regions {
+		wg.Add(1)
+		go func(r timeutil.Region) {
+			defer wg.Done()
+			rec := testRecord()
+			rec.Region = r
+			resp, err := http.Get(ts.URL + RequestPath(rec))
+			if err != nil {
+				t.Errorf("region %v: %v", r, err)
+				return
+			}
+			resp.Body.Close()
+			if got := resp.Header.Get(HeaderCache); got != trace.CacheMiss.String() {
+				t.Errorf("region %v: %s = %q, want MISS", r, HeaderCache, got)
+			}
+		}(r)
+	}
+	// Wait for the leader to reach the blocked peer probe, give the
+	// followers time to park on the flight, then release.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.fill.sf.Inflight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no fill flight ever started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	fs := s.FillStats()
+	n := int64(len(regions))
+	if fs.OriginFills != 1 {
+		t.Errorf("OriginFills = %d, want exactly 1 (stats %+v)", fs.OriginFills, fs)
+	}
+	if fs.DedupFills != n-1 {
+		t.Errorf("DedupFills = %d, want %d (stats %+v)", fs.DedupFills, n-1, fs)
+	}
+	rec := testRecord()
+	if fs.OriginFillBytes != rec.ObjectSize {
+		t.Errorf("OriginFillBytes = %d, want %d", fs.OriginFillBytes, rec.ObjectSize)
+	}
+	if fs.DedupFillBytes != (n-1)*rec.ObjectSize {
+		t.Errorf("DedupFillBytes = %d, want %d", fs.DedupFillBytes, (n-1)*rec.ObjectSize)
+	}
+	// The CDN model counted one independent miss per DC regardless.
+	if st := s.TotalStats(); st.Misses != n {
+		t.Errorf("model misses = %d, want %d", st.Misses, n)
+	}
+}

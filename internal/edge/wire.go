@@ -37,6 +37,14 @@ import (
 // ObjectPrefix is the URL path prefix object requests live under.
 const ObjectPrefix = "/o/"
 
+// FillPrefix is the URL path prefix fill requests live under. A fill
+// request reuses the object wire format verbatim after the prefix, but
+// asks a different question: "do you hold this object?" — the serving
+// edge answers from cache residency alone, never triggering an origin
+// fetch, so a regional miss can be filled from a peer DC (the paper's
+// DCs share one content catalog) instead of from the origin.
+const FillPrefix = "/fill/"
+
 // Response headers carrying the logical serve outcome. The on-wire body
 // may be truncated (see Config.MaxBodyBytes); these headers always hold
 // the full logical values.
@@ -45,6 +53,24 @@ const (
 	HeaderCache = "X-TS-Cache"
 	// HeaderBytes is the logical response size in bytes.
 	HeaderBytes = "X-TS-Bytes"
+)
+
+// Fill-path headers. Requests carry HeaderFillFrom; fill responses carry
+// the other three so the requesting edge can account where its miss was
+// filled from without a second round trip.
+const (
+	// HeaderFillSource is where the fill's bytes came from: "peer" or
+	// "origin" (cdn.FillSource.String values).
+	HeaderFillSource = "X-TS-Fill-Source"
+	// HeaderFillBackend names the peer backend that supplied a peer fill.
+	HeaderFillBackend = "X-TS-Fill-Backend"
+	// HeaderFillDedup is "1" when the fill piggybacked on another
+	// requester's in-flight origin fetch (shield singleflight), else "0".
+	HeaderFillDedup = "X-TS-Fill-Dedup"
+	// HeaderFillFrom names the requesting backend on fill requests, so a
+	// shield probing peers on its behalf can skip asking the requester
+	// about its own miss.
+	HeaderFillFrom = "X-TS-Fill-From"
 )
 
 // RequestPath encodes a trace record as an edge request URI (path plus
@@ -57,7 +83,17 @@ func RequestPath(r *trace.Record) string {
 // query) to dst and returns the extended buffer — the allocation-free
 // form of RequestPath for callers holding a reusable buffer.
 func AppendRequestPath(dst []byte, r *trace.Record) []byte {
-	dst = append(dst, ObjectPrefix...)
+	return appendRequestPath(dst, ObjectPrefix, r)
+}
+
+// AppendFillPath is AppendRequestPath under FillPrefix: the URI a
+// backend (or shield) uses to ask a peer whether it can fill r's miss.
+func AppendFillPath(dst []byte, r *trace.Record) []byte {
+	return appendRequestPath(dst, FillPrefix, r)
+}
+
+func appendRequestPath(dst []byte, prefix string, r *trace.Record) []byte {
+	dst = append(dst, prefix...)
 	dst = appendPathEscaped(dst, r.Publisher)
 	dst = append(dst, '/')
 	dst = appendHex16(dst, r.ObjectID)
@@ -156,15 +192,25 @@ const (
 // timeutil.Region). Unknown query keys are ignored for forward
 // compatibility.
 func ParseRequestInto(req *http.Request, rec *trace.Record) error {
+	return parseRequestInto(req, rec, ObjectPrefix)
+}
+
+// ParseFillRequestInto is ParseRequestInto for fill requests (the same
+// wire format under FillPrefix).
+func ParseFillRequestInto(req *http.Request, rec *trace.Record) error {
+	return parseRequestInto(req, rec, FillPrefix)
+}
+
+func parseRequestInto(req *http.Request, rec *trace.Record, prefix string) error {
 	// Split on the escaped form so a %2F inside the publisher name is
 	// not mistaken for the publisher/object separator.
-	rest, ok := strings.CutPrefix(req.URL.EscapedPath(), ObjectPrefix)
+	rest, ok := strings.CutPrefix(req.URL.EscapedPath(), prefix)
 	if !ok {
-		return fmt.Errorf("edge: path %q outside %s", req.URL.Path, ObjectPrefix)
+		return fmt.Errorf("edge: path %q outside %s", req.URL.Path, prefix)
 	}
 	pubEsc, objHex, ok := strings.Cut(rest, "/")
 	if !ok || pubEsc == "" || objHex == "" {
-		return fmt.Errorf("edge: path %q: want %s<publisher>/<objectID>", req.URL.Path, ObjectPrefix)
+		return fmt.Errorf("edge: path %q: want %s<publisher>/<objectID>", req.URL.Path, prefix)
 	}
 	pub, err := url.PathUnescape(pubEsc)
 	if err != nil {

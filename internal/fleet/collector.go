@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"trafficscope/internal/cdn"
+	"trafficscope/internal/edge"
 	"trafficscope/internal/obs/slo"
 )
 
@@ -21,6 +22,7 @@ type EdgeStats struct {
 	Total    cdn.DCStats            `json:"total"`
 	HitRatio float64                `json:"hit_ratio"`
 	PerDC    map[string]cdn.DCStats `json:"per_dc"`
+	Fill     edge.FillStats         `json:"fill"`
 }
 
 // ClusterStats is the collector's merged /stats document: the same
@@ -33,6 +35,10 @@ type ClusterStats struct {
 	PerDC    map[string]cdn.DCStats `json:"per_dc"`
 	// Backends maps backend name to its own aggregate counters.
 	Backends map[string]cdn.DCStats `json:"backends"`
+	// Fill sums every backend's fill section: where the cluster's misses
+	// were filled from. Fill.OriginFillBytes is the cluster's actual
+	// origin egress; Fill.SavedBytes() is what the fill hierarchy saved.
+	Fill edge.FillStats `json:"fill"`
 	// Unreachable lists backends the last poll could not read, in name
 	// order. Their traffic is missing from the merged numbers.
 	Unreachable []string `json:"unreachable,omitempty"`
@@ -163,6 +169,7 @@ func (c *Collector) PollOnce(ctx context.Context) {
 			continue
 		}
 		addDCStats(&merged.Total, p.stats.Total)
+		merged.Fill.Add(p.stats.Fill)
 		merged.Backends[p.backend.Name] = p.stats.Total
 		for dc, st := range p.stats.PerDC {
 			sum := merged.PerDC[dc]

@@ -53,23 +53,28 @@ hit-ratio >= 1%
 type dcBackend struct {
 	region timeutil.Region
 	cdn    *cdn.CDN
+	srv    *edge.Server
 	ts     *httptest.Server
 	b      *Backend
 }
 
 // startDCBackends spins one region-scoped backend per trace region,
 // each with its own CDN, metrics registry and SLO engine — the in-proc
-// equivalent of four `tsserve -dc <region>` processes.
-func startDCBackends(t *testing.T) []*dcBackend {
+// equivalent of four `tsserve -dc <region>` processes. A non-empty
+// shieldURL points every backend's miss path at an origin shield, the
+// in-proc equivalent of `tsserve -shield <url>`.
+func startDCBackends(t *testing.T, shieldURL string) []*dcBackend {
 	t.Helper()
 	var out []*dcBackend
 	for _, r := range timeutil.AllRegions() {
 		network := mkE2ECDN()
 		srv, err := edge.New(edge.Config{
-			CDN:     network,
-			Regions: []timeutil.Region{r},
-			Metrics: obs.NewRegistry(),
-			SLO:     slo.NewEngine(e2ePolicy(t), r.String()),
+			CDN:       network,
+			Regions:   []timeutil.Region{r},
+			Name:      r.String(),
+			ShieldURL: shieldURL,
+			Metrics:   obs.NewRegistry(),
+			SLO:       slo.NewEngine(e2ePolicy(t), r.String()),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -79,6 +84,7 @@ func startDCBackends(t *testing.T) []*dcBackend {
 		out = append(out, &dcBackend{
 			region: r,
 			cdn:    network,
+			srv:    srv,
 			ts:     ts,
 			b:      NewBackend(r.String(), ts.URL, r),
 		})
@@ -116,7 +122,7 @@ func TestRouterReplayMatchesOfflinePerDC(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	backends := startDCBackends(t)
+	backends := startDCBackends(t, "")
 	bs := make([]*Backend, len(backends))
 	for i, d := range backends {
 		bs[i] = d.b
@@ -251,7 +257,7 @@ func TestRouterRedirectReplayMatchesOfflinePerDC(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	backends := startDCBackends(t)
+	backends := startDCBackends(t, "")
 	bs := make([]*Backend, len(backends))
 	for i, d := range backends {
 		bs[i] = d.b

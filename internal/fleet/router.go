@@ -82,18 +82,22 @@ type Router struct {
 	retries    *obs.Counter
 	unrouted   *obs.Counter // no healthy backend for the region
 	upstreamEr *obs.Counter // all proxy attempts failed in transport
+	bodyErrors *obs.Counter // backend died mid-body (truncated relay)
 	badReq     *obs.Counter
 	probeFails *obs.Counter
+
+	// scratch pools per-request decode state, mirroring the edge's
+	// zero-alloc posture on the routing hot path. Its order buffers are
+	// sized at NewRouter time from the largest region set, so the ring
+	// walk never grows (and then discards) a pooled slice.
+	scratch sync.Pool
 }
 
-// routeScratch is pooled per-request decode state, mirroring the edge's
-// zero-alloc posture on the routing hot path.
+// routeScratch is one pooled per-request decode state.
 type routeScratch struct {
 	rec   trace.Record
-	order [8]int // ring-walk buffer; regions rarely have >8 backends
+	order []int // ring-walk buffer; cap covers the largest region set
 }
-
-var routePool = sync.Pool{New: func() any { return new(routeScratch) }}
 
 // NewRouter validates the config and builds a Router. Probing starts
 // with Start.
@@ -134,6 +138,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 			r.regionSet[reg] = append(r.regionSet[reg], b)
 		}
 	}
+	maxSet := 1
 	for reg := range r.regionSet {
 		if n := len(r.regionSet[reg]); n > 1 {
 			ring, err := cdn.NewHashRing(n, 64)
@@ -141,8 +146,12 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 				return nil, err
 			}
 			r.regionRing[reg] = ring
+			if n > maxSet {
+				maxSet = n
+			}
 		}
 	}
+	r.scratch.New = func() any { return &routeScratch{order: make([]int, 0, maxSet)} }
 	reg := cfg.Metrics
 	r.reqs = reg.Counter("fleet_requests_total")
 	r.proxied = reg.Counter("fleet_proxied_total")
@@ -150,6 +159,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	r.retries = reg.Counter("fleet_retries_total")
 	r.unrouted = reg.Counter("fleet_unrouted_total")
 	r.upstreamEr = reg.Counter("fleet_upstream_errors_total")
+	r.bodyErrors = reg.Counter("fleet_proxy_body_errors_total")
 	r.badReq = reg.Counter("fleet_bad_requests_total")
 	r.probeFails = reg.Counter("fleet_probe_failures_total")
 	return r, nil
@@ -193,6 +203,13 @@ func (r *Router) probeLoop(ctx context.Context, b *Backend) {
 				r.logf("fleet: backend %s recovered", b.Name)
 			}
 		} else {
+			// A probe cut short because the router itself is shutting down
+			// says nothing about the backend: without this check every
+			// SIGINT cancelled the in-flight probes and printed spurious
+			// "evicted" lines (and counted failures) on the way out.
+			if ctx.Err() != nil {
+				return
+			}
 			r.probeFails.Inc()
 			if b.noteFailure(r.cfg.FailAfter) {
 				r.logf("fleet: backend %s evicted after %d consecutive failures", b.Name, r.cfg.FailAfter)
@@ -242,8 +259,8 @@ func (r *Router) handleObject(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	sc := routePool.Get().(*routeScratch)
-	defer routePool.Put(sc)
+	sc := r.scratch.Get().(*routeScratch)
+	defer r.scratch.Put(sc)
 	// The router validates the request itself rather than forwarding
 	// junk: a parse failure here is the same 400 the edge would emit,
 	// minus one network hop.
@@ -261,15 +278,7 @@ func (r *Router) handleObject(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	// Candidate order: consistent hash by object so one backend owns
-	// each object (first-touch misses stay per-DC-exact), with the ring
-	// walk as the failover chain. A single-backend region skips the ring.
-	order := sc.order[:0]
-	if ring := r.regionRing[region]; ring != nil {
-		order = ring.ShardOrderAppend(order, sc.rec.ObjectID)
-	} else {
-		order = append(order, 0)
-	}
+	order := r.candidateOrder(sc, region)
 
 	if r.cfg.Redirect {
 		for _, i := range order {
@@ -322,6 +331,22 @@ func (r *Router) handleObject(w http.ResponseWriter, req *http.Request) {
 	http.Error(w, "region "+region.String()+" backends down", http.StatusServiceUnavailable)
 }
 
+// candidateOrder fills sc.order with the failover preference chain for
+// region: consistent hash by object so one backend owns each object
+// (first-touch misses stay per-DC-exact), with the ring walk as the
+// failover chain. A single-backend region skips the ring. sc.order's
+// capacity covers the largest region set, so this never allocates.
+func (r *Router) candidateOrder(sc *routeScratch, region timeutil.Region) []int {
+	order := sc.order[:0]
+	if ring := r.regionRing[region]; ring != nil {
+		order = ring.ShardOrderAppend(order, sc.rec.ObjectID)
+	} else {
+		order = append(order, 0)
+	}
+	sc.order = order
+	return order
+}
+
 // proxyBufPool holds body-copy buffers; edge bodies default to 4 KiB on
 // the wire, so a modest buffer avoids io.Copy's per-call allocation.
 var proxyBufPool = sync.Pool{New: func() any { b := make([]byte, 32<<10); return &b }}
@@ -345,8 +370,6 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request, b *Backend) boo
 		return false
 	}
 	defer resp.Body.Close()
-	b.noteSuccess()
-	r.proxied.Inc()
 
 	h := w.Header()
 	for k, vs := range resp.Header {
@@ -356,10 +379,60 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request, b *Backend) boo
 	}
 	h.Set(HeaderBackend, b.Name)
 	w.WriteHeader(resp.StatusCode)
+
+	// Relay the body before declaring the proxy a success: a backend that
+	// dies mid-body has NOT served this request, even though it answered
+	// the headers. The two failure directions are kept apart — a read
+	// error is the backend's fault and feeds its health state, a write
+	// error is the client hanging up and must not punish the backend.
+	var readErr, writeErr error
 	if req.Method == http.MethodGet {
 		buf := proxyBufPool.Get().(*[]byte)
-		io.CopyBuffer(w, resp.Body, *buf)
+		readErr, writeErr = relayBody(w, resp.Body, *buf)
 		proxyBufPool.Put(buf)
 	}
+	switch {
+	case readErr != nil:
+		// Truncated relay: the client received a short body (too late to
+		// retry — the status line is long gone). Account it and treat it
+		// like any other backend failure for eviction purposes.
+		r.bodyErrors.Inc()
+		if b.noteFailure(r.cfg.FailAfter) {
+			r.logf("fleet: backend %s evicted after %d consecutive failures", b.Name, r.cfg.FailAfter)
+		}
+	case writeErr != nil:
+		// The client went away mid-body; the backend held up its end.
+		r.bodyErrors.Inc()
+		if b.noteSuccess() {
+			r.logf("fleet: backend %s recovered", b.Name)
+		}
+	default:
+		if b.noteSuccess() {
+			r.logf("fleet: backend %s recovered", b.Name)
+		}
+		r.proxied.Inc()
+	}
 	return true
+}
+
+// relayBody copies the backend's response body to the client, reporting
+// the two failure directions separately: readErr means the backend died
+// mid-body, writeErr means the client stopped listening. At most one is
+// non-nil.
+func relayBody(dst io.Writer, src io.Reader, buf []byte) (readErr, writeErr error) {
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return nil, werr
+			}
+		}
+		switch rerr {
+		case nil:
+		case io.EOF:
+			return nil, nil
+		default:
+			return rerr, nil
+		}
+	}
 }

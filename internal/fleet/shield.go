@@ -1,0 +1,240 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"trafficscope/internal/cdn"
+	"trafficscope/internal/edge"
+	"trafficscope/internal/obs"
+	"trafficscope/internal/trace"
+)
+
+// The origin shield: a fill tier that sits between the fleet's backends
+// and the origin, typically co-mounted on the router process (whose
+// address every backend knows before any backend exists — the launcher's
+// chicken-and-egg problem direct peer URLs would have). A backend's miss
+// arrives as a /fill/ request; the shield probes the other backends'
+// /fill/ endpoints (peer fill — the paper's DCs share one content
+// catalog, so another DC often holds the object), and only when no peer
+// does simulates the origin fetch itself. Concurrent misses for the same
+// object — from any number of backends — collapse into one resolution
+// via cdn.SingleFlight, so the origin sees exactly one fetch no matter
+// how wide the miss storm is.
+
+// ShieldConfig configures a Shield.
+type ShieldConfig struct {
+	// Backends are the fleet's edges, probed for peer fills. The shield
+	// shares the router's *Backend values so health eviction applies to
+	// fill probing too. Required (may be empty only in tests).
+	Backends []*Backend
+	// OriginLatency/OriginBandwidth model the origin the shield fronts,
+	// with edge.Config's semantics: a fill for n bytes costs
+	// OriginLatency + n/OriginBandwidth. Zero values mean free.
+	OriginLatency   time.Duration
+	OriginBandwidth int64
+	// ProbeTimeout bounds one peer probe; zero defaults to
+	// DefaultShieldProbeTimeout.
+	ProbeTimeout time.Duration
+	// Metrics receives fleet_shield_* telemetry. nil disables it.
+	Metrics *obs.Registry
+	// Client issues peer probes; nil builds a pooled client.
+	Client *http.Client
+	// Logf receives probe-failure log lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// DefaultShieldProbeTimeout bounds one peer probe when
+// ShieldConfig.ProbeTimeout is zero.
+const DefaultShieldProbeTimeout = 2 * time.Second
+
+// Shield is the origin-shield fill tier. Mount with Register; backends
+// point their edge.Config.ShieldURL here.
+type Shield struct {
+	cfg    ShieldConfig
+	client *http.Client
+	sf     cdn.SingleFlight
+
+	reqs         *obs.Counter
+	peerFills    *obs.Counter
+	originFetch  *obs.Counter
+	dedup        *obs.Counter
+	originBytes  *obs.Counter
+	peerBytes    *obs.Counter
+	probeErrors  *obs.Counter
+	badReq       *obs.Counter
+	cancelled    *obs.Counter
+	originDelayH *obs.Histogram
+}
+
+// NewShield builds a Shield.
+func NewShield(cfg ShieldConfig) *Shield {
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultShieldProbeTimeout
+	}
+	s := &Shield{cfg: cfg, client: cfg.Client}
+	if s.client == nil {
+		s.client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     time.Minute,
+		}}
+	}
+	reg := cfg.Metrics
+	s.reqs = reg.Counter("fleet_shield_requests_total")
+	s.peerFills = reg.Counter("fleet_shield_peer_fills_total")
+	s.originFetch = reg.Counter("fleet_shield_origin_fetches_total")
+	s.dedup = reg.Counter("fleet_shield_dedup_total")
+	s.originBytes = reg.Counter("fleet_shield_origin_bytes_total")
+	s.peerBytes = reg.Counter("fleet_shield_peer_fill_bytes_total")
+	s.probeErrors = reg.Counter("fleet_shield_peer_probe_errors_total")
+	s.badReq = reg.Counter("fleet_shield_bad_requests_total")
+	s.cancelled = reg.Counter("fleet_shield_cancelled_total")
+	s.originDelayH = reg.Histogram("fleet_shield_origin_seconds", obs.ExpBuckets(1e-3, 2, 16))
+	return s
+}
+
+// OriginFetches reports how many origin fetches the shield has made —
+// the number the dedupe guarantee is about.
+func (s *Shield) OriginFetches() int64 { return s.originFetch.Value() }
+
+// Register mounts the shield's fill endpoint on mux under /fill/.
+func (s *Shield) Register(mux *http.ServeMux) {
+	mux.HandleFunc(edge.FillPrefix, s.handleFill)
+}
+
+// handleFill resolves one backend's miss. All concurrent requests for
+// an object share one resolution; the leader probes peers and falls
+// back to the simulated origin. The response tells the backend what
+// happened: X-TS-Fill-Source peer|origin, X-TS-Fill-Backend for peer
+// fills, X-TS-Fill-Dedup 1 when this request rode another's flight.
+func (s *Shield) handleFill(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.reqs.Inc()
+	rec := new(trace.Record)
+	if err := edge.ParseFillRequestInto(req, rec); err != nil {
+		s.badReq.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	from := req.Header.Get(edge.HeaderFillFrom)
+	uri := req.URL.RequestURI()
+
+	res, shared, err := s.sf.Do(req.Context(), rec.ObjectID, func() (cdn.FillResult, error) {
+		return s.resolve(rec, from, uri), nil
+	})
+	if err != nil {
+		// Only a follower whose backend gave up waiting lands here; the
+		// flight itself completes for everyone else.
+		s.cancelled.Inc()
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if shared {
+		s.dedup.Inc()
+	}
+	h := w.Header()
+	h.Set(edge.HeaderFillSource, res.Source.String())
+	if res.Backend != "" {
+		h.Set(edge.HeaderFillBackend, res.Backend)
+	}
+	if shared {
+		h.Set(edge.HeaderFillDedup, "1")
+	} else {
+		h.Set(edge.HeaderFillDedup, "0")
+	}
+	h.Set(edge.HeaderBytes, strconv.FormatInt(res.Bytes, 10))
+	w.WriteHeader(http.StatusOK)
+}
+
+// resolve is the leader's work: peers first, then the origin. It runs to
+// completion regardless of the requesting backend's fate — the result is
+// shared by every concurrent miss for the object.
+func (s *Shield) resolve(rec *trace.Record, from, uri string) cdn.FillResult {
+	// Whole-object fill accounting, mirroring the CDN model's
+	// DCStats.OriginBytes: a miss admits the full object.
+	n := rec.ObjectSize
+	for _, b := range s.cfg.Backends {
+		// Skip the requester: its own cache just missed. Replica backends
+		// sharing the requester's name are skipped too — they shard the
+		// same region, so the object's owner is the requester itself.
+		if b.Name == from || !b.Healthy() {
+			continue
+		}
+		ok, err := s.probePeer(b, uri)
+		if err != nil {
+			s.probeErrors.Inc()
+			s.logf("fleet: shield: probe %s: %v", b.Name, err)
+			continue
+		}
+		if ok {
+			s.peerFills.Inc()
+			s.peerBytes.Add(n)
+			return cdn.FillResult{Source: cdn.FillPeer, Backend: b.Name, Bytes: n}
+		}
+	}
+	// No peer holds it: this is the one origin fetch for the whole
+	// miss storm.
+	if d := s.originDelay(n); d > 0 {
+		s.originDelayH.Observe(d.Seconds())
+		time.Sleep(d)
+	}
+	s.originFetch.Inc()
+	s.originBytes.Add(n)
+	return cdn.FillResult{Source: cdn.FillOrigin, Bytes: n}
+}
+
+// probePeer asks one backend's /fill/ endpoint whether it holds the
+// object. ok=true on 200, ok=false on 404; anything else is an error.
+func (s *Shield) probePeer(b *Backend, uri string) (ok bool, err error) {
+	// Detached from the requester's context by design: the leader's
+	// resolution outlives any one requester.
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.URL+uri, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, &probeStatusError{url: b.URL + uri, status: resp.StatusCode}
+	}
+}
+
+type probeStatusError struct {
+	url    string
+	status int
+}
+
+func (e *probeStatusError) Error() string {
+	return "fleet: shield probe " + e.url + ": status " + strconv.Itoa(e.status)
+}
+
+// originDelay models the origin fetch time for n bytes, mirroring
+// edge.Server's origin model.
+func (s *Shield) originDelay(n int64) time.Duration {
+	d := s.cfg.OriginLatency
+	if s.cfg.OriginBandwidth > 0 && n > 0 {
+		d += time.Duration(float64(n) / float64(s.cfg.OriginBandwidth) * float64(time.Second))
+	}
+	return d
+}
+
+func (s *Shield) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
