@@ -9,13 +9,14 @@
 
 GO ?= go
 BIN ?= bin
-CMDS := tsgen tsanalyze tscdnsim tsreport tscrawl tsserve tsload tsbench tsgate tsrouter tscluster
+CMDS := tsgen tsanalyze tscdnsim tsreport tscrawl tsserve tsload tsbench tsgate tsrouter tscluster tssort
 
 # Benchmark selections backing the BENCH_*.json areas. The serve gate
 # judges only the socket-free serve-path variants (the http variant
 # rides in the trajectory file but is too noisy for a short CI run).
 SERVE_BENCH := BenchmarkEdgeServe
 STREAM_BENCH := BenchmarkRunStreaming|BenchmarkAnalyzeOnly
+PIPELINE_BENCH := BenchmarkPipelineFull
 GATE_MATCH_SERVE := /serve-
 # Gate iteration counts: the serve variants are ~400ns/op, so they need
 # enough iterations to amortize fixed per-run overhead (100x would read
@@ -23,7 +24,13 @@ GATE_MATCH_SERVE := /serve-
 # already seconds of work.
 GATE_TIME_SERVE ?= 10000x
 GATE_TIME_STREAM ?= 100x
+GATE_TIME_PIPELINE ?= 20x
 MAX_NS_REGRESS ?= 0.15
+# The pipeline benchmark allocates ~84K times per op; goroutine
+# scheduling and map-growth timing jitter that count by a few parts in
+# ten thousand, so its gate uses a small relative allocs budget instead
+# of the strict any-increase rule that guards the zero-alloc areas.
+MAX_ALLOCS_REGRESS_PIPELINE ?= 0.005
 
 .PHONY: all build test check vet race bench bench-mem bench-baseline bench-gate tools fmt-check serve-demo slo-demo slo-demo-breach cluster-demo
 
@@ -64,6 +71,8 @@ bench: tools
 		-in BENCH_local.txt -out BENCH_serve.json
 	$(BIN)/tsbench -area stream -match '$(STREAM_BENCH)' -config 'count=3,source=make-bench' \
 		-in BENCH_local.txt -out BENCH_stream.json
+	$(BIN)/tsbench -area pipeline -match '$(PIPELINE_BENCH)' -config 'count=3,source=make-bench' \
+		-in BENCH_local.txt -out BENCH_pipeline.json
 
 # Memory benchmark of the streaming study core (fused
 # generate→replay→analyze plus the analyze-only pipeline), appended to
@@ -83,6 +92,8 @@ bench-baseline: tools
 		| $(BIN)/tsbench -area serve -config 'count=3,source=bench-baseline' -out BENCH_serve.json
 	$(GO) test -run NONE -bench '$(STREAM_BENCH)' -benchmem -count=3 ./internal/core \
 		| $(BIN)/tsbench -area stream -config 'count=3,source=bench-baseline' -out BENCH_stream.json
+	$(GO) test -run NONE -bench '$(PIPELINE_BENCH)' -benchmem -count=3 ./internal/core \
+		| $(BIN)/tsbench -area pipeline -config 'count=3,source=bench-baseline' -out BENCH_pipeline.json
 
 # CI perf gate: a short fixed-iteration run of each area, compared
 # against the committed BENCH_*.json. Fails on >15% ns/op regression or
@@ -100,6 +111,11 @@ bench-gate: tools
 			-out $(BIN)/BENCH_stream.current.json
 	$(BIN)/tsbench -baseline BENCH_stream.json -compare $(BIN)/BENCH_stream.current.json \
 		-max-ns-regress $(MAX_NS_REGRESS)
+	$(GO) test -run NONE -bench '$(PIPELINE_BENCH)' -benchtime=$(GATE_TIME_PIPELINE) -benchmem -count=3 ./internal/core \
+		| $(BIN)/tsbench -area pipeline -config 'benchtime=$(GATE_TIME_PIPELINE),count=3,source=bench-gate' \
+			-out $(BIN)/BENCH_pipeline.current.json
+	$(BIN)/tsbench -baseline BENCH_pipeline.json -compare $(BIN)/BENCH_pipeline.current.json \
+		-max-ns-regress $(MAX_NS_REGRESS) -max-allocs-regress $(MAX_ALLOCS_REGRESS_PIPELINE)
 
 # Live serving demo: generate a trace, start the HTTP edge in the
 # background, replay the trace against it over loopback, then SIGINT the

@@ -100,7 +100,7 @@ func runAccumulator[T interface{ Add(*trace.Record) }](b *testing.B, mk func() T
 // image.
 func BenchmarkFig01ContentComposition(b *testing.B) {
 	benchSetup(b)
-	acc := runAccumulator(b, analysis.NewComposition)
+	acc := runAccumulator(b, func() *analysis.Composition { return analysis.NewComposition(0) })
 	v1 := acc.Site("V-1")
 	b.ReportMetric(v1.ObjectFrac(trace.CategoryVideo)*100, "V1-video-obj-%")
 	b.ReportMetric(float64(v1.TotalObjects()), "V1-objects")
@@ -110,7 +110,7 @@ func BenchmarkFig01ContentComposition(b *testing.B) {
 // Paper: V-1 3.1M video requests ~99%.
 func BenchmarkFig02aRequestCount(b *testing.B) {
 	benchSetup(b)
-	acc := runAccumulator(b, analysis.NewComposition)
+	acc := runAccumulator(b, func() *analysis.Composition { return analysis.NewComposition(0) })
 	v1 := acc.Site("V-1")
 	b.ReportMetric(v1.RequestFrac(trace.CategoryVideo)*100, "V1-video-req-%")
 }
@@ -119,7 +119,7 @@ func BenchmarkFig02aRequestCount(b *testing.B) {
 // Paper: video dominates bytes everywhere it exists.
 func BenchmarkFig02bRequestBytes(b *testing.B) {
 	benchSetup(b)
-	acc := runAccumulator(b, analysis.NewComposition)
+	acc := runAccumulator(b, func() *analysis.Composition { return analysis.NewComposition(0) })
 	v1 := acc.Site("V-1")
 	b.ReportMetric(v1.ByteFrac(trace.CategoryVideo)*100, "V1-video-byte-%")
 }
@@ -139,7 +139,7 @@ func BenchmarkFig03HourlyVolume(b *testing.B) {
 // >95% desktop; S-1 >1/3 non-desktop.
 func BenchmarkFig04DeviceMix(b *testing.B) {
 	benchSetup(b)
-	acc := runAccumulator(b, analysis.NewDeviceMix)
+	acc := runAccumulator(b, func() *analysis.DeviceMix { return analysis.NewDeviceMix(0) })
 	b.ReportMetric(acc.DesktopShare("V-2")*100, "V2-desktop-%")
 	b.ReportMetric((1-acc.DesktopShare("S-1"))*100, "S1-nondesktop-%")
 }
@@ -169,7 +169,7 @@ func BenchmarkFig06Popularity(b *testing.B) {
 // objects silent after day 3; ~10% requested all week.
 func BenchmarkFig07ContentAge(b *testing.B) {
 	benchSetup(b)
-	acc := runAccumulator(b, func() *analysis.Aging { return analysis.NewAging(benchWeek) })
+	acc := runAccumulator(b, func() *analysis.Aging { return analysis.NewAging(benchWeek, 0) })
 	curve := acc.Curve("V-1")
 	b.ReportMetric(curve[3]*100, "V1-age4-requested-%")
 	b.ReportMetric(acc.FracAliveAllWeek("V-1")*100, "V1-alive-all-week-%")
@@ -182,7 +182,7 @@ func BenchmarkFig08DTWClustering(b *testing.B) {
 	benchSetup(b)
 	var res *analysis.ClusterResult
 	for i := 0; i < b.N; i++ {
-		acc := analysis.NewObjectSeries(benchWeek)
+		acc := analysis.NewObjectSeries(benchWeek, 0)
 		for _, r := range benchReplay {
 			acc.Add(r)
 		}
@@ -213,7 +213,7 @@ func BenchmarkFig10MedoidsP2(b *testing.B) {
 
 func benchMedoids(b *testing.B, site string, cat trace.Category) {
 	b.Helper()
-	acc := analysis.NewObjectSeries(benchWeek)
+	acc := analysis.NewObjectSeries(benchWeek, 0)
 	for _, r := range benchReplay {
 		acc.Add(r)
 	}
@@ -244,7 +244,7 @@ func BenchmarkFig11InterArrival(b *testing.B) {
 	benchSetup(b)
 	var v1med, p2med float64
 	for i := 0; i < b.N; i++ {
-		acc := analysis.NewSessions(0)
+		acc := analysis.NewSessions(0, 0)
 		for _, r := range benchReplay {
 			acc.Add(r)
 		}
@@ -262,7 +262,7 @@ func BenchmarkFig12SessionLength(b *testing.B) {
 	benchSetup(b)
 	var med float64
 	for i := 0; i < b.N; i++ {
-		acc := analysis.NewSessions(10 * time.Minute)
+		acc := analysis.NewSessions(10*time.Minute, 0)
 		for _, r := range benchReplay {
 			acc.Add(r)
 		}
@@ -275,7 +275,7 @@ func BenchmarkFig12SessionLength(b *testing.B) {
 // scatter). Paper: objects with up to 100x more requests than users.
 func BenchmarkFig13RepeatedAccess(b *testing.B) {
 	benchSetup(b)
-	acc := runAccumulator(b, analysis.NewAddiction)
+	acc := runAccumulator(b, func() *analysis.Addiction { return analysis.NewAddiction(0) })
 	var maxRatio float64
 	for _, p := range acc.Scatter("V-1", trace.CategoryVideo) {
 		if r := float64(p.Requests) / float64(p.Users); r > maxRatio {
@@ -289,7 +289,7 @@ func BenchmarkFig13RepeatedAccess(b *testing.B) {
 // Paper: >=10% of video objects exceed 10 requests/user; <1% of images.
 func BenchmarkFig14AddictionCDF(b *testing.B) {
 	benchSetup(b)
-	acc := runAccumulator(b, analysis.NewAddiction)
+	acc := runAccumulator(b, func() *analysis.Addiction { return analysis.NewAddiction(0) })
 	b.ReportMetric(acc.FracObjectsAbove("V-1", trace.CategoryVideo, 10)*100, "V1-video>10req/user-%")
 	b.ReportMetric(acc.FracObjectsAbove("P-1", trace.CategoryImage, 10)*100, "P1-image>10req/user-%")
 }
@@ -298,7 +298,7 @@ func BenchmarkFig14AddictionCDF(b *testing.B) {
 // weighted 80-90%, popularity-hit correlation >0.9.
 func BenchmarkFig15HitRatio(b *testing.B) {
 	benchSetup(b)
-	acc := runAccumulator(b, analysis.NewCaching)
+	acc := runAccumulator(b, func() *analysis.Caching { return analysis.NewCaching(0) })
 	b.ReportMetric(acc.WeightedHitRatio("V-1")*100, "V1-weighted-hit-%")
 	b.ReportMetric(acc.PopularityHitCorrelation("V-1"), "V1-pop-hit-corr")
 }
@@ -307,7 +307,7 @@ func BenchmarkFig15HitRatio(b *testing.B) {
 // mix). Paper: 200 dominant, 206 for video ranges, 304 rare.
 func BenchmarkFig16ResponseCodes(b *testing.B) {
 	benchSetup(b)
-	acc := runAccumulator(b, analysis.NewCaching)
+	acc := runAccumulator(b, func() *analysis.Caching { return analysis.NewCaching(0) })
 	b.ReportMetric(acc.CodeFrac("V-1", trace.CategoryVideo, 206)*100, "V1-video-206-%")
 	b.ReportMetric(acc.CodeFrac("P-1", trace.CategoryImage, 304)*100, "P1-image-304-%")
 }
@@ -541,7 +541,7 @@ func BenchmarkAblationForecast(b *testing.B) {
 // banded variant used by the clustering pipeline.
 func BenchmarkAblationDTWBand(b *testing.B) {
 	benchSetup(b)
-	acc := analysis.NewObjectSeries(benchWeek)
+	acc := analysis.NewObjectSeries(benchWeek, 0)
 	for _, r := range benchReplay {
 		acc.Add(r)
 	}
@@ -694,7 +694,7 @@ func BenchmarkAblationParallelReplay(b *testing.B) {
 // approximation on warm object series.
 func BenchmarkAblationFastDTW(b *testing.B) {
 	benchSetup(b)
-	acc := analysis.NewObjectSeries(benchWeek)
+	acc := analysis.NewObjectSeries(benchWeek, 0)
 	for _, r := range benchReplay {
 		acc.Add(r)
 	}

@@ -41,13 +41,14 @@ func main() {
 
 func run() error {
 	var (
-		in      = flag.String("in", "-", "input trace path (.bin/.txt/.jsonl, optional .gz), or - for text on stdin")
-		format  = flag.String("format", "", "override log format: binary, text or json")
-		figures = flag.String("figures", "", "comma-separated figure numbers (default: all)")
-		replay  = flag.Bool("replay", false, "replay through the CDN simulator before analyzing")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		scale   = flag.Float64("scale", 0.01, "scale hint for CDN cache sizing when -replay is set")
-		workers = flag.Int("workers", 0, "analysis parallelism (0 = GOMAXPROCS)")
+		in        = flag.String("in", "-", "input trace path (.bin/.txt/.jsonl, optional .gz), or - for text on stdin")
+		format    = flag.String("format", "", "override log format: binary, text or json")
+		figures   = flag.String("figures", "", "comma-separated figure numbers (default: all)")
+		replay    = flag.Bool("replay", false, "replay through the CDN simulator before analyzing")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		scale     = flag.Float64("scale", 0.01, "scale hint for CDN cache sizing when -replay is set")
+		workers   = flag.Int("workers", 0, "analysis parallelism (0 = GOMAXPROCS)")
+		memBudget = flag.Int("mem-budget", 0, "per-site analyzer state budget in keys (0 = exact; >0 enables sketch/sample estimators)")
 	)
 	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -72,7 +73,7 @@ func run() error {
 
 	// NewStudy validates -figures against the analyzer registry and
 	// constructs only the analyzers covering the requested figures.
-	study, err := core.NewStudy(core.Config{Scale: *scale, Workers: *workers, Figures: figList, Metrics: sess.Registry()})
+	study, err := core.NewStudy(core.Config{Scale: *scale, Workers: *workers, Figures: figList, MemoryBudget: *memBudget, Metrics: sess.Registry()})
 	if err != nil {
 		return err
 	}

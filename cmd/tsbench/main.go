@@ -39,14 +39,15 @@ func main() {
 
 func run() error {
 	var (
-		area     = flag.String("area", "", "benchmark area label for -out (e.g. serve, stream)")
-		in       = flag.String("in", "", "go test -bench output to convert (default stdin)")
-		out      = flag.String("out", "", "BENCH_<area>.json path to write")
-		match    = flag.String("match", "", "only convert benchmarks whose name matches this regexp")
-		config   = flag.String("config", "", "run configuration recorded in the file, as k=v[,k=v...]")
-		baseline = flag.String("baseline", "", "committed baseline JSON to compare against")
-		compare  = flag.String("compare", "", "current-run JSON to compare with -baseline")
-		maxNs    = flag.Float64("max-ns-regress", 0.15, "allowed fractional ns/op regression in compare mode")
+		area      = flag.String("area", "", "benchmark area label for -out (e.g. serve, stream)")
+		in        = flag.String("in", "", "go test -bench output to convert (default stdin)")
+		out       = flag.String("out", "", "BENCH_<area>.json path to write")
+		match     = flag.String("match", "", "only convert benchmarks whose name matches this regexp")
+		config    = flag.String("config", "", "run configuration recorded in the file, as k=v[,k=v...]")
+		baseline  = flag.String("baseline", "", "committed baseline JSON to compare against")
+		compare   = flag.String("compare", "", "current-run JSON to compare with -baseline")
+		maxNs     = flag.Float64("max-ns-regress", 0.15, "allowed fractional ns/op regression in compare mode")
+		maxAllocs = flag.Float64("max-allocs-regress", 0, "allowed fractional allocs/op regression in compare mode (0 = any increase fails)")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func run() error {
 		if *baseline == "" || *compare == "" {
 			return fmt.Errorf("compare mode needs both -baseline and -compare")
 		}
-		return runCompare(*baseline, *compare, *match, *maxNs)
+		return runCompare(*baseline, *compare, *match, *maxNs, *maxAllocs)
 	}
 	if *out == "" {
 		return fmt.Errorf("-out is required (or use -baseline/-compare)")
@@ -93,7 +94,7 @@ func runConvert(area, in, out, match, config string) error {
 	return nil
 }
 
-func runCompare(baselinePath, currentPath, match string, maxNs float64) error {
+func runCompare(baselinePath, currentPath, match string, maxNs, maxAllocs float64) error {
 	base, err := benchjson.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -111,7 +112,7 @@ func runCompare(baselinePath, currentPath, match string, maxNs float64) error {
 	if len(base.Benchmarks) == 0 {
 		return fmt.Errorf("no baseline benchmarks in %s match %q", baselinePath, match)
 	}
-	regs := benchjson.Compare(base, cur, maxNs)
+	regs := benchjson.Compare(base, cur, maxNs, maxAllocs)
 	if len(regs) == 0 {
 		fmt.Printf("tsbench: %d benchmarks within budget of %s (max ns/op regression %.0f%%)\n",
 			len(base.Benchmarks), baselinePath, 100*maxNs)

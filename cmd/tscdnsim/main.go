@@ -136,8 +136,9 @@ func countRecords(src trace.Source) (int, error) {
 	}
 	defer trace.CloseReader(r)
 	n := 0
+	var rec trace.Record
 	for {
-		_, err := r.Read()
+		err := r.Read(&rec)
 		if err == io.EOF {
 			return n, nil
 		}

@@ -279,39 +279,57 @@ type writerFunc func(*trace.Record) error
 func (f writerFunc) Write(r *trace.Record) error { return f(r) }
 
 // generatorReader adapts GenerateTo's push model to the pull-based
-// trace.Reader using a goroutine and a channel.
+// trace.Reader using a goroutine and a channel of value batches (the
+// generator side copies records into the batch, so its own storage is
+// never shared across the channel).
 type generatorReader struct {
-	ch   chan *trace.Record
+	ch   chan []trace.Record
 	errc chan error
+	cur  []trace.Record
+	pos  int
 	done bool
 }
 
 func newGeneratorReader(gen *synth.Generator) *generatorReader {
 	gr := &generatorReader{
-		ch:   make(chan *trace.Record, 1024),
+		ch:   make(chan []trace.Record, 4),
 		errc: make(chan error, 1),
 	}
 	go func() {
 		defer close(gr.ch)
-		gr.errc <- gen.GenerateTo(func(r *trace.Record) error {
-			gr.ch <- r
+		batch := make([]trace.Record, 0, 1024)
+		err := gen.GenerateTo(func(r *trace.Record) error {
+			batch = append(batch, *r)
+			if len(batch) == cap(batch) {
+				gr.ch <- batch
+				batch = make([]trace.Record, 0, 1024)
+			}
 			return nil
 		})
+		if len(batch) > 0 {
+			gr.ch <- batch
+		}
+		gr.errc <- err
 	}()
 	return gr
 }
 
-func (gr *generatorReader) Read() (*trace.Record, error) {
+func (gr *generatorReader) Read(rec *trace.Record) error {
 	if gr.done {
-		return nil, io.EOF
+		return io.EOF
 	}
-	rec, ok := <-gr.ch
-	if ok {
-		return rec, nil
+	for gr.pos >= len(gr.cur) {
+		batch, ok := <-gr.ch
+		if !ok {
+			gr.done = true
+			if err := <-gr.errc; err != nil {
+				return err
+			}
+			return io.EOF
+		}
+		gr.cur, gr.pos = batch, 0
 	}
-	gr.done = true
-	if err := <-gr.errc; err != nil {
-		return nil, err
-	}
-	return nil, io.EOF
+	*rec = gr.cur[gr.pos]
+	gr.pos++
+	return nil
 }

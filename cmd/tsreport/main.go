@@ -32,14 +32,15 @@ func main() {
 
 func run() error {
 	var (
-		scale   = flag.Float64("scale", 0.02, "fraction of paper-reported object/request counts")
-		seed    = flag.Int64("seed", 42, "random seed")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		summary = flag.Bool("summary", false, "print only the run summary")
-		workers = flag.Int("workers", 0, "analysis parallelism (0 = GOMAXPROCS)")
-		extras  = flag.Bool("extras", true, "include forecasting and crawler-baseline tables")
-		verify  = flag.Bool("verify", false, "append the calibration-verification table; exit 1 if any check fails")
-		outDir  = flag.String("outdir", "", "also write every table as a CSV file into this directory")
+		scale     = flag.Float64("scale", 0.02, "fraction of paper-reported object/request counts")
+		seed      = flag.Int64("seed", 42, "random seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		summary   = flag.Bool("summary", false, "print only the run summary")
+		workers   = flag.Int("workers", 0, "analysis parallelism (0 = GOMAXPROCS)")
+		extras    = flag.Bool("extras", true, "include forecasting and crawler-baseline tables")
+		verify    = flag.Bool("verify", false, "append the calibration-verification table; exit 1 if any check fails")
+		outDir    = flag.String("outdir", "", "also write every table as a CSV file into this directory")
+		memBudget = flag.Int("mem-budget", 0, "per-site analyzer state budget in keys (0 = exact; >0 enables sketch/sample estimators)")
 	)
 	obsFlags := cliobs.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -56,7 +57,7 @@ func run() error {
 	defer sess.Finish(extra)
 
 	start := time.Now()
-	study, err := core.NewStudy(core.Config{Seed: *seed, Scale: *scale, Workers: *workers, Metrics: sess.Registry()})
+	study, err := core.NewStudy(core.Config{Seed: *seed, Scale: *scale, Workers: *workers, MemoryBudget: *memBudget, Metrics: sess.Registry()})
 	if err != nil {
 		return err
 	}

@@ -12,8 +12,17 @@ import (
 // distinct users; Fig. 14 is the CDF of requests per (user, object) pair,
 // which separates "viral" objects (many users, few repeats) from
 // "addictive" ones (few users, many repeats).
+//
+// Bounded mode (Params.MemoryBudget > 0) samples *objects*: all (user,
+// object) pairs of a uniformly sampled object subset are kept exactly,
+// so per-object statistics (Scatter points, MaxRequestsPerUser) are
+// exact for the sampled objects and the object-level distributions
+// (PerUserCDF, FracObjectsAbove) are unbiased estimates with relative
+// standard error ~ 1/sqrt(budget).
 type Addiction struct {
-	sites map[string]map[trace.Category]map[pairKey]int64
+	budget int
+	sites  map[string]map[trace.Category]map[pairKey]int64
+	bounds map[string]map[trace.Category]*boundedKeys // nil maps in exact mode
 }
 
 type pairKey struct {
@@ -25,14 +34,53 @@ func init() {
 	Register(Descriptor{
 		Name:    "addiction",
 		Figures: []int{13, 14},
-		New:     func(Params) Analyzer { return NewAddiction() },
+		New:     func(p Params) Analyzer { return NewAddiction(p.MemoryBudget) },
 		Merge:   mergeAs[*Addiction],
 	})
 }
 
-// NewAddiction creates an empty accumulator.
-func NewAddiction() *Addiction {
-	return &Addiction{sites: map[string]map[trace.Category]map[pairKey]int64{}}
+// NewAddiction creates an empty accumulator; budget 0 is exact, a
+// positive budget caps tracked objects per site and category.
+func NewAddiction(budget int) *Addiction {
+	a := &Addiction{budget: budget, sites: map[string]map[trace.Category]map[pairKey]int64{}}
+	if budget > 0 {
+		a.bounds = map[string]map[trace.Category]*boundedKeys{}
+	}
+	return a
+}
+
+// bound returns the (site, category) object sampler in bounded mode.
+func (a *Addiction) bound(site string, cat trace.Category) *boundedKeys {
+	if a.bounds == nil {
+		return nil
+	}
+	cats, ok := a.bounds[site]
+	if !ok {
+		cats = map[trace.Category]*boundedKeys{}
+		a.bounds[site] = cats
+	}
+	b, ok := cats[cat]
+	if !ok {
+		b = newBoundedKeys(a.budget)
+		cats[cat] = b
+	}
+	return b
+}
+
+// dropObjects deletes every pair of the dropped objects.
+func dropObjects(pairs map[pairKey]int64, dropped []uint64) {
+	if len(dropped) == 0 {
+		return
+	}
+	gone := make(map[uint64]struct{}, len(dropped))
+	for _, id := range dropped {
+		gone[id] = struct{}{}
+	}
+	for k := range pairs {
+		if _, ok := gone[k.obj]; ok {
+			delete(pairs, k)
+		}
+	}
 }
 
 // Add folds one record.
@@ -47,6 +95,13 @@ func (a *Addiction) Add(r *trace.Record) {
 	if !ok {
 		pairs = map[pairKey]int64{}
 		site[cat] = pairs
+	}
+	if b := a.bound(r.Publisher, cat); b != nil {
+		ok, dropped := b.admit(r.ObjectID)
+		dropObjects(pairs, dropped)
+		if !ok {
+			return
+		}
 	}
 	pairs[pairKey{obj: r.ObjectID, user: r.UserID}]++
 }
@@ -64,6 +119,21 @@ func (a *Addiction) Merge(o *Addiction) {
 			if !ok {
 				m = map[pairKey]int64{}
 				mine[cat] = m
+			}
+			if b := a.bound(site, cat); b != nil {
+				ob := o.bound(site, cat)
+				admitted, dropped := b.mergeFrom(ob)
+				dropObjects(m, dropped)
+				keep := make(map[uint64]struct{}, len(admitted))
+				for _, id := range admitted {
+					keep[id] = struct{}{}
+				}
+				for k, n := range pairs {
+					if _, ok := keep[k.obj]; ok {
+						m[k] += n
+					}
+				}
+				continue
 			}
 			for k, n := range pairs {
 				m[k] += n

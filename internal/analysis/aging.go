@@ -12,23 +12,47 @@ import (
 // observed request ("content injection"); the curve reports, for each age
 // d, the fraction of objects that received at least one request on day
 // first+d-1, among objects whose age-d day falls inside the trace.
+// Bounded mode (Params.MemoryBudget > 0) keeps day bitmaps for a
+// uniform object sample of at most the budget per site; the Curve,
+// FracAliveAllWeek and FracSilentAfterDay ratios are then unbiased
+// estimates with relative standard error ~ 1/sqrt(budget).
 type Aging struct {
-	week  timeutil.Week
-	sites map[string]map[uint64]*[7]bool // site -> object -> requested-on-day
+	week   timeutil.Week
+	budget int
+	sites  map[string]map[uint64]*[7]bool // site -> object -> requested-on-day
+	bounds map[string]*boundedKeys        // nil in exact mode
 }
 
 func init() {
 	Register(Descriptor{
 		Name:    "aging",
 		Figures: []int{7},
-		New:     func(p Params) Analyzer { return NewAging(p.Week) },
+		New:     func(p Params) Analyzer { return NewAging(p.Week, p.MemoryBudget) },
 		Merge:   mergeAs[*Aging],
 	})
 }
 
-// NewAging creates an accumulator over the given trace week.
-func NewAging(week timeutil.Week) *Aging {
-	return &Aging{week: week, sites: map[string]map[uint64]*[7]bool{}}
+// NewAging creates an accumulator over the given trace week; budget 0
+// is exact, a positive budget caps tracked objects per site.
+func NewAging(week timeutil.Week, budget int) *Aging {
+	a := &Aging{week: week, budget: budget, sites: map[string]map[uint64]*[7]bool{}}
+	if budget > 0 {
+		a.bounds = map[string]*boundedKeys{}
+	}
+	return a
+}
+
+// bound returns the site's object sampler in bounded mode.
+func (a *Aging) bound(site string) *boundedKeys {
+	if a.bounds == nil {
+		return nil
+	}
+	b, ok := a.bounds[site]
+	if !ok {
+		b = newBoundedKeys(a.budget)
+		a.bounds[site] = b
+	}
+	return b
 }
 
 // Add folds one record; records outside the week are ignored.
@@ -41,6 +65,15 @@ func (a *Aging) Add(r *trace.Record) {
 	if !ok {
 		site = map[uint64]*[7]bool{}
 		a.sites[r.Publisher] = site
+	}
+	if b := a.bound(r.Publisher); b != nil {
+		ok, dropped := b.admit(r.ObjectID)
+		for _, id := range dropped {
+			delete(site, id)
+		}
+		if !ok {
+			return
+		}
 	}
 	days, ok := site[r.ObjectID]
 	if !ok {
@@ -58,7 +91,22 @@ func (a *Aging) Merge(o *Aging) {
 			mine = map[uint64]*[7]bool{}
 			a.sites[site] = mine
 		}
+		keep := func(uint64) bool { return true }
+		if b := a.bound(site); b != nil {
+			admitted, dropped := b.mergeFrom(o.bound(site))
+			for _, id := range dropped {
+				delete(mine, id)
+			}
+			in := make(map[uint64]struct{}, len(admitted))
+			for _, id := range admitted {
+				in[id] = struct{}{}
+			}
+			keep = func(id uint64) bool { _, ok := in[id]; return ok }
+		}
 		for id, days := range objs {
+			if !keep(id) {
+				continue
+			}
 			m, ok := mine[id]
 			if !ok {
 				m = &[7]bool{}

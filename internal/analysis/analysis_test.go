@@ -29,7 +29,7 @@ func rec(site string, obj, user uint64, ft trace.FileType, size int64, h int) *t
 }
 
 func TestCompositionCounts(t *testing.T) {
-	c := NewComposition()
+	c := NewComposition(0)
 	c.Add(rec("V-1", 1, 10, trace.FileMP4, 1000, 0))
 	c.Add(rec("V-1", 1, 11, trace.FileMP4, 1000, 1)) // same object again
 	c.Add(rec("V-1", 2, 10, trace.FileJPG, 50, 2))
@@ -71,7 +71,7 @@ func TestCompositionCounts(t *testing.T) {
 
 func TestCompositionMergeExact(t *testing.T) {
 	// Overlapping objects across shards must not double count.
-	a, b, whole := NewComposition(), NewComposition(), NewComposition()
+	a, b, whole := NewComposition(0), NewComposition(0), NewComposition(0)
 	records := []*trace.Record{
 		rec("V-1", 1, 1, trace.FileMP4, 100, 0),
 		rec("V-1", 1, 2, trace.FileMP4, 100, 1),
@@ -162,7 +162,7 @@ func TestHourOfWeekSeries(t *testing.T) {
 }
 
 func TestDeviceMixUserShare(t *testing.T) {
-	d := NewDeviceMix()
+	d := NewDeviceMix(0)
 	android := "Mozilla/5.0 (Linux; Android 5.1.1; SM-G920F Build/LMY47X) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/45.0.2454.94 Mobile Safari/537.36"
 	for u := uint64(0); u < 8; u++ {
 		d.Add(rec("S-1", 1, u, trace.FileJPG, 10, 0)) // desktop agent
@@ -189,7 +189,7 @@ func TestDeviceMixUserShare(t *testing.T) {
 		t.Error("unknown site")
 	}
 	// Merge unions users.
-	o := NewDeviceMix()
+	o := NewDeviceMix(0)
 	o.Add(rec("S-1", 1, 0, trace.FileJPG, 10, 0)) // duplicate user
 	o.Add(rec("S-1", 1, 999, trace.FileJPG, 10, 0))
 	d.Merge(o)
@@ -275,7 +275,7 @@ func TestPopularity(t *testing.T) {
 }
 
 func TestAgingCurve(t *testing.T) {
-	a := NewAging(week)
+	a := NewAging(week, 0)
 	// Object 1: requested on all 7 days (diurnal).
 	for d := 0; d < 7; d++ {
 		a.Add(rec("P-1", 1, 1, trace.FileJPG, 10, d*24))
@@ -316,7 +316,7 @@ func TestAgingCurve(t *testing.T) {
 	if got := a.FracSilentAfterDay("P-1", 1); math.Abs(got-1.0/3) > 1e-9 {
 		t.Errorf("FracSilentAfterDay(1) = %v, want 1/3", got)
 	}
-	o := NewAging(week)
+	o := NewAging(week, 0)
 	o.Add(rec("P-1", 2, 1, trace.FileJPG, 10, 3*24))
 	a.Merge(o)
 	curve2 := a.Curve("P-1")
@@ -326,7 +326,7 @@ func TestAgingCurve(t *testing.T) {
 }
 
 func TestSessionsIATAndLength(t *testing.T) {
-	s := NewSessions(0)
+	s := NewSessions(0, 0)
 	if s.Timeout() != DefaultSessionTimeout {
 		t.Error("default timeout")
 	}
@@ -374,7 +374,7 @@ func TestSessionsIATAndLength(t *testing.T) {
 		t.Error("unknown site")
 	}
 	// Merge combines per-user series before sessionization.
-	o := NewSessions(0)
+	o := NewSessions(0, 0)
 	o.Add(mk(1, 60*time.Second))
 	s.Merge(o)
 	if len(s.IATSeconds("V-1")) != 4 {
@@ -383,7 +383,7 @@ func TestSessionsIATAndLength(t *testing.T) {
 }
 
 func TestAddiction(t *testing.T) {
-	a := NewAddiction()
+	a := NewAddiction(0)
 	// Object 1: user 1 requests it 12 times (addiction), user 2 once.
 	for i := 0; i < 12; i++ {
 		a.Add(rec("V-1", 1, 1, trace.FileMP4, 100, i))
@@ -417,7 +417,7 @@ func TestAddiction(t *testing.T) {
 	if a.PerUserCDF("none", trace.CategoryVideo) != nil {
 		t.Error("unknown site")
 	}
-	o := NewAddiction()
+	o := NewAddiction(0)
 	o.Add(rec("V-1", 1, 1, trace.FileMP4, 100, 50))
 	a.Merge(o)
 	if a.MaxRequestsPerUser("V-1", trace.CategoryVideo)[1] != 13 {
@@ -426,7 +426,7 @@ func TestAddiction(t *testing.T) {
 }
 
 func TestCaching(t *testing.T) {
-	c := NewCaching()
+	c := NewCaching(0)
 	hit := rec("V-1", 1, 1, trace.FileJPG, 100, 0)
 	hit.Cache = trace.CacheHit
 	miss := rec("V-1", 1, 2, trace.FileJPG, 100, 1)
@@ -457,7 +457,7 @@ func TestCaching(t *testing.T) {
 	if c.HitRatioCDF("none", trace.CategoryImage) != nil {
 		t.Error("unknown site")
 	}
-	o := NewCaching()
+	o := NewCaching(0)
 	h2 := rec("V-1", 1, 3, trace.FileJPG, 100, 3)
 	h2.Cache = trace.CacheHit
 	o.Add(h2)
@@ -468,7 +468,7 @@ func TestCaching(t *testing.T) {
 }
 
 func TestHitRatioByPopularityDecile(t *testing.T) {
-	c := NewCaching()
+	c := NewCaching(0)
 	// 20 objects: object i gets i+1 lookups and hits proportional to
 	// popularity, so the decile curve must rise.
 	for obj := uint64(0); obj < 20; obj++ {
@@ -496,7 +496,7 @@ func TestHitRatioByPopularityDecile(t *testing.T) {
 		}
 	}
 	// Too few objects: nil.
-	small := NewCaching()
+	small := NewCaching(0)
 	r := rec("X", 1, 1, trace.FileJPG, 10, 0)
 	r.Cache = trace.CacheHit
 	small.Add(r)
@@ -509,7 +509,7 @@ func TestHitRatioByPopularityDecile(t *testing.T) {
 }
 
 func TestCachingCorrelation(t *testing.T) {
-	c := NewCaching()
+	c := NewCaching(0)
 	// Popular objects hit more: object i gets i+1 lookups with i hits.
 	for obj := uint64(1); obj <= 5; obj++ {
 		for k := int64(0); k < int64(obj)+1; k++ {
@@ -528,7 +528,7 @@ func TestCachingCorrelation(t *testing.T) {
 }
 
 func TestObjectSeriesAndClustering(t *testing.T) {
-	s := NewObjectSeries(week)
+	s := NewObjectSeries(week, 0)
 	// Three diurnal objects: daily repeating pattern.
 	for obj := uint64(1); obj <= 3; obj++ {
 		for d := 0; d < 7; d++ {
@@ -601,7 +601,7 @@ func TestObjectSeriesAndClustering(t *testing.T) {
 }
 
 func TestBestK(t *testing.T) {
-	s := NewObjectSeries(week)
+	s := NewObjectSeries(week, 0)
 	// Two clearly distinct shape families (diurnal vs short-lived), so
 	// the silhouette should peak at k=2.
 	for obj := uint64(1); obj <= 6; obj++ {
@@ -671,7 +671,7 @@ func TestClassifyShapeEdgeCases(t *testing.T) {
 }
 
 func TestObjectSeriesMerge(t *testing.T) {
-	a, b := NewObjectSeries(week), NewObjectSeries(week)
+	a, b := NewObjectSeries(week, 0), NewObjectSeries(week, 0)
 	a.Add(rec("V-1", 1, 1, trace.FileMP4, 100, 0))
 	b.Add(rec("V-1", 1, 2, trace.FileMP4, 100, 0))
 	b.Add(rec("V-1", 2, 1, trace.FileMP4, 100, 5))

@@ -1,0 +1,112 @@
+package analysis
+
+import "trafficscope/internal/sketch"
+
+// boundedKeys implements the analyzers' bounded-memory mode: a uniform
+// hash-threshold sample of a key population (object IDs, user IDs)
+// capped at a fixed size. The analyzer keeps its per-key state in its
+// usual maps but routes every insert through admit, which returns false
+// for keys outside the sample and reports the keys to evict whenever
+// the sample outgrew the cap and the threshold halved.
+//
+// Because membership depends only on the key's hash and the current
+// threshold, the sample is an unbiased uniform subsample of the keys
+// seen so far: any statistic that is a ratio or distribution over keys
+// (fractions of objects, per-object CDFs, per-user session curves)
+// computed from the sampled keys estimates the population value with
+// relative standard error ~ 1/sqrt(cap). Two workers' samples merge
+// exactly by adopting the stricter threshold and evicting.
+type boundedKeys struct {
+	cap  int
+	samp *sketch.KeySampler
+	keys map[uint64]struct{}
+}
+
+// newBoundedKeys creates a sampler capped at cap keys (cap > 0).
+func newBoundedKeys(cap int) *boundedKeys {
+	return &boundedKeys{cap: cap, samp: sketch.NewKeySampler(), keys: map[uint64]struct{}{}}
+}
+
+// admit reports whether key is in the sample, tracking it if new.
+// dropped lists keys evicted by a threshold halving this call; the
+// caller must delete its state for them (key itself may be among them,
+// in which case admit returns false).
+func (b *boundedKeys) admit(key uint64) (ok bool, dropped []uint64) {
+	h := sketch.Hash64(key)
+	if !b.samp.Admits(h) {
+		return false, nil
+	}
+	if _, seen := b.keys[key]; seen {
+		return true, nil
+	}
+	b.keys[key] = struct{}{}
+	if len(b.keys) > b.cap {
+		dropped = b.shrink()
+	}
+	return b.samp.Admits(h), dropped
+}
+
+// shrink halves the threshold until the sample fits the cap, returning
+// the evicted keys.
+func (b *boundedKeys) shrink() []uint64 {
+	var dropped []uint64
+	for len(b.keys) > b.cap {
+		b.samp.Halve()
+		for k := range b.keys {
+			if !b.samp.Admits(sketch.Hash64(k)) {
+				delete(b.keys, k)
+				dropped = append(dropped, k)
+			}
+		}
+	}
+	return dropped
+}
+
+// mergeFrom folds another sampler's keys in under the stricter of the
+// two thresholds and the cap. admitted lists o's keys that joined the
+// merged sample (the caller merges state for exactly those); dropped
+// lists this sampler's previously-tracked keys that fell out.
+func (b *boundedKeys) mergeFrom(o *boundedKeys) (admitted, dropped []uint64) {
+	if b.samp.MergeFrom(o.samp) {
+		for k := range b.keys {
+			if !b.samp.Admits(sketch.Hash64(k)) {
+				delete(b.keys, k)
+				dropped = append(dropped, k)
+			}
+		}
+	}
+	for k := range o.keys {
+		if !b.samp.Admits(sketch.Hash64(k)) {
+			continue
+		}
+		if _, seen := b.keys[k]; !seen {
+			b.keys[k] = struct{}{}
+			admitted = append(admitted, k)
+		} else {
+			admitted = append(admitted, k)
+		}
+	}
+	if len(b.keys) > b.cap {
+		more := b.shrink()
+		// A late shrink can evict keys from either side; the caller
+		// deletes state for all of them, so fold them into dropped and
+		// filter them out of admitted.
+		evicted := make(map[uint64]struct{}, len(more))
+		for _, k := range more {
+			evicted[k] = struct{}{}
+		}
+		kept := admitted[:0]
+		for _, k := range admitted {
+			if _, gone := evicted[k]; !gone {
+				kept = append(kept, k)
+			}
+		}
+		admitted = kept
+		dropped = append(dropped, more...)
+	}
+	return admitted, dropped
+}
+
+// inclusionProb exposes the sample's inclusion probability for
+// population-total estimates (scale sampled totals by its inverse).
+func (b *boundedKeys) inclusionProb() float64 { return b.samp.InclusionProb() }

@@ -9,8 +9,17 @@ import (
 
 // Caching accumulates Figs. 15 and 16 from a CDN-replayed trace: per-
 // object cache hit ratios and HTTP response-code counts per category.
+//
+// Bounded mode (Params.MemoryBudget > 0) samples objects: per-object
+// hit-ratio shapes (HitRatioCDF, the decile curve, the Spearman
+// correlation) come from a uniform object sample of at most the budget
+// per site, with sampling error ~ 1/sqrt(budget). The site-level
+// request-weighted totals behind WeightedHitRatio are kept in exact
+// scalar counters in both modes, and the per-category response-code
+// table is tiny and always exact.
 type Caching struct {
-	sites map[string]*cachingSite
+	budget int
+	sites  map[string]*cachingSite
 }
 
 type cachingSite struct {
@@ -20,14 +29,31 @@ type cachingSite struct {
 	objCat  map[uint64]trace.Category
 	// response code counts per category
 	codes map[trace.Category]map[int]int64
+	// exact site-wide totals (independent of object sampling)
+	totalLookups int64
+	totalHits    int64
+	bound        *boundedKeys // nil in exact mode
 }
 
-func newCachingSite() *cachingSite {
-	return &cachingSite{
+func newCachingSite(budget int) *cachingSite {
+	s := &cachingSite{
 		lookups: map[uint64]int64{},
 		hits:    map[uint64]int64{},
 		objCat:  map[uint64]trace.Category{},
 		codes:   map[trace.Category]map[int]int64{},
+	}
+	if budget > 0 {
+		s.bound = newBoundedKeys(budget)
+	}
+	return s
+}
+
+// drop deletes all per-object state for the dropped objects.
+func (s *cachingSite) drop(dropped []uint64) {
+	for _, id := range dropped {
+		delete(s.lookups, id)
+		delete(s.hits, id)
+		delete(s.objCat, id)
 	}
 }
 
@@ -35,21 +61,22 @@ func init() {
 	Register(Descriptor{
 		Name:    "caching",
 		Figures: []int{15, 16},
-		New:     func(Params) Analyzer { return NewCaching() },
+		New:     func(p Params) Analyzer { return NewCaching(p.MemoryBudget) },
 		Merge:   mergeAs[*Caching],
 	})
 }
 
-// NewCaching creates an empty accumulator.
-func NewCaching() *Caching {
-	return &Caching{sites: map[string]*cachingSite{}}
+// NewCaching creates an empty accumulator; budget 0 is exact, a
+// positive budget caps tracked objects per site.
+func NewCaching(budget int) *Caching {
+	return &Caching{budget: budget, sites: map[string]*cachingSite{}}
 }
 
 // Add folds one record.
 func (c *Caching) Add(r *trace.Record) {
 	s, ok := c.sites[r.Publisher]
 	if !ok {
-		s = newCachingSite()
+		s = newCachingSite(c.budget)
 		c.sites[r.Publisher] = s
 	}
 	cat := r.Category()
@@ -61,6 +88,17 @@ func (c *Caching) Add(r *trace.Record) {
 	codes[r.StatusCode]++
 	if r.Cache == trace.CacheUnknown {
 		return
+	}
+	s.totalLookups++
+	if r.Cache == trace.CacheHit {
+		s.totalHits++
+	}
+	if s.bound != nil {
+		ok, dropped := s.bound.admit(r.ObjectID)
+		s.drop(dropped)
+		if !ok {
+			return
+		}
 	}
 	s.lookups[r.ObjectID]++
 	if r.Cache == trace.CacheHit {
@@ -76,17 +114,33 @@ func (c *Caching) Merge(o *Caching) {
 	for site, os := range o.sites {
 		s, ok := c.sites[site]
 		if !ok {
-			s = newCachingSite()
+			s = newCachingSite(c.budget)
 			c.sites[site] = s
 		}
+		s.totalLookups += os.totalLookups
+		s.totalHits += os.totalHits
+		keep := func(uint64) bool { return true }
+		if s.bound != nil && os.bound != nil {
+			admitted, dropped := s.bound.mergeFrom(os.bound)
+			s.drop(dropped)
+			in := make(map[uint64]struct{}, len(admitted))
+			for _, id := range admitted {
+				in[id] = struct{}{}
+			}
+			keep = func(id uint64) bool { _, ok := in[id]; return ok }
+		}
 		for id, n := range os.lookups {
-			s.lookups[id] += n
+			if keep(id) {
+				s.lookups[id] += n
+			}
 		}
 		for id, n := range os.hits {
-			s.hits[id] += n
+			if keep(id) {
+				s.hits[id] += n
+			}
 		}
 		for id, cat := range os.objCat {
-			if _, seen := s.objCat[id]; !seen {
+			if _, seen := s.objCat[id]; !seen && keep(id) {
 				s.objCat[id] = cat
 			}
 		}
@@ -136,20 +190,14 @@ func (c *Caching) HitRatioCDF(site string, cat trace.Category) *stats.ECDF {
 
 // WeightedHitRatio returns the site's request-weighted hit ratio across
 // all categories ("overall CDN cache hit ratios range between 80-90%").
+// The ratio comes from exact site-wide counters, so it carries no
+// sampling error in bounded mode.
 func (c *Caching) WeightedHitRatio(site string) float64 {
 	s, ok := c.sites[site]
-	if !ok {
+	if !ok || s.totalLookups == 0 {
 		return 0
 	}
-	var hits, lookups int64
-	for id, n := range s.lookups {
-		lookups += n
-		hits += s.hits[id]
-	}
-	if lookups == 0 {
-		return 0
-	}
-	return float64(hits) / float64(lookups)
+	return float64(s.totalHits) / float64(s.totalLookups)
 }
 
 // PopularityHitCorrelation returns the Spearman correlation between

@@ -7,6 +7,7 @@ import (
 
 	"trafficscope/internal/cluster"
 	"trafficscope/internal/dtw"
+	"trafficscope/internal/sketch"
 	"trafficscope/internal/stats"
 	"trafficscope/internal/timeutil"
 	"trafficscope/internal/trace"
@@ -17,26 +18,75 @@ import (
 // Counts are held as float32 — request counts are integers well below
 // 2^24, so the narrower cells are exact while halving the footprint of
 // the largest per-object allocation in a streaming run.
+//
+// Bounded mode (Params.MemoryBudget > 0) gates series admission behind
+// a Count-Min sketch: an object only gets a 168-hour series once its
+// estimated request count reaches seriesAdmitThreshold, and at most the
+// budget's worth of series exist per site and category. The error
+// model: an admitted object's series misses at most threshold-1 early
+// requests (per worker), a relative error below (threshold-1)/
+// minRequests for any object the clustering would consider (default
+// minRequests 20); objects that never reach the threshold are exactly
+// the cold objects SeriesSet filters out anyway. Count-Min never
+// undercounts, so no qualifying object is starved — overcounts can only
+// admit a cold object early, which the minRequests filter still drops.
 type ObjectSeries struct {
-	week  timeutil.Week
-	sites map[string]map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float32
+	week   timeutil.Week
+	budget int
+	sites  map[string]map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float32
+	gates  map[string]map[trace.Category]*seriesGate // nil in exact mode
+}
+
+// seriesAdmitThreshold is the estimated request count at which a series
+// is allocated in bounded mode.
+const seriesAdmitThreshold = 4
+
+// seriesGate is the bounded-mode admission state for one (site,
+// category) population.
+type seriesGate struct {
+	cm *sketch.CountMin
 }
 
 func init() {
 	Register(Descriptor{
 		Name:    "series",
 		Figures: []int{8, 9, 10},
-		New:     func(p Params) Analyzer { return NewObjectSeries(p.Week) },
+		New:     func(p Params) Analyzer { return NewObjectSeries(p.Week, p.MemoryBudget) },
 		Merge:   mergeAs[*ObjectSeries],
 	})
 }
 
-// NewObjectSeries creates an accumulator over the given trace week.
-func NewObjectSeries(week timeutil.Week) *ObjectSeries {
-	return &ObjectSeries{
-		week:  week,
-		sites: map[string]map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float32{},
+// NewObjectSeries creates an accumulator over the given trace week;
+// budget 0 is exact, a positive budget caps per-(site, category) series
+// at that count behind a Count-Min admission gate.
+func NewObjectSeries(week timeutil.Week, budget int) *ObjectSeries {
+	s := &ObjectSeries{
+		week:   week,
+		budget: budget,
+		sites:  map[string]map[trace.Category]map[uint64]*[timeutil.HoursPerWeek]float32{},
 	}
+	if budget > 0 {
+		s.gates = map[string]map[trace.Category]*seriesGate{}
+	}
+	return s
+}
+
+// gate returns the (site, category) admission gate in bounded mode.
+func (s *ObjectSeries) gate(site string, cat trace.Category) *seriesGate {
+	if s.gates == nil {
+		return nil
+	}
+	cats, ok := s.gates[site]
+	if !ok {
+		cats = map[trace.Category]*seriesGate{}
+		s.gates[site] = cats
+	}
+	g, ok := cats[cat]
+	if !ok {
+		g = &seriesGate{cm: sketch.NewCountMin(0, 0)}
+		cats[cat] = g
+	}
+	return g
 }
 
 // Add folds one record; records outside the week are ignored.
@@ -58,13 +108,22 @@ func (s *ObjectSeries) Add(r *trace.Record) {
 	}
 	series, ok := objs[r.ObjectID]
 	if !ok {
+		if g := s.gate(r.Publisher, cat); g != nil {
+			est := g.cm.Add(sketch.Hash64(r.ObjectID), 1)
+			if est < seriesAdmitThreshold || len(objs) >= s.budget {
+				return
+			}
+		}
 		series = &[timeutil.HoursPerWeek]float32{}
 		objs[r.ObjectID] = series
 	}
 	series[idx]++
 }
 
-// Merge folds another accumulator in.
+// Merge folds another accumulator in. In bounded mode the sketches add
+// and partial series merge; an object admitted by one worker but still
+// below another worker's threshold loses those sub-threshold requests,
+// so the per-object undercount bound scales with the worker count.
 func (s *ObjectSeries) Merge(o *ObjectSeries) {
 	for site, cats := range o.sites {
 		mine, ok := s.sites[site]
@@ -77,6 +136,9 @@ func (s *ObjectSeries) Merge(o *ObjectSeries) {
 			if !ok {
 				m = map[uint64]*[timeutil.HoursPerWeek]float32{}
 				mine[cat] = m
+			}
+			if g := s.gate(site, cat); g != nil {
+				g.cm.Merge(o.gate(site, cat).cm)
 			}
 			for id, series := range objs {
 				dst, ok := m[id]
@@ -370,18 +432,4 @@ func ClassifyShape(series []float64) string {
 	default:
 		return "outlier"
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -9,6 +9,7 @@ package analysis
 import (
 	"sort"
 
+	"trafficscope/internal/sketch"
 	"trafficscope/internal/trace"
 )
 
@@ -90,48 +91,77 @@ func (b *CategoryBreakdown) ByteFrac(c trace.Category) float64 {
 type compSite struct {
 	requests map[trace.Category]int64
 	bytes    map[trace.Category]int64
-	objCat   map[uint64]trace.Category // distinct objects with their category
+	objCat   map[uint64]trace.Category      // distinct objects with their category (exact mode)
+	objHLL   map[trace.Category]*sketch.HLL // distinct-object cardinality (bounded mode)
 }
 
-func newCompSite() *compSite {
-	return &compSite{
+func newCompSite(bounded bool) *compSite {
+	s := &compSite{
 		requests: map[trace.Category]int64{},
 		bytes:    map[trace.Category]int64{},
-		objCat:   map[uint64]trace.Category{},
 	}
+	if bounded {
+		s.objHLL = map[trace.Category]*sketch.HLL{}
+	} else {
+		s.objCat = map[uint64]trace.Category{}
+	}
+	return s
+}
+
+// hll returns the category's distinct-object sketch in bounded mode.
+func (s *compSite) hll(cat trace.Category) *sketch.HLL {
+	h, ok := s.objHLL[cat]
+	if !ok {
+		h = sketch.NewHLL(0)
+		s.objHLL[cat] = h
+	}
+	return h
 }
 
 // Composition accumulates Figs. 1, 2a and 2b: per-site object, request
 // and byte composition by content category. It satisfies
-// pipeline.Accumulator and merges exactly (object identity is tracked).
+// pipeline.Accumulator and merges exactly in exact mode (object
+// identity is tracked). Bounded mode (Params.MemoryBudget > 0) replaces
+// the distinct-object map with one HyperLogLog per site and category —
+// a fixed 16 KiB each, relative standard error ~0.8% on object counts —
+// while request and byte totals stay exact in both modes. An object
+// requested under two categories counts toward each in bounded mode
+// (exact mode keeps first-seen only); such conflicts do not occur in
+// generated traces, where an object's category is a function of its ID.
 type Composition struct {
-	sites map[string]*compSite
+	budget int
+	sites  map[string]*compSite
 }
 
 func init() {
 	Register(Descriptor{
 		Name:    "composition",
 		Figures: []int{1, 2},
-		New:     func(Params) Analyzer { return NewComposition() },
+		New:     func(p Params) Analyzer { return NewComposition(p.MemoryBudget) },
 		Merge:   mergeAs[*Composition],
 	})
 }
 
-// NewComposition creates an empty accumulator.
-func NewComposition() *Composition {
-	return &Composition{sites: map[string]*compSite{}}
+// NewComposition creates an empty accumulator; budget 0 is exact, any
+// positive budget switches distinct-object counting to HyperLogLog.
+func NewComposition(budget int) *Composition {
+	return &Composition{budget: budget, sites: map[string]*compSite{}}
 }
 
 // Add folds one record.
 func (c *Composition) Add(r *trace.Record) {
 	s, ok := c.sites[r.Publisher]
 	if !ok {
-		s = newCompSite()
+		s = newCompSite(c.budget > 0)
 		c.sites[r.Publisher] = s
 	}
 	cat := r.Category()
 	s.requests[cat]++
 	s.bytes[cat] += r.ObjectSize
+	if s.objHLL != nil {
+		s.hll(cat).Add(sketch.Hash64(r.ObjectID))
+		return
+	}
 	if _, seen := s.objCat[r.ObjectID]; !seen {
 		s.objCat[r.ObjectID] = cat
 	}
@@ -142,7 +172,7 @@ func (c *Composition) Merge(o *Composition) {
 	for site, os := range o.sites {
 		s, ok := c.sites[site]
 		if !ok {
-			s = newCompSite()
+			s = newCompSite(c.budget > 0)
 			c.sites[site] = s
 		}
 		for cat, n := range os.requests {
@@ -150,6 +180,12 @@ func (c *Composition) Merge(o *Composition) {
 		}
 		for cat, n := range os.bytes {
 			s.bytes[cat] += n
+		}
+		if s.objHLL != nil {
+			for cat, h := range os.objHLL {
+				s.hll(cat).Merge(h)
+			}
+			continue
 		}
 		for id, cat := range os.objCat {
 			if _, seen := s.objCat[id]; !seen {
@@ -181,6 +217,12 @@ func (c *Composition) Site(name string) *CategoryBreakdown {
 	}
 	for cat, n := range s.bytes {
 		b.Bytes[cat] = n
+	}
+	if s.objHLL != nil {
+		for cat, h := range s.objHLL {
+			b.Objects[cat] = int64(h.Estimate() + 0.5)
+		}
+		return b
 	}
 	for _, cat := range s.objCat {
 		b.Objects[cat]++

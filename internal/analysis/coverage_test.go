@@ -14,7 +14,7 @@ func TestSitesAccessors(t *testing.T) {
 	r2 := rec("A-site", 2, 2, trace.FileMP4, 10, 1)
 
 	t.Run("addiction", func(t *testing.T) {
-		a, b := NewAddiction(), NewAddiction()
+		a, b := NewAddiction(0), NewAddiction(0)
 		a.Add(r1)
 		b.Add(r2)
 		a.Merge(b) // new-site branch
@@ -24,7 +24,7 @@ func TestSitesAccessors(t *testing.T) {
 		}
 	})
 	t.Run("aging", func(t *testing.T) {
-		a, b := NewAging(week), NewAging(week)
+		a, b := NewAging(week, 0), NewAging(week, 0)
 		a.Add(r1)
 		b.Add(r2)
 		a.Merge(b)
@@ -42,7 +42,7 @@ func TestSitesAccessors(t *testing.T) {
 		}
 	})
 	t.Run("caching", func(t *testing.T) {
-		a, b := NewCaching(), NewCaching()
+		a, b := NewCaching(0), NewCaching(0)
 		hit := rec("B-site", 1, 1, trace.FileJPG, 10, 0)
 		hit.Cache = trace.CacheHit
 		a.Add(hit)
@@ -68,7 +68,7 @@ func TestSitesAccessors(t *testing.T) {
 		}
 	})
 	t.Run("sessions", func(t *testing.T) {
-		a, b := NewSessions(0), NewSessions(0)
+		a, b := NewSessions(0, 0), NewSessions(0, 0)
 		a.Add(r1)
 		b.Add(r2)
 		a.Merge(b)
@@ -119,7 +119,7 @@ func TestSitesAccessors(t *testing.T) {
 		}
 	})
 	t.Run("composition", func(t *testing.T) {
-		a, b := NewComposition(), NewComposition()
+		a, b := NewComposition(0), NewComposition(0)
 		a.Add(r1)
 		b.Add(r2)
 		a.Merge(b)
@@ -128,7 +128,7 @@ func TestSitesAccessors(t *testing.T) {
 		}
 	})
 	t.Run("devices", func(t *testing.T) {
-		a, b := NewDeviceMix(), NewDeviceMix()
+		a, b := NewDeviceMix(0), NewDeviceMix(0)
 		a.Add(r1)
 		b.Add(r2)
 		a.Merge(b)
@@ -146,7 +146,7 @@ func TestSitesAccessors(t *testing.T) {
 		}
 	})
 	t.Run("series", func(t *testing.T) {
-		a, b := NewObjectSeries(week), NewObjectSeries(week)
+		a, b := NewObjectSeries(week, 0), NewObjectSeries(week, 0)
 		a.Add(r1)
 		b.Add(r2)
 		a.Merge(b)

@@ -3,15 +3,21 @@ package analysis
 import (
 	"sort"
 
+	"trafficscope/internal/sketch"
 	"trafficscope/internal/trace"
 	"trafficscope/internal/useragent"
 )
 
 // DeviceMix accumulates Fig. 4: the per-site share of *users* per device
 // category (desktop, Android, iOS, misc), classified from the User-Agent
-// header.
+// header. Bounded mode (Params.MemoryBudget > 0) replaces the per-device
+// user sets with one HyperLogLog per site and device — fixed 16 KiB
+// each, relative standard error ~0.8% on each device's user count, so
+// the resulting shares are accurate to well under a percentage point.
 type DeviceMix struct {
-	sites map[string]map[useragent.Device]map[uint64]bool
+	bounded bool
+	sites   map[string]map[useragent.Device]map[uint64]bool
+	hlls    map[string]map[useragent.Device]*sketch.HLL // bounded mode
 	// parsed memoizes UA classification: agent strings repeat across
 	// records, and useragent.Parse allocates a lowered copy per call.
 	// Bounded so a trace of unique agents cannot grow it without limit.
@@ -22,32 +28,64 @@ func init() {
 	Register(Descriptor{
 		Name:    "devices",
 		Figures: []int{4},
-		New:     func(Params) Analyzer { return NewDeviceMix() },
+		New:     func(p Params) Analyzer { return NewDeviceMix(p.MemoryBudget) },
 		Merge:   mergeAs[*DeviceMix],
 	})
 }
 
-// NewDeviceMix creates an empty accumulator.
-func NewDeviceMix() *DeviceMix {
-	return &DeviceMix{
-		sites:  map[string]map[useragent.Device]map[uint64]bool{},
-		parsed: map[string]useragent.Device{},
+// NewDeviceMix creates an empty accumulator; budget 0 is exact, any
+// positive budget switches distinct-user counting to HyperLogLog.
+func NewDeviceMix(budget int) *DeviceMix {
+	d := &DeviceMix{
+		bounded: budget > 0,
+		parsed:  map[string]useragent.Device{},
 	}
+	if d.bounded {
+		d.hlls = map[string]map[useragent.Device]*sketch.HLL{}
+	} else {
+		d.sites = map[string]map[useragent.Device]map[uint64]bool{}
+	}
+	return d
+}
+
+// device classifies (and memoizes) one User-Agent string.
+func (d *DeviceMix) device(ua string) useragent.Device {
+	dev, ok := d.parsed[ua]
+	if !ok {
+		dev = useragent.Parse(ua).Device
+		if len(d.parsed) < 1<<14 {
+			d.parsed[ua] = dev
+		}
+	}
+	return dev
+}
+
+// hll returns the (site, device) user sketch in bounded mode.
+func (d *DeviceMix) hll(site string, dev useragent.Device) *sketch.HLL {
+	devs, ok := d.hlls[site]
+	if !ok {
+		devs = map[useragent.Device]*sketch.HLL{}
+		d.hlls[site] = devs
+	}
+	h, ok := devs[dev]
+	if !ok {
+		h = sketch.NewHLL(0)
+		devs[dev] = h
+	}
+	return h
 }
 
 // Add folds one record.
 func (d *DeviceMix) Add(r *trace.Record) {
+	dev := d.device(r.UserAgent)
+	if d.bounded {
+		d.hll(r.Publisher, dev).Add(sketch.Hash64(r.UserID))
+		return
+	}
 	site, ok := d.sites[r.Publisher]
 	if !ok {
 		site = map[useragent.Device]map[uint64]bool{}
 		d.sites[r.Publisher] = site
-	}
-	dev, ok := d.parsed[r.UserAgent]
-	if !ok {
-		dev = useragent.Parse(r.UserAgent).Device
-		if len(d.parsed) < 1<<14 {
-			d.parsed[r.UserAgent] = dev
-		}
 	}
 	users, ok := site[dev]
 	if !ok {
@@ -59,6 +97,14 @@ func (d *DeviceMix) Add(r *trace.Record) {
 
 // Merge folds another accumulator in.
 func (d *DeviceMix) Merge(o *DeviceMix) {
+	if d.bounded {
+		for site, devs := range o.hlls {
+			for dev, h := range devs {
+				d.hll(site, dev).Merge(h)
+			}
+		}
+		return
+	}
 	for site, devs := range o.sites {
 		mine, ok := d.sites[site]
 		if !ok {
@@ -80,9 +126,15 @@ func (d *DeviceMix) Merge(o *DeviceMix) {
 
 // Sites returns the analyzed site names, sorted.
 func (d *DeviceMix) Sites() []string {
-	out := make([]string, 0, len(d.sites))
-	for s := range d.sites {
-		out = append(out, s)
+	var out []string
+	if d.bounded {
+		for s := range d.hlls {
+			out = append(out, s)
+		}
+	} else {
+		for s := range d.sites {
+			out = append(out, s)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -93,15 +145,28 @@ func (d *DeviceMix) Sites() []string {
 // counts toward each (rare with hashed per-device identities).
 func (d *DeviceMix) UserShare(site string) [4]float64 {
 	var out [4]float64
-	devs, ok := d.sites[site]
-	if !ok {
-		return out
-	}
 	var total float64
 	counts := make([]float64, 4)
-	for i, dev := range useragent.AllDevices() {
-		counts[i] = float64(len(devs[dev]))
-		total += counts[i]
+	if d.bounded {
+		devs, ok := d.hlls[site]
+		if !ok {
+			return out
+		}
+		for i, dev := range useragent.AllDevices() {
+			if h := devs[dev]; h != nil {
+				counts[i] = h.Estimate()
+			}
+			total += counts[i]
+		}
+	} else {
+		devs, ok := d.sites[site]
+		if !ok {
+			return out
+		}
+		for i, dev := range useragent.AllDevices() {
+			counts[i] = float64(len(devs[dev]))
+			total += counts[i]
+		}
 	}
 	if total == 0 {
 		return out

@@ -16,6 +16,19 @@ type Params struct {
 	// SessionTimeout is the session boundary gap; zero uses the paper's
 	// default (see NewSessions).
 	SessionTimeout time.Duration
+	// MemoryBudget bounds each analyzer's per-key state. Zero keeps the
+	// exact accumulators (every object/user tracked). A positive value
+	// caps each per-site exact map at roughly that many keys: analyzers
+	// with per-object or per-user maps (addiction, caching, aging,
+	// series, sessions) switch to a uniform hash-threshold key sample of
+	// at most MemoryBudget keys, and pure distinct-counting state
+	// (composition's and devices' distinct objects/users) switches to
+	// HLL estimators. Ratio- and distribution-shaped results then carry
+	// sampling error ~ 1/sqrt(MemoryBudget) and HLL error ~ 0.8%; see
+	// each analyzer's bounded-mode notes for its exact guarantees.
+	// Request-weighted global totals (e.g. Caching.WeightedHitRatio)
+	// stay exact in either mode.
+	MemoryBudget int
 }
 
 // Analyzer is the streaming interface every analysis implements: fold

@@ -24,31 +24,57 @@ const DefaultSessionTimeout = 10 * time.Minute
 // Timestamps are stored as Unix nanoseconds — one word per request
 // instead of a 3-word time.Time — because this buffer is the largest
 // analyzer allocation in a streaming run.
+//
+// Bounded mode (Params.MemoryBudget > 0) keeps the full timestamp
+// vectors for a uniform *user* sample of at most the budget per site:
+// every sampled user's IATs and sessions are exact, so the IAT and
+// session-length distributions are unbiased estimates with relative
+// standard error ~ 1/sqrt(budget).
 type Sessions struct {
 	timeout time.Duration
+	budget  int
 	sites   map[string]map[uint64][]int64
+	bounds  map[string]*boundedKeys // nil in exact mode
 }
 
 func init() {
 	Register(Descriptor{
 		Name:    "sessions",
 		Figures: []int{11, 12},
-		New:     func(p Params) Analyzer { return NewSessions(p.SessionTimeout) },
+		New:     func(p Params) Analyzer { return NewSessions(p.SessionTimeout, p.MemoryBudget) },
 		Merge:   mergeAs[*Sessions],
 	})
 }
 
-// NewSessions creates an accumulator with the given session timeout;
-// zero defaults to 10 minutes.
-func NewSessions(timeout time.Duration) *Sessions {
+// NewSessions creates an accumulator with the given session timeout
+// (zero defaults to 10 minutes); budget 0 is exact, a positive budget
+// caps tracked users per site.
+func NewSessions(timeout time.Duration, budget int) *Sessions {
 	if timeout <= 0 {
 		timeout = DefaultSessionTimeout
 	}
-	return &Sessions{timeout: timeout, sites: map[string]map[uint64][]int64{}}
+	s := &Sessions{timeout: timeout, budget: budget, sites: map[string]map[uint64][]int64{}}
+	if budget > 0 {
+		s.bounds = map[string]*boundedKeys{}
+	}
+	return s
 }
 
 // Timeout returns the configured session timeout.
 func (s *Sessions) Timeout() time.Duration { return s.timeout }
+
+// bound returns the site's user sampler in bounded mode.
+func (s *Sessions) bound(site string) *boundedKeys {
+	if s.bounds == nil {
+		return nil
+	}
+	b, ok := s.bounds[site]
+	if !ok {
+		b = newBoundedKeys(s.budget)
+		s.bounds[site] = b
+	}
+	return b
+}
 
 // Add folds one record.
 func (s *Sessions) Add(r *trace.Record) {
@@ -56,6 +82,15 @@ func (s *Sessions) Add(r *trace.Record) {
 	if !ok {
 		site = map[uint64][]int64{}
 		s.sites[r.Publisher] = site
+	}
+	if b := s.bound(r.Publisher); b != nil {
+		ok, dropped := b.admit(r.UserID)
+		for _, u := range dropped {
+			delete(site, u)
+		}
+		if !ok {
+			return
+		}
 	}
 	site[r.UserID] = append(site[r.UserID], r.Timestamp.UnixNano())
 }
@@ -68,8 +103,22 @@ func (s *Sessions) Merge(o *Sessions) {
 			mine = map[uint64][]int64{}
 			s.sites[site] = mine
 		}
+		keep := func(uint64) bool { return true }
+		if b := s.bound(site); b != nil {
+			admitted, dropped := b.mergeFrom(o.bound(site))
+			for _, u := range dropped {
+				delete(mine, u)
+			}
+			in := make(map[uint64]struct{}, len(admitted))
+			for _, u := range admitted {
+				in[u] = struct{}{}
+			}
+			keep = func(u uint64) bool { _, ok := in[u]; return ok }
+		}
 		for u, ts := range users {
-			mine[u] = append(mine[u], ts...)
+			if keep(u) {
+				mine[u] = append(mine[u], ts...)
+			}
 		}
 	}
 }

@@ -8,12 +8,12 @@ import (
 )
 
 func TestSummarize(t *testing.T) {
-	comp := NewComposition()
+	comp := NewComposition(0)
 	hourly := NewHourlyVolume()
-	devices := NewDeviceMix()
-	sessions := NewSessions(0)
-	caching := NewCaching()
-	aging := NewAging(week)
+	devices := NewDeviceMix(0)
+	sessions := NewSessions(0, 0)
+	caching := NewCaching(0)
+	aging := NewAging(week, 0)
 	pop := NewPopularity()
 
 	feed := func(r *trace.Record) {

@@ -116,7 +116,7 @@ func TestCompare(t *testing.T) {
 		{Name: "C", NsPerOp: 40, AllocsPerOp: ptr(2)},
 		{Name: "D", NsPerOp: 1}, // new benchmark: ignored until baseline refresh
 	}}
-	if regs := Compare(base, ok, 0.15); len(regs) != 0 {
+	if regs := Compare(base, ok, 0.15, 0); len(regs) != 0 {
 		t.Errorf("Compare ok run: unexpected regressions %v", regs)
 	}
 
@@ -126,7 +126,7 @@ func TestCompare(t *testing.T) {
 		{Name: "B", NsPerOp: 1000},
 		{Name: "C", NsPerOp: 50, AllocsPerOp: ptr(2)},
 	}}
-	regs := Compare(base, slow, 0.15)
+	regs := Compare(base, slow, 0.15, 0)
 	if len(regs) != 1 || regs[0].Name != "A" || !strings.Contains(regs[0].Reason, "ns/op") {
 		t.Errorf("Compare 2x slowdown = %v, want one ns/op regression on A", regs)
 	}
@@ -137,9 +137,25 @@ func TestCompare(t *testing.T) {
 		{Name: "B", NsPerOp: 1000},
 		{Name: "C", NsPerOp: 50, AllocsPerOp: ptr(2)},
 	}}
-	regs = Compare(base, allocs, 0.15)
+	regs = Compare(base, allocs, 0.15, 0)
 	if len(regs) != 1 || regs[0].Name != "A" || !strings.Contains(regs[0].Reason, "allocs/op") {
 		t.Errorf("Compare alloc increase = %v, want one allocs/op regression on A", regs)
+	}
+
+	// A relative allocs budget tolerates sub-budget jitter (the
+	// pipeline area's 83K-alloc ops wobble by a few counts) but still
+	// catches a real increase.
+	jitter := &File{Schema: SchemaVersion, Benchmarks: []Entry{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: ptr(0)},
+		{Name: "B", NsPerOp: 1000},
+		{Name: "C", NsPerOp: 50, AllocsPerOp: ptr(2.01)},
+	}}
+	if regs := Compare(base, jitter, 0.15, 0.01); len(regs) != 0 {
+		t.Errorf("Compare within allocs budget = %v, want none", regs)
+	}
+	regs = Compare(base, jitter, 0.15, 0)
+	if len(regs) != 1 || regs[0].Name != "C" || !strings.Contains(regs[0].Reason, "allocs/op") {
+		t.Errorf("Compare strict allocs = %v, want one allocs/op regression on C", regs)
 	}
 
 	// A vanished benchmark is a failure, not a silent pass.
@@ -147,7 +163,7 @@ func TestCompare(t *testing.T) {
 		{Name: "A", NsPerOp: 100, AllocsPerOp: ptr(0)},
 		{Name: "C", NsPerOp: 50, AllocsPerOp: ptr(2)},
 	}}
-	regs = Compare(base, missing, 0.15)
+	regs = Compare(base, missing, 0.15, 0)
 	if len(regs) != 1 || regs[0].Name != "B" {
 		t.Errorf("Compare missing = %v, want B missing", regs)
 	}

@@ -538,27 +538,33 @@ func (c *CDN) recordCache(dc *DataCenter, hit bool, originBytes, egress int64, r
 
 // Replay streams records from r through the CDN, passing each finalized
 // record to sink. Records should be in timestamp order for faithful
-// browser-cache and TTL behaviour.
+// browser-cache and TTL behaviour. One scratch record is reused for the
+// entire replay — the sink must not retain the pointer past the call
+// (copy the record if it needs to keep it).
 func (c *CDN) Replay(r trace.Reader, sink func(*trace.Record) error) error {
+	var rec trace.Record
 	for {
-		rec, err := r.Read()
+		err := r.Read(&rec)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
 			return fmt.Errorf("cdn: replay read: %w", err)
 		}
-		if err := sink(c.Serve(rec)); err != nil {
+		c.ServeInto(&rec, &rec)
+		if err := sink(&rec); err != nil {
 			return err
 		}
 	}
 }
 
-// ReplayAll replays and collects the finalized records.
+// ReplayAll replays and collects the finalized records. Each element is
+// a fresh copy, safe to hold.
 func (c *CDN) ReplayAll(r trace.Reader) ([]*trace.Record, error) {
 	var out []*trace.Record
 	err := c.Replay(r, func(rec *trace.Record) error {
-		out = append(out, rec)
+		cp := *rec
+		out = append(out, &cp)
 		return nil
 	})
 	return out, err

@@ -15,7 +15,9 @@ import (
 func (c *CDN) ReplayParallel(r trace.Reader) ([]*trace.Record, error) {
 	var out []*trace.Record
 	err := c.ReplayStream(r, func(rec *trace.Record) error {
-		out = append(out, rec)
+		// ReplayStream recycles the record after the sink returns; copy.
+		cp := *rec
+		out = append(out, &cp)
 		return nil
 	})
 	if err != nil {

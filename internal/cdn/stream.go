@@ -43,12 +43,22 @@ type streamWorker struct {
 // verifies that region stability and fails with ErrRegionUnstable on
 // traces that violate it. Aggregate counters (TotalStats, per-DC stats)
 // match a sequential Replay of the same trace exactly.
+//
+// In-flight records are pooled: each record the reader fills is served
+// in place by its region worker, handed to the sink, and recycled. The
+// sink must therefore not retain the record pointer past the call.
 func (c *CDN) ReplayStream(r trace.Reader, sink func(*trace.Record) error) error {
 	workers := map[timeutil.Region]*streamWorker{}
 	// order carries, per input record, the worker that serves it; the
 	// collector pairs each entry with that worker's next output, which
 	// reconstructs global input order from the per-region streams.
 	order := make(chan *streamWorker, 4*streamBuf)
+
+	// pool recycles in-flight records: dispatcher Get → worker serves in
+	// place → collector sinks → Put. Steady state holds O(workers ×
+	// streamBuf) records regardless of trace length, with no per-record
+	// allocation once the pool is primed.
+	pool := sync.Pool{New: func() any { return new(trace.Record) }}
 
 	var wg sync.WaitGroup
 	startWorker := func() *streamWorker {
@@ -65,7 +75,8 @@ func (c *CDN) ReplayStream(r trace.Reader, sink func(*trace.Record) error) error
 				// the collector pairs order entries with outputs — so
 				// serving continues even after an abort; the tail is at
 				// most the buffered in-flight window.
-				w.out <- c.serve(rec, state, nil)
+				c.serveInto(rec, rec, state, nil)
+				w.out <- rec
 			}
 		}()
 		return w
@@ -81,13 +92,13 @@ func (c *CDN) ReplayStream(r trace.Reader, sink func(*trace.Record) error) error
 		defer close(collectorDone)
 		for w := range order {
 			rec := <-w.out
-			if sinkErr != nil {
-				continue
+			if sinkErr == nil {
+				if err := sink(rec); err != nil {
+					sinkErr = err
+					stop.Store(true)
+				}
 			}
-			if err := sink(rec); err != nil {
-				sinkErr = err
-				stop.Store(true)
-			}
+			pool.Put(rec)
 		}
 	}()
 
@@ -96,17 +107,21 @@ func (c *CDN) ReplayStream(r trace.Reader, sink func(*trace.Record) error) error
 	var readErr error
 	userRegion := make(map[uint64]timeutil.Region, 1024)
 	for !stop.Load() {
-		rec, err := r.Read()
+		rec := pool.Get().(*trace.Record)
+		err := r.Read(rec)
 		if err == io.EOF {
+			pool.Put(rec)
 			break
 		}
 		if err != nil {
+			pool.Put(rec)
 			readErr = fmt.Errorf("cdn: replay read: %w", err)
 			break
 		}
 		if prev, ok := userRegion[rec.UserID]; ok && prev != rec.Region {
 			readErr = fmt.Errorf("%w: user %x appears in regions %v and %v",
 				ErrRegionUnstable, rec.UserID, prev, rec.Region)
+			pool.Put(rec)
 			break
 		}
 		userRegion[rec.UserID] = rec.Region
@@ -141,7 +156,8 @@ func (c *CDN) ReplayStream(r trace.Reader, sink func(*trace.Record) error) error
 // when the trace turns out to be region-unstable — the partially warmed
 // first CDN is thrown away and a fresh one replays both passes
 // sequentially. The CDN that served the measured pass is returned for
-// its stats.
+// its stats. Both replay paths reuse record storage, so the sink must
+// not retain the record pointer past the call.
 func ReplaySource(build func() *CDN, src trace.Source, sink func(*trace.Record) error) (*CDN, error) {
 	c := build()
 	discard := func(*trace.Record) error { return nil }

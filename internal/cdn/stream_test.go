@@ -33,7 +33,8 @@ func TestReplayStreamMatchesSequential(t *testing.T) {
 	strCDN := mk()
 	var got []*trace.Record
 	err = strCDN.ReplayStream(trace.NewSliceReader(recs), func(rec *trace.Record) error {
-		got = append(got, rec)
+		cp := *rec // the stream recycles rec after the sink returns
+		got = append(got, &cp)
 		return nil
 	})
 	if err != nil {
@@ -132,7 +133,8 @@ func TestReplaySourceMatchesWarmedReplay(t *testing.T) {
 
 	var got []*trace.Record
 	srcCDN, err := ReplaySource(mk, trace.SliceSource(recs), func(rec *trace.Record) error {
-		got = append(got, rec)
+		cp := *rec // the stream recycles rec after the sink returns
+		got = append(got, &cp)
 		return nil
 	})
 	if err != nil {

@@ -40,6 +40,12 @@ type Config struct {
 	// SessionTimeout is the session boundary gap; zero uses the paper's
 	// 10 minutes.
 	SessionTimeout time.Duration
+	// MemoryBudget bounds per-site analyzer state: 0 runs every analysis
+	// exact; a positive value caps per-key maps at roughly that many
+	// entries per site, switching the analyzers to sketch- and sample-
+	// based estimators (see analysis.Params.MemoryBudget for the error
+	// model). Use this to run full-scale studies in bounded memory.
+	MemoryBudget int
 	// Cluster configures the Fig. 8-10 DTW clustering.
 	Cluster analysis.ClusterOptions
 	// Workers parallelizes the analysis pass; < 1 means GOMAXPROCS.
@@ -228,7 +234,7 @@ func (m *multiAcc) Merge(o *multiAcc) {
 
 // params builds the analyzer construction parameters for this study.
 func (s *Study) params() analysis.Params {
-	return analysis.Params{Week: s.gen.Week(), SessionTimeout: s.cfg.SessionTimeout}
+	return analysis.Params{Week: s.gen.Week(), SessionTimeout: s.cfg.SessionTimeout, MemoryBudget: s.cfg.MemoryBudget}
 }
 
 // newResults assembles a Results from a folded accumulator.

@@ -105,8 +105,9 @@ func SimulateReader(r trace.Reader, site string, week timeutil.Week, cfg Config)
 		}
 		camp.Snapshots = append(camp.Snapshots, Snapshot{Time: at, Views: views})
 	}
+	var rec trace.Record
 	for {
-		rec, err := r.Read()
+		err := r.Read(&rec)
 		if err == io.EOF {
 			break
 		}

@@ -178,9 +178,10 @@ type run struct {
 }
 
 // job is one scheduled request: the record plus its virtual-clock send
-// time, which latency is measured from.
+// time, which latency is measured from. The record rides by value so the
+// scheduler can reuse one scratch record for the whole trace read.
 type job struct {
-	rec       *trace.Record
+	rec       trace.Record
 	scheduled time.Time
 }
 
@@ -329,8 +330,9 @@ func (rn *run) schedule(ctx context.Context, r trace.Reader, jobs chan<- job, st
 	var t0 time.Time
 	var pace *time.Timer
 	first := true
+	var rec trace.Record
 	for {
-		rec, err := r.Read()
+		err := r.Read(&rec)
 		if err == io.EOF {
 			return nil
 		}
@@ -376,7 +378,7 @@ func (rn *run) schedule(ctx context.Context, r trace.Reader, jobs chan<- job, st
 // send time, so time spent queued behind other records (and in retry
 // backoffs) counts; the queued-send delay is also recorded on its own.
 func (rn *run) one(ctx context.Context, j job, ws *workerStats) {
-	rec := j.rec
+	rec := &j.rec
 	queued := time.Since(j.scheduled)
 	if queued < 0 {
 		queued = 0 // scheduler timers can fire marginally early

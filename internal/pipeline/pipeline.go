@@ -51,8 +51,9 @@ type Options struct {
 // returned.
 func Run[T Accumulator[T]](r trace.Reader, newAcc func() T, opts Options) (T, error) {
 	s := NewSink(newAcc, opts)
+	var rec trace.Record
 	for {
-		rec, err := r.Read()
+		err := r.Read(&rec)
 		if errors.Is(err, io.EOF) {
 			break
 		}
@@ -64,7 +65,7 @@ func Run[T Accumulator[T]](r trace.Reader, newAcc func() T, opts Options) (T, er
 			var zero T
 			return zero, fmt.Errorf("pipeline: read: %w", err)
 		}
-		s.Feed(rec)
+		s.Feed(&rec)
 	}
 	return s.Close()
 }

@@ -86,12 +86,13 @@ func TestRunMergeMatchesSequential(t *testing.T) {
 
 type failingReader struct{ n int }
 
-func (f *failingReader) Read() (*trace.Record, error) {
+func (f *failingReader) Read(rec *trace.Record) error {
 	if f.n <= 0 {
-		return nil, errors.New("disk on fire")
+		return errors.New("disk on fire")
 	}
 	f.n--
-	return makeRecords(1)[0], nil
+	*rec = *makeRecords(1)[0]
+	return nil
 }
 
 func TestRunPropagatesReadError(t *testing.T) {
@@ -103,7 +104,7 @@ func TestRunPropagatesReadError(t *testing.T) {
 
 type emptyReader struct{}
 
-func (emptyReader) Read() (*trace.Record, error) { return nil, io.EOF }
+func (emptyReader) Read(*trace.Record) error { return io.EOF }
 
 func TestRunEmptyInput(t *testing.T) {
 	got, err := Run(emptyReader{}, func() *Count { return &Count{} }, Options{Workers: 4})

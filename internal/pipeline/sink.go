@@ -19,13 +19,17 @@ import (
 //
 // Feed and Close must be called from a single goroutine. The worker
 // pool, batch recycling and metrics behave exactly as documented on Run.
+//
+// Feed copies the record into the current batch (batches hold records by
+// value), so producers may reuse one scratch record for the whole stream
+// — the fill-in Reader/replay contract — while workers fold concurrently.
 type Sink[T Accumulator[T]] struct {
 	batchSize int
-	batches   chan []*trace.Record
+	batches   chan []trace.Record
 	pool      sync.Pool
 	accs      []T
 	wg        sync.WaitGroup
-	batch     []*trace.Record
+	batch     []trace.Record
 	done      bool
 
 	// aborted tells workers to recycle queued batches unprocessed; set
@@ -54,7 +58,7 @@ func NewSink[T Accumulator[T]](newAcc func() T, opts Options) *Sink[T] {
 	m := opts.Metrics
 	s := &Sink[T]{
 		batchSize:    batchSize,
-		batches:      make(chan []*trace.Record, workers),
+		batches:      make(chan []trace.Record, workers),
 		accs:         make([]T, workers),
 		batchesTotal: m.Counter("pipeline_batches_total"),
 		recordsTotal: m.Counter("pipeline_records_total"),
@@ -62,7 +66,7 @@ func NewSink[T Accumulator[T]](newAcc func() T, opts Options) *Sink[T] {
 		queueDepth:   m.Gauge("pipeline_queue_depth"),
 	}
 	s.pool.New = func() any {
-		b := make([]*trace.Record, 0, batchSize)
+		b := make([]trace.Record, 0, batchSize)
 		return &b
 	}
 	m.Gauge("pipeline_workers").Set(float64(workers))
@@ -84,8 +88,8 @@ func NewSink[T Accumulator[T]](newAcc func() T, opts Options) *Sink[T] {
 				if s.foldSeconds != nil {
 					t0 = time.Now()
 				}
-				for _, rec := range batch {
-					acc.Add(rec)
+				for i := range batch {
+					acc.Add(&batch[i])
 				}
 				if s.foldSeconds != nil {
 					s.foldSeconds.Observe(time.Since(t0).Seconds())
@@ -94,17 +98,16 @@ func NewSink[T Accumulator[T]](newAcc func() T, opts Options) *Sink[T] {
 			}
 		}(s.accs[w])
 	}
-	s.batch = (*s.pool.Get().(*[]*trace.Record))[:0]
+	s.batch = (*s.pool.Get().(*[]trace.Record))[:0]
 	return s
 }
 
-func (s *Sink[T]) recycle(batch []*trace.Record) {
-	clear(batch) // drop record pointers so reuse doesn't pin them
+func (s *Sink[T]) recycle(batch []trace.Record) {
 	batch = batch[:0]
 	s.pool.Put(&batch)
 }
 
-func (s *Sink[T]) dispatch(batch []*trace.Record) {
+func (s *Sink[T]) dispatch(batch []trace.Record) {
 	select {
 	case s.batches <- batch:
 	default:
@@ -118,14 +121,15 @@ func (s *Sink[T]) dispatch(batch []*trace.Record) {
 	s.queueDepth.Set(float64(len(s.batches)))
 }
 
-// Feed folds one record into the pool. The error is always nil; the
-// signature matches the sink funcs used across the replay paths so Feed
-// can be passed as a replay sink directly.
+// Feed folds one record into the pool, copying it into the current
+// batch — the caller may reuse *rec immediately after Feed returns. The
+// error is always nil; the signature matches the sink funcs used across
+// the replay paths so Feed can be passed as a replay sink directly.
 func (s *Sink[T]) Feed(rec *trace.Record) error {
-	s.batch = append(s.batch, rec)
+	s.batch = append(s.batch, *rec)
 	if len(s.batch) == s.batchSize {
 		s.dispatch(s.batch)
-		s.batch = (*s.pool.Get().(*[]*trace.Record))[:0]
+		s.batch = (*s.pool.Get().(*[]trace.Record))[:0]
 	}
 	return nil
 }

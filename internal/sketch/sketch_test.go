@@ -1,0 +1,155 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	cm := NewCountMin(4, 1<<12)
+	rng := rand.New(rand.NewSource(1))
+	truth := map[uint64]uint32{}
+	for i := 0; i < 200_000; i++ {
+		k := uint64(rng.Intn(5000))
+		truth[k]++
+		cm.Add(k, 1)
+	}
+	var overshoot float64
+	for k, want := range truth {
+		got := cm.Count(k)
+		if got < want {
+			t.Fatalf("key %d: count %d < true %d (Count-Min must never undercount)", k, got, want)
+		}
+		overshoot += float64(got - want)
+	}
+	// The mean overcount should sit well inside the e/width * N bound.
+	mean := overshoot / float64(len(truth))
+	if bound := cm.ErrorBound(); mean > bound {
+		t.Errorf("mean overcount %.1f exceeds the %.1f error bound", mean, bound)
+	}
+}
+
+func TestCountMinMergeMatchesSingle(t *testing.T) {
+	a, b, whole := NewCountMin(0, 0), NewCountMin(0, 0), NewCountMin(0, 0)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50_000; i++ {
+		k := rng.Uint64() % 1000
+		whole.Add(k, 1)
+		if i%2 == 0 {
+			a.Add(k, 1)
+		} else {
+			b.Add(k, 1)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N %d != %d", a.N(), whole.N())
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if a.Count(k) != whole.Count(k) {
+			t.Fatalf("key %d: merged %d != single %d", k, a.Count(k), whole.Count(k))
+		}
+	}
+}
+
+func TestCountMinSaturatesInsteadOfWrapping(t *testing.T) {
+	cm := NewCountMin(2, 16)
+	cm.Add(1, math.MaxUint32)
+	if got := cm.Add(1, math.MaxUint32); got != math.MaxUint32 {
+		t.Errorf("saturated add = %d, want MaxUint32", got)
+	}
+}
+
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{100, 10_000, 300_000} {
+		h := NewHLL(0)
+		for i := 0; i < n; i++ {
+			h.Add(Hash64(uint64(i)))
+		}
+		got := h.Estimate()
+		tol := 6 * h.StdError() * float64(n)
+		if math.Abs(got-float64(n)) > tol {
+			t.Errorf("n=%d: estimate %.0f off by more than %.0f", n, got, tol)
+		}
+	}
+}
+
+func TestHLLMergeEqualsUnion(t *testing.T) {
+	a, b, u := NewHLL(12), NewHLL(12), NewHLL(12)
+	for i := 0; i < 40_000; i++ {
+		h := Hash64(uint64(i))
+		u.Add(h)
+		if i%3 == 0 {
+			a.Add(h)
+		}
+		if i%2 == 0 { // overlapping sets
+			b.Add(h)
+		}
+	}
+	a.Merge(b)
+	// Merged registers must estimate the union of the two sets; adding
+	// the union's elements directly gives the reference registers.
+	ref := NewHLL(12)
+	for i := 0; i < 40_000; i++ {
+		if i%3 == 0 || i%2 == 0 {
+			ref.Add(Hash64(uint64(i)))
+		}
+	}
+	if a.Estimate() != ref.Estimate() {
+		t.Errorf("merged estimate %.1f != union estimate %.1f", a.Estimate(), ref.Estimate())
+	}
+}
+
+func TestKeySamplerUniformAndMergeable(t *testing.T) {
+	s := NewKeySampler()
+	if !s.Exact() || s.InclusionProb() != 1 {
+		t.Fatal("fresh sampler must admit everything")
+	}
+	s.Halve()
+	s.Halve()
+	if want := 0.25; math.Abs(s.InclusionProb()-want) > 1e-9 {
+		t.Fatalf("after two halvings inclusion prob = %v, want %v", s.InclusionProb(), want)
+	}
+	// Admission rate over hashed keys tracks the inclusion probability.
+	var admitted int
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		if s.Admits(Hash64(uint64(i))) {
+			admitted++
+		}
+	}
+	got := float64(admitted) / n
+	if math.Abs(got-0.25) > 4*math.Sqrt(0.25*0.75/n) {
+		t.Errorf("admission rate %v, want ~0.25", got)
+	}
+	// Merge takes the lower threshold.
+	o := NewKeySampler()
+	o.Halve()
+	o.Halve()
+	o.Halve()
+	if !s.MergeFrom(o) {
+		t.Error("merging a stricter sampler must report a change")
+	}
+	if s.InclusionProb() != o.InclusionProb() {
+		t.Error("merge must adopt the stricter threshold")
+	}
+	if s.MergeFrom(NewKeySampler()) {
+		t.Error("merging a looser sampler must be a no-op")
+	}
+}
+
+func TestHash64Spreads(t *testing.T) {
+	// Dense small integers must spread across the hash range: the top
+	// byte of the hashes of 0..4095 should hit most of its 256 values.
+	seen := map[byte]bool{}
+	for i := uint64(0); i < 4096; i++ {
+		seen[byte(Hash64(i)>>56)] = true
+	}
+	if len(seen) < 250 {
+		t.Errorf("top byte of Hash64(0..4095) hits only %d/256 values", len(seen))
+	}
+	if HashString("V-1") == HashString("V-2") {
+		t.Error("HashString collides on adjacent site names")
+	}
+}

@@ -114,13 +114,13 @@ type ParallelReader struct {
 
 var _ trace.Reader = (*ParallelReader)(nil)
 
-// Read returns the next record in global timestamp order.
-func (r *ParallelReader) Read() (*trace.Record, error) {
-	rec, err := r.merge.Read()
+// Read fills rec with the next record in global timestamp order.
+func (r *ParallelReader) Read(rec *trace.Record) error {
+	err := r.merge.Read(rec)
 	if err != nil {
 		r.Close()
 	}
-	return rec, err
+	return err
 }
 
 // Close stops the generation goroutines. Safe to call multiple times.
@@ -282,34 +282,36 @@ type batchReader struct {
 	pos int
 }
 
-func (b *batchReader) Read() (*trace.Record, error) {
+func (b *batchReader) Read(rec *trace.Record) error {
 	for b.pos >= len(b.cur) {
 		batch, ok := <-b.ch
 		if !ok {
-			return nil, io.EOF
+			return io.EOF
 		}
 		b.cur, b.pos = batch, 0
 	}
-	rec := b.cur[b.pos]
+	*rec = *b.cur[b.pos]
 	b.pos++
-	return rec, nil
+	return nil
 }
 
 // GenerateParallelTo streams the full trace to sink in global timestamp
 // order, generating shards concurrently. A sink error stops generation
-// and is returned.
+// and is returned. The sink must not retain the record pointer past the
+// call — one scratch record is reused for the whole stream.
 func (g *Generator) GenerateParallelTo(opts ParallelOptions, sink func(*trace.Record) error) error {
 	r := g.ParallelReader(opts)
 	defer r.Close()
+	var rec trace.Record
 	for {
-		rec, err := r.Read()
+		err := r.Read(&rec)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
 			return err
 		}
-		if err := sink(rec); err != nil {
+		if err := sink(&rec); err != nil {
 			return err
 		}
 	}
@@ -321,7 +323,8 @@ func (g *Generator) GenerateParallelTo(opts ParallelOptions, sink func(*trace.Re
 func (g *Generator) GenerateParallel(opts ParallelOptions) ([]*trace.Record, error) {
 	var all []*trace.Record
 	err := g.GenerateParallelTo(opts, func(r *trace.Record) error {
-		all = append(all, r)
+		cp := *r
+		all = append(all, &cp)
 		return nil
 	})
 	if err != nil {

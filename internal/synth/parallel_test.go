@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"testing"
+	"time"
 
 	"trafficscope/internal/trace"
 )
@@ -85,19 +86,20 @@ func TestParallelReaderStreamsInOrder(t *testing.T) {
 	r := g.ParallelReader(ParallelOptions{Workers: 4})
 	defer r.Close()
 	var n int
-	var prev *trace.Record
+	var prev time.Time
+	var rec trace.Record
 	for {
-		rec, err := r.Read()
+		err := r.Read(&rec)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			t.Fatal(err)
 		}
-		if prev != nil && rec.Timestamp.Before(prev.Timestamp) {
-			t.Fatalf("record %d out of order: %v after %v", n, rec.Timestamp, prev.Timestamp)
+		if n > 0 && rec.Timestamp.Before(prev) {
+			t.Fatalf("record %d out of order: %v after %v", n, rec.Timestamp, prev)
 		}
-		prev = rec
+		prev = rec.Timestamp
 		n++
 	}
 	if n == 0 {

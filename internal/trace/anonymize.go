@@ -118,21 +118,22 @@ func NewFilteredReader(r Reader, f Filter) *FilteredReader {
 	return &FilteredReader{r: r, f: f}
 }
 
-// Read returns the next matching record.
-func (fr *FilteredReader) Read() (*Record, error) {
+// Read fills rec with the next matching record.
+func (fr *FilteredReader) Read(rec *Record) error {
 	for {
-		rec, err := fr.r.Read()
-		if err != nil {
-			return nil, err
+		if err := fr.r.Read(rec); err != nil {
+			return err
 		}
 		if fr.f.Match(rec) {
-			return rec, nil
+			return nil
 		}
 	}
 }
 
 // SliceReader replays an in-memory slice of records; useful in tests and
-// when the working set fits in RAM.
+// when the working set fits in RAM. Read copies each stored record out
+// into the caller's record, so the backing slice is never aliased by (or
+// mutated through) the caller's scratch record.
 type SliceReader struct {
 	recs []*Record
 	pos  int
@@ -144,24 +145,28 @@ var _ Reader = (*SliceReader)(nil)
 // mutate it while reading.
 func NewSliceReader(recs []*Record) *SliceReader { return &SliceReader{recs: recs} }
 
-// Read returns the next record or io.EOF.
-func (sr *SliceReader) Read() (*Record, error) {
+// Read fills rec with a copy of the next stored record, or returns
+// io.EOF.
+func (sr *SliceReader) Read(rec *Record) error {
 	if sr.pos >= len(sr.recs) {
-		return nil, io.EOF
+		return io.EOF
 	}
-	r := sr.recs[sr.pos]
+	*rec = *sr.recs[sr.pos]
 	sr.pos++
-	return r, nil
+	return nil
 }
 
 // Reset rewinds the reader to the first record.
 func (sr *SliceReader) Reset() { sr.pos = 0 }
 
-// ReadAll drains a reader into a slice.
+// ReadAll drains a reader into a slice. Every element is a freshly
+// allocated copy — no element aliases the reader's internal scratch or
+// any other element — so the result is safe to hold, mutate and sort.
 func ReadAll(r Reader) ([]*Record, error) {
 	var out []*Record
 	for {
-		rec, err := r.Read()
+		rec := &Record{}
+		err := r.Read(rec)
 		if err == io.EOF {
 			return out, nil
 		}

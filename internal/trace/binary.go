@@ -82,73 +82,78 @@ type BinaryReader struct {
 	r         *bufio.Reader
 	readMagic bool
 	buf       []byte
+	in        *interner
 }
 
 var _ Reader = (*BinaryReader)(nil)
 
 // NewBinaryReader wraps r.
 func NewBinaryReader(r io.Reader) *BinaryReader {
-	return &BinaryReader{r: bufio.NewReaderSize(r, 1<<16)}
+	return &BinaryReader{r: asBufioReader(r), in: newInterner()}
 }
 
-// Read returns the next record, io.EOF at end of input, ErrBadMagic for a
-// foreign stream, or ErrTruncated for a stream cut mid-record.
-func (br *BinaryReader) Read() (*Record, error) {
+// asBufioReader returns r itself when it is already a *bufio.Reader with
+// enough buffer (bufio.NewReaderSize does this internally), avoiding a
+// double buffer when a format-sniffing caller hands us its peek reader.
+func asBufioReader(r io.Reader) *bufio.Reader {
+	return bufio.NewReaderSize(r, 1<<16)
+}
+
+// Read fills rec with the next record, returning io.EOF at end of input,
+// ErrBadMagic for a foreign stream, or ErrTruncated for a stream cut
+// mid-record.
+func (br *BinaryReader) Read(rec *Record) error {
 	if !br.readMagic {
 		var magic [8]byte
 		if _, err := io.ReadFull(br.r, magic[:]); err != nil {
 			if errors.Is(err, io.EOF) {
-				return nil, io.EOF // empty stream
+				return io.EOF // empty stream
 			}
-			return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+			return fmt.Errorf("%w: %v", ErrBadMagic, err)
 		}
 		if magic != binaryMagic {
-			return nil, ErrBadMagic
+			return ErrBadMagic
 		}
 		br.readMagic = true
 	}
 	length, err := binary.ReadUvarint(br.r)
 	if err != nil {
 		if errors.Is(err, io.EOF) {
-			return nil, io.EOF
+			return io.EOF
 		}
-		return nil, fmt.Errorf("%w: reading length: %v", ErrTruncated, err)
+		return fmt.Errorf("%w: reading length: %v", ErrTruncated, err)
 	}
 	const maxRecord = 1 << 20
 	if length > maxRecord {
-		return nil, fmt.Errorf("trace: implausible record length %d", length)
+		return fmt.Errorf("trace: implausible record length %d", length)
 	}
 	if cap(br.buf) < int(length) {
 		br.buf = make([]byte, length)
 	}
 	br.buf = br.buf[:length]
 	if _, err := io.ReadFull(br.r, br.buf); err != nil {
-		return nil, fmt.Errorf("%w: reading body: %v", ErrTruncated, err)
+		return fmt.Errorf("%w: reading body: %v", ErrTruncated, err)
 	}
-	return decodeBinaryRecord(br.buf)
+	return decodeBinaryRecord(br.buf, rec, br.in)
 }
 
-func decodeBinaryRecord(b []byte) (*Record, error) {
+func decodeBinaryRecord(b []byte, rec *Record, in *interner) error {
 	d := decoder{b: b}
-	rec := &Record{}
 	rec.Timestamp = time.UnixMicro(d.varint()).UTC()
-	rec.Publisher = d.str()
+	rec.Publisher = in.bytes(d.strBytes())
 	rec.ObjectID = d.uvarint()
-	rec.FileType = FileType(d.str())
+	rec.FileType = FileType(in.bytes(d.strBytes()))
 	rec.ObjectSize = d.varint()
 	rec.BytesServed = d.varint()
 	rec.UserID = d.uvarint()
 	rec.Region = timeutil.Region(d.uvarint())
 	rec.StatusCode = int(d.uvarint())
 	rec.Cache = CacheStatus(d.uvarint())
-	rec.UserAgent = d.str()
+	rec.UserAgent = in.bytes(d.strBytes())
 	if d.err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrTruncated, d.err)
+		return fmt.Errorf("%w: %v", ErrTruncated, d.err)
 	}
-	if err := rec.Validate(); err != nil {
-		return nil, err
-	}
-	return rec, nil
+	return rec.Validate()
 }
 
 // decoder is a tiny cursor over a record body; the first malformed field
@@ -185,15 +190,21 @@ func (d *decoder) uvarint() uint64 {
 }
 
 func (d *decoder) str() string {
+	return string(d.strBytes())
+}
+
+// strBytes returns a view into the decode buffer valid only until the
+// next read; callers must copy (or intern) before the buffer is reused.
+func (d *decoder) strBytes() []byte {
 	n := d.uvarint()
 	if d.err != nil {
-		return ""
+		return nil
 	}
 	if uint64(len(d.b)) < n {
 		d.err = errors.New("short string")
-		return ""
+		return nil
 	}
-	s := string(d.b[:n])
+	b := d.b[:n]
 	d.b = d.b[n:]
-	return s
+	return b
 }

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// FuzzBlockReader drives the v2 decoder with arbitrary bytes. The
+// contract under fuzz: Read never panics, terminates on every input,
+// rejects structural damage with an error, and never allocates beyond
+// the incremental-growth cap regardless of what a corrupt length prefix
+// claims. Run with `go test -fuzz FuzzBlockReader ./internal/trace`.
+func FuzzBlockReader(f *testing.F) {
+	// A small valid stream (two frames) as the structured seed.
+	valid := func() []byte {
+		var buf bytes.Buffer
+		bw := NewBlockWriter(&buf)
+		rec := Record{}
+		base := sampleRecord()
+		for i := 0; i < 20; i++ {
+			rec = *base
+			rec.Timestamp = base.Timestamp.Add(time.Duration(i) * time.Second)
+			rec.ObjectID = uint64(i)
+			if err := bw.Write(&rec); err != nil {
+				f.Fatal(err)
+			}
+			if i == 12 {
+				if err := bw.Flush(); err != nil {
+					f.Fatal(err)
+				}
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte{})
+	f.Add([]byte("not a trace at all"))
+	f.Add(blockMagic[:])
+	// Oversized length claim on a short stream.
+	f.Add(binary.AppendUvarint(append([]byte{}, blockMagic[:]...), maxBlockPayload-1))
+	// Length over the cap.
+	f.Add(binary.AppendUvarint(append([]byte{}, blockMagic[:]...), maxBlockPayload+1))
+	// Valid-looking frame with a corrupt intern index.
+	corrupt := append([]byte{}, valid...)
+	if len(corrupt) > 30 {
+		corrupt[len(corrupt)-1] ^= 0xff
+		corrupt[20] ^= 0x55
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := NewBlockReader(bytes.NewReader(data))
+		var rec Record
+		// Each decoded record consumes at least one payload byte, so the
+		// loop is bounded by len(data); the explicit cap is a backstop
+		// against a decoder bug that stops consuming input.
+		for i := 0; i <= len(data)+1; i++ {
+			err := br.Read(&rec)
+			if err != nil {
+				return // any error is acceptable; panics are not
+			}
+			if verr := rec.Validate(); verr != nil {
+				t.Fatalf("decoder returned an invalid record without error: %v (%+v)", verr, rec)
+			}
+		}
+		t.Fatalf("decoder produced more records than input bytes (%d)", len(data))
+	})
+}

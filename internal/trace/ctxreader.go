@@ -20,14 +20,15 @@ func NewContextReader(ctx context.Context, r Reader) *ContextReader {
 	return &ContextReader{ctx: ctx, inner: r}
 }
 
-// Read returns the next record, or ctx.Err() once the context is done.
-func (c *ContextReader) Read() (*Record, error) {
+// Read fills rec with the next record, or returns ctx.Err() once the
+// context is done.
+func (c *ContextReader) Read(rec *Record) error {
 	select {
 	case <-c.ctx.Done():
-		return nil, c.ctx.Err()
+		return c.ctx.Err()
 	default:
 	}
-	return c.inner.Read()
+	return c.inner.Read(rec)
 }
 
 // Close closes the wrapped reader when it is closable, so a

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // ExternalSortOptions configures ExternalSort.
@@ -20,7 +21,11 @@ type ExternalSortOptions struct {
 // ExternalSort reads all records from r and writes them to w in
 // timestamp order, spilling sorted runs to disk when the input exceeds
 // MaxInMemory records. It is how full-scale (paper-sized) traces are
-// sorted without holding the week in RAM.
+// sorted without holding the week in RAM. Runs spill in the v2 block
+// format (FormatBlock): interned strings plus delta timestamps keep the
+// spill footprint a fraction of the input's, and batches are held as a
+// flat []Record so a full in-memory window costs one allocation, not one
+// per record.
 func ExternalSort(r Reader, w Writer, opts ExternalSortOptions) error {
 	maxInMem := opts.MaxInMemory
 	if maxInMem < 1 {
@@ -34,15 +39,15 @@ func ExternalSort(r Reader, w Writer, opts ExternalSortOptions) error {
 		}
 	}()
 
-	spill := func(batch []*Record) error {
-		SortByTime(batch)
-		f, err := os.CreateTemp(opts.TempDir, "tsort-run-*.bin")
+	spill := func(batch []Record) error {
+		sortRecords(batch)
+		f, err := os.CreateTemp(opts.TempDir, "tsort-run-*.tsb")
 		if err != nil {
 			return err
 		}
-		bw := NewBinaryWriter(f)
-		for _, rec := range batch {
-			if err := bw.Write(rec); err != nil {
+		bw := NewBlockWriter(f)
+		for i := range batch {
+			if err := bw.Write(&batch[i]); err != nil {
 				f.Close()
 				os.Remove(f.Name())
 				return err
@@ -61,16 +66,17 @@ func ExternalSort(r Reader, w Writer, opts ExternalSortOptions) error {
 		return nil
 	}
 
-	batch := make([]*Record, 0, min(maxInMem, 4096))
+	batch := make([]Record, 0, min(maxInMem, 4096))
 	for {
-		rec, err := r.Read()
+		batch = append(batch, Record{})
+		err := r.Read(&batch[len(batch)-1])
 		if err == io.EOF {
+			batch = batch[:len(batch)-1]
 			break
 		}
 		if err != nil {
 			return fmt.Errorf("trace: external sort read: %w", err)
 		}
-		batch = append(batch, rec)
 		if len(batch) >= maxInMem {
 			if err := spill(batch); err != nil {
 				return fmt.Errorf("trace: external sort spill: %w", err)
@@ -81,9 +87,9 @@ func ExternalSort(r Reader, w Writer, opts ExternalSortOptions) error {
 
 	// Fast path: everything fit in memory.
 	if len(runs) == 0 {
-		SortByTime(batch)
-		for _, rec := range batch {
-			if err := w.Write(rec); err != nil {
+		sortRecords(batch)
+		for i := range batch {
+			if err := w.Write(&batch[i]); err != nil {
 				return err
 			}
 		}
@@ -95,6 +101,7 @@ func ExternalSort(r Reader, w Writer, opts ExternalSortOptions) error {
 			return fmt.Errorf("trace: external sort spill: %w", err)
 		}
 	}
+	batch = nil
 	sources := make([]Reader, 0, len(runs))
 	files := make([]*os.File, 0, len(runs))
 	defer func() {
@@ -108,26 +115,27 @@ func ExternalSort(r Reader, w Writer, opts ExternalSortOptions) error {
 			return err
 		}
 		files = append(files, f)
-		sources = append(sources, NewBinaryReader(f))
+		sources = append(sources, NewBlockReader(f))
 	}
 	merged := NewMergeReader(sources...)
+	var rec Record
 	for {
-		rec, err := merged.Read()
+		err := merged.Read(&rec)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
 			return fmt.Errorf("trace: external sort merge: %w", err)
 		}
-		if err := w.Write(rec); err != nil {
+		if err := w.Write(&rec); err != nil {
 			return err
 		}
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+// sortRecords stably sorts a flat record slice by timestamp.
+func sortRecords(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		return recs[i].Timestamp.Before(recs[j].Timestamp)
+	})
 }

@@ -17,7 +17,8 @@ func (c *collectWriter) Write(r *Record) error {
 	if c.fail {
 		return errors.New("sink full")
 	}
-	c.recs = append(c.recs, r)
+	cp := *r // Write must not retain r; the sorter reuses its scratch
+	c.recs = append(c.recs, &cp)
 	return nil
 }
 

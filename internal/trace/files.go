@@ -1,8 +1,8 @@
 package trace
 
 import (
+	"bufio"
 	"compress/gzip"
-	"container/heap"
 	"fmt"
 	"io"
 	"os"
@@ -19,9 +19,14 @@ const (
 	FormatBinary Format = iota + 1
 	FormatText
 	FormatJSON
+	// FormatBlock is trace format v2: framed blocks with per-block string
+	// interning and delta-of-delta timestamps (see blockv2.go). 3-5x
+	// smaller on disk than FormatBinary.
+	FormatBlock
 )
 
-// ParseFormat parses a format name ("binary", "text", "json"/"jsonl").
+// ParseFormat parses a format name ("binary", "text", "json"/"jsonl",
+// "block"/"v2").
 func ParseFormat(s string) (Format, error) {
 	switch strings.ToLower(s) {
 	case "binary", "bin":
@@ -30,17 +35,21 @@ func ParseFormat(s string) (Format, error) {
 		return FormatText, nil
 	case "json", "jsonl":
 		return FormatJSON, nil
+	case "block", "v2":
+		return FormatBlock, nil
 	default:
-		return 0, fmt.Errorf("trace: unknown format %q (want binary, text or json)", s)
+		return 0, fmt.Errorf("trace: unknown format %q (want binary, block, text or json)", s)
 	}
 }
 
 // DetectFormat guesses the format from a file name, honoring a trailing
-// .gz suffix: trace.bin.gz -> binary, trace.jsonl -> json, trace.tsv.gz
-// -> text. Matching is case-insensitive. Any unknown extension —
-// including a bare ".gz" with no inner extension, or no extension at
-// all — falls back to binary, the format whose reader self-validates
-// via a magic header and so fails loudly on a wrong guess.
+// .gz suffix: trace.bin.gz -> binary, trace.tsb -> block (v2),
+// trace.jsonl -> json, trace.tsv.gz -> text. Matching is
+// case-insensitive. Any unknown extension — including a bare ".gz" with
+// no inner extension, or no extension at all — falls back to binary;
+// OpenFile then sniffs the magic bytes, so a v2 file with a .bin name
+// still opens correctly, and a truly foreign stream fails loudly on the
+// magic check.
 func DetectFormat(path string) Format {
 	p := strings.TrimSuffix(strings.ToLower(path), ".gz")
 	switch {
@@ -48,9 +57,33 @@ func DetectFormat(path string) Format {
 		return FormatText
 	case strings.HasSuffix(p, ".json"), strings.HasSuffix(p, ".jsonl"):
 		return FormatJSON
+	case strings.HasSuffix(p, ".tsb"), strings.HasSuffix(p, ".blk"):
+		return FormatBlock
 	default:
 		return FormatBinary
 	}
+}
+
+// sniffFormat refines a magic-headed format guess by peeking the first 8
+// bytes: the v1 and v2 binary formats are distinguished by their magic,
+// so either can be opened under the other's name (or a neutral name).
+// Text/JSON guesses and unreadable prefixes are returned unchanged — the
+// codec's own error reporting is better than a sniff failure here.
+func sniffFormat(br *bufio.Reader, guess Format) Format {
+	if guess != FormatBinary && guess != FormatBlock {
+		return guess
+	}
+	magic, err := br.Peek(8)
+	if err != nil {
+		return guess
+	}
+	switch {
+	case [8]byte(magic) == binaryMagic:
+		return FormatBinary
+	case [8]byte(magic) == blockMagic:
+		return FormatBlock
+	}
+	return guess
 }
 
 // FileReader streams records from a trace file, transparently
@@ -88,13 +121,20 @@ func OpenFile(path string, format Format) (*FileReader, error) {
 		fr.gz = gz
 		src = gz
 	}
+	// Sniff the magic bytes so a v2 (block) file opens correctly even
+	// under a v1 name and vice versa. NewBinaryReader/NewBlockReader
+	// reuse this buffered reader rather than stacking a second one.
+	br := bufio.NewReaderSize(src, 1<<16)
+	format = sniffFormat(br, format)
 	switch format {
 	case FormatBinary:
-		fr.Reader = NewBinaryReader(src)
+		fr.Reader = NewBinaryReader(br)
+	case FormatBlock:
+		fr.Reader = NewBlockReader(br)
 	case FormatText:
-		fr.Reader = NewTextReader(src)
+		fr.Reader = NewTextReader(br)
 	case FormatJSON:
-		fr.Reader = NewJSONReader(src)
+		fr.Reader = NewJSONReader(br)
 	default:
 		f.Close()
 		return nil, fmt.Errorf("trace: unknown format %d", format)
@@ -150,6 +190,9 @@ func CreateFile(path string, format Format) (*FileWriter, error) {
 	case FormatBinary:
 		w := NewBinaryWriter(dst)
 		fw.Writer, fw.flush = w, w.Flush
+	case FormatBlock:
+		w := NewBlockWriter(dst)
+		fw.Writer, fw.flush = w, w.Flush
 	case FormatText:
 		w := NewTextWriter(dst)
 		fw.Writer, fw.flush = w, w.Flush
@@ -184,16 +227,18 @@ func (fw *FileWriter) Close() error {
 	return fw.f.Close()
 }
 
-// mergeItem is one source's head record in the k-way merge heap.
+// mergeItem is one source's head record in the k-way merge heap. The
+// record is held by value: each heap slot owns its storage, so sources
+// can fill it in place and heap maintenance never allocates (a
+// container/heap implementation would box every Push through `any`).
 type mergeItem struct {
-	rec *Record
+	rec Record
 	src int
 }
 
 type mergeHeap []mergeItem
 
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
+func (h mergeHeap) less(i, j int) bool {
 	ti, tj := h[i].rec.Timestamp, h[j].rec.Timestamp
 	if ti.Equal(tj) {
 		// Break timestamp ties by source index so the merge is stable:
@@ -204,14 +249,30 @@ func (h mergeHeap) Less(i, j int) bool {
 	}
 	return ti.Before(tj)
 }
-func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
-func (h *mergeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h mergeHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(l, m) {
+			m = l
+		}
+		if r < n && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h mergeHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }
 
 // MergeReader merges several timestamp-ordered readers into one globally
@@ -235,34 +296,46 @@ func NewMergeReader(sources ...Reader) *MergeReader {
 // buffered head record) to g on every read. Pass nil to disable.
 func (m *MergeReader) SetHeapGauge(g *obs.Gauge) { m.depth = g }
 
-// Read returns the next record in global timestamp order.
-func (m *MergeReader) Read() (*Record, error) {
+// Read fills rec with the next record in global timestamp order.
+func (m *MergeReader) Read(rec *Record) error {
 	if !m.started {
 		m.started = true
+		m.heap = make(mergeHeap, 0, len(m.sources))
 		for i, src := range m.sources {
-			rec, err := src.Read()
+			m.heap = append(m.heap, mergeItem{src: i})
+			err := src.Read(&m.heap[len(m.heap)-1].rec)
 			if err == io.EOF {
+				m.heap = m.heap[:len(m.heap)-1]
 				continue
 			}
 			if err != nil {
-				return nil, err
+				return err
 			}
-			m.heap = append(m.heap, mergeItem{rec: rec, src: i})
 		}
-		heap.Init(&m.heap)
+		m.heap.init()
 	}
 	if len(m.heap) == 0 {
-		return nil, io.EOF
+		return io.EOF
 	}
-	it := heap.Pop(&m.heap).(mergeItem)
-	next, err := m.sources[it.src].Read()
-	if err == nil {
-		heap.Push(&m.heap, mergeItem{rec: next, src: it.src})
-	} else if err != io.EOF {
-		return nil, err
+	// Hand out the winning head, then refill that slot from its source
+	// and restore the heap in place (pop+push fused into one siftDown).
+	top := &m.heap[0]
+	*rec = top.rec
+	src := top.src
+	err := m.sources[src].Read(&top.rec)
+	switch {
+	case err == nil:
+		m.heap.siftDown(0)
+	case err == io.EOF:
+		n := len(m.heap)
+		m.heap[0] = m.heap[n-1]
+		m.heap = m.heap[:n-1]
+		m.heap.siftDown(0)
+	default:
+		return err
 	}
 	if m.depth != nil {
 		m.depth.Set(float64(len(m.heap)))
 	}
-	return it.rec, nil
+	return nil
 }

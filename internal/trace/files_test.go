@@ -35,14 +35,15 @@ func TestJSONCodecRoundTrip(t *testing.T) {
 
 func TestJSONReaderMalformed(t *testing.T) {
 	input := `{"ts_us": 1443830400000000, "pub": "V-1"` + "\n" // truncated json
-	_, err := NewJSONReader(strings.NewReader(input)).Read()
+	var scratch Record
+	err := NewJSONReader(strings.NewReader(input)).Read(&scratch)
 	var pe *ParseError
 	if !errors.As(err, &pe) {
 		t.Fatalf("want ParseError, got %v", err)
 	}
 	// Bad region.
 	input2 := `{"ts_us": 1443830400000000, "pub": "V-1", "obj": 1, "ft": "mp4", "size": 10, "served": 10, "user": 1, "region": "mars", "status": 200}` + "\n"
-	if _, err := NewJSONReader(strings.NewReader(input2)).Read(); !errors.As(err, &pe) {
+	if err := NewJSONReader(strings.NewReader(input2)).Read(&scratch); !errors.As(err, &pe) {
 		t.Fatalf("bad region: want ParseError, got %v", err)
 	}
 	// Empty lines are skipped.

@@ -69,6 +69,7 @@ func (jw *JSONWriter) Flush() error { return jw.w.Flush() }
 type JSONReader struct {
 	s    *bufio.Scanner
 	line int
+	in   *interner
 }
 
 var _ Reader = (*JSONReader)(nil)
@@ -77,18 +78,18 @@ var _ Reader = (*JSONReader)(nil)
 func NewJSONReader(r io.Reader) *JSONReader {
 	s := bufio.NewScanner(r)
 	s.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	return &JSONReader{s: s}
+	return &JSONReader{s: s, in: newInterner()}
 }
 
-// Read returns the next record, io.EOF at end of input, or a *ParseError
-// for a malformed line.
-func (jr *JSONReader) Read() (*Record, error) {
+// Read fills rec with the next record, returning io.EOF at end of input
+// or a *ParseError for a malformed line.
+func (jr *JSONReader) Read(rec *Record) error {
 	for {
 		if !jr.s.Scan() {
 			if err := jr.s.Err(); err != nil {
-				return nil, err
+				return err
 			}
-			return nil, io.EOF
+			return io.EOF
 		}
 		jr.line++
 		line := jr.s.Bytes()
@@ -97,32 +98,32 @@ func (jr *JSONReader) Read() (*Record, error) {
 		}
 		var j jsonRecord
 		if err := json.Unmarshal(line, &j); err != nil {
-			return nil, &ParseError{Line: jr.line, Msg: fmt.Sprintf("bad json: %v", err)}
+			return &ParseError{Line: jr.line, Msg: fmt.Sprintf("bad json: %v", err)}
 		}
 		region, err := timeutil.ParseRegion(j.Region)
 		if err != nil {
-			return nil, &ParseError{Line: jr.line, Msg: err.Error()}
+			return &ParseError{Line: jr.line, Msg: err.Error()}
 		}
 		cache, err := ParseCacheStatus(j.Cache)
 		if err != nil {
-			return nil, &ParseError{Line: jr.line, Msg: err.Error()}
+			return &ParseError{Line: jr.line, Msg: err.Error()}
 		}
-		rec := &Record{
+		*rec = Record{
 			Timestamp:   time.UnixMicro(j.TS).UTC(),
-			Publisher:   j.Publisher,
+			Publisher:   jr.in.str(j.Publisher),
 			ObjectID:    j.Object,
-			FileType:    FileType(j.FileType),
+			FileType:    FileType(jr.in.str(j.FileType)),
 			ObjectSize:  j.Size,
 			BytesServed: j.Served,
 			UserID:      j.User,
 			Region:      region,
 			StatusCode:  j.Status,
 			Cache:       cache,
-			UserAgent:   j.UserAgent,
+			UserAgent:   jr.in.str(j.UserAgent),
 		}
 		if err := rec.Validate(); err != nil {
-			return nil, &ParseError{Line: jr.line, Msg: err.Error()}
+			return &ParseError{Line: jr.line, Msg: err.Error()}
 		}
-		return rec, nil
+		return nil
 	}
 }

@@ -55,14 +55,14 @@ type countingRecordReader struct {
 	errs  *obs.Counter
 }
 
-func (cr *countingRecordReader) Read() (*Record, error) {
-	rec, err := cr.inner.Read()
+func (cr *countingRecordReader) Read(rec *Record) error {
+	err := cr.inner.Read(rec)
 	if err == nil {
 		cr.recs.Inc()
 	} else if err != io.EOF {
 		cr.errs.Inc()
 	}
-	return rec, err
+	return err
 }
 
 // countingRecordWriter counts encoded records.

@@ -183,13 +183,25 @@ func (r *Record) Validate() error {
 }
 
 // Reader yields trace records in timestamp order (or log order).
+//
+// Read is fill-in style: the caller owns the record and the reader
+// overwrites every field, so a single scratch record can serve an
+// entire read loop without allocating per record. Implementations must
+// not retain the pointer past the call. String fields (Publisher,
+// UserAgent, FileType) remain valid after the next Read — readers hand
+// out immutable (typically interned) strings, never views into a
+// reused buffer — so consumers may keep them even while reusing the
+// record struct itself.
 type Reader interface {
-	// Read returns the next record, or io.EOF after the last one.
-	Read() (*Record, error)
+	// Read fills *rec with the next record. It returns io.EOF after the
+	// last record, leaving *rec unspecified.
+	Read(rec *Record) error
 }
 
 // Writer persists trace records.
 type Writer interface {
-	// Write appends one record.
+	// Write appends one record. Implementations must not retain the
+	// pointer past the call: producers commonly reuse one scratch record
+	// for a whole stream.
 	Write(*Record) error
 }

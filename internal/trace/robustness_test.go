@@ -19,9 +19,9 @@ func TestReadersNeverPanicOnGarbage(t *testing.T) {
 			func(r io.Reader) Reader { return NewJSONReader(r) },
 		} {
 			r := mk(bytes.NewReader(data))
+			var rec Record
 			for i := 0; i < 100; i++ {
-				_, err := r.Read()
-				if err != nil {
+				if err := r.Read(&rec); err != nil {
 					break
 				}
 			}
@@ -54,9 +54,9 @@ func TestBinaryReaderEveryTruncation(t *testing.T) {
 	for cut := 0; cut <= len(full); cut++ {
 		r := NewBinaryReader(bytes.NewReader(full[:cut]))
 		n := 0
+		var rec Record
 		for {
-			_, err := r.Read()
-			if err != nil {
+			if err := r.Read(&rec); err != nil {
 				break
 			}
 			n++
@@ -88,9 +88,9 @@ func TestTextReaderSingleByteCorruption(t *testing.T) {
 		corrupted[pos] ^= 0x5a
 		tr := NewTextReader(strings.NewReader(string(corrupted)))
 		good := 0
+		var rec Record
 		for {
-			_, skipped, err := tr.ReadSkippingErrors()
-			_ = skipped
+			_, err := tr.ReadSkippingErrors(&rec)
 			if err != nil {
 				break
 			}

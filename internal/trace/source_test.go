@@ -29,8 +29,9 @@ func sourceTestRecords(n int) []*Record {
 func drain(t *testing.T, r Reader) int {
 	t.Helper()
 	n := 0
+	var rec Record
 	for {
-		_, err := r.Read()
+		err := r.Read(&rec)
 		if err == io.EOF {
 			return n
 		}

@@ -94,6 +94,7 @@ type TextReader struct {
 	s       *bufio.Scanner
 	line    int
 	started bool
+	in      *interner
 }
 
 var _ Reader = (*TextReader)(nil)
@@ -102,7 +103,7 @@ var _ Reader = (*TextReader)(nil)
 func NewTextReader(r io.Reader) *TextReader {
 	s := bufio.NewScanner(r)
 	s.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	return &TextReader{s: s}
+	return &TextReader{s: s, in: newInterner()}
 }
 
 // ParseError describes a malformed log line.
@@ -116,15 +117,15 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("trace: line %d: %s", e.Line, e.Msg)
 }
 
-// Read returns the next record, io.EOF at end of input, or a *ParseError
-// for a malformed line.
-func (tr *TextReader) Read() (*Record, error) {
+// Read fills rec with the next record, returning io.EOF at end of input
+// or a *ParseError for a malformed line.
+func (tr *TextReader) Read(rec *Record) error {
 	for {
 		if !tr.s.Scan() {
 			if err := tr.s.Err(); err != nil {
-				return nil, err
+				return err
 			}
-			return nil, io.EOF
+			return io.EOF
 		}
 		tr.line++
 		line := tr.s.Text()
@@ -139,30 +140,26 @@ func (tr *TextReader) Read() (*Record, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		rec, err := parseTextLine(line, tr.line)
-		if err != nil {
-			return nil, err
-		}
-		return rec, nil
+		return parseTextLine(line, tr.line, rec, tr.in)
 	}
 }
 
-// ReadSkippingErrors reads the next well-formed record, counting and
-// skipping malformed lines. It returns the record, the number of lines
-// skipped before it, and io.EOF at end of input.
-func (tr *TextReader) ReadSkippingErrors() (*Record, int, error) {
+// ReadSkippingErrors reads the next well-formed record into rec, counting
+// and skipping malformed lines. It returns the number of lines skipped
+// before it, and io.EOF at end of input.
+func (tr *TextReader) ReadSkippingErrors(rec *Record) (int, error) {
 	skipped := 0
 	for {
-		rec, err := tr.Read()
+		err := tr.Read(rec)
 		if err == nil {
-			return rec, skipped, nil
+			return skipped, nil
 		}
 		var pe *ParseError
 		if errorsAs(err, &pe) {
 			skipped++
 			continue
 		}
-		return nil, skipped, err
+		return skipped, err
 	}
 }
 
@@ -175,13 +172,13 @@ func errorsAs(err error, target **ParseError) bool {
 	return ok
 }
 
-func parseTextLine(line string, lineNo int) (*Record, error) {
+func parseTextLine(line string, lineNo int, rec *Record, in *interner) error {
 	fields := strings.SplitN(line, "\t", textFieldCount)
 	if len(fields) != textFieldCount {
-		return nil, &ParseError{Line: lineNo, Msg: fmt.Sprintf("want %d fields, got %d", textFieldCount, len(fields))}
+		return &ParseError{Line: lineNo, Msg: fmt.Sprintf("want %d fields, got %d", textFieldCount, len(fields))}
 	}
-	fail := func(field, val string, err error) (*Record, error) {
-		return nil, &ParseError{Line: lineNo, Msg: fmt.Sprintf("bad %s %q: %v", field, val, err)}
+	fail := func(field, val string, err error) error {
+		return &ParseError{Line: lineNo, Msg: fmt.Sprintf("bad %s %q: %v", field, val, err)}
 	}
 	tsMicro, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {
@@ -215,21 +212,21 @@ func parseTextLine(line string, lineNo int) (*Record, error) {
 	if err != nil {
 		return fail("cache", fields[9], err)
 	}
-	rec := &Record{
+	*rec = Record{
 		Timestamp:   time.UnixMicro(tsMicro).UTC(),
-		Publisher:   fields[1],
+		Publisher:   in.str(fields[1]),
 		ObjectID:    objectID,
-		FileType:    FileType(fields[3]),
+		FileType:    FileType(in.str(fields[3])),
 		ObjectSize:  objectSize,
 		BytesServed: bytesServed,
 		UserID:      userID,
 		Region:      region,
 		StatusCode:  status,
 		Cache:       cache,
-		UserAgent:   fields[10],
+		UserAgent:   in.str(fields[10]),
 	}
 	if err := rec.Validate(); err != nil {
-		return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+		return &ParseError{Line: lineNo, Msg: err.Error()}
 	}
-	return rec, nil
+	return nil
 }

@@ -201,8 +201,8 @@ func TestCodecProperty(t *testing.T) {
 		if bw.Write(r) != nil || bw.Flush() != nil {
 			return false
 		}
-		got, err := NewBinaryReader(&bb).Read()
-		if err != nil || !reflect.DeepEqual(got, r) {
+		got := &Record{}
+		if err := NewBinaryReader(&bb).Read(got); err != nil || !reflect.DeepEqual(got, r) {
 			return false
 		}
 
@@ -213,8 +213,8 @@ func TestCodecProperty(t *testing.T) {
 		if tw.Write(r) != nil || tw.Flush() != nil {
 			return false
 		}
-		got2, err := NewTextReader(&tb).Read()
-		if err != nil {
+		got2 := &Record{}
+		if err := NewTextReader(&tb).Read(got2); err != nil {
 			return false
 		}
 		want := *r
@@ -240,7 +240,8 @@ func TestTextReaderMalformedLines(t *testing.T) {
 	tr := NewTextReader(strings.NewReader(input))
 
 	// First read hits the malformed line.
-	_, err := tr.Read()
+	var rec Record
+	err := tr.Read(&rec)
 	var pe *ParseError
 	if !errors.As(err, &pe) {
 		t.Fatalf("want ParseError, got %v", err)
@@ -262,8 +263,9 @@ func TestTextReaderSkippingErrors(t *testing.T) {
 	tr := NewTextReader(strings.NewReader(input))
 	var recs []*Record
 	var totalSkipped int
+	var rec Record
 	for {
-		rec, skipped, err := tr.ReadSkippingErrors()
+		skipped, err := tr.ReadSkippingErrors(&rec)
 		totalSkipped += skipped
 		if err == io.EOF {
 			break
@@ -271,7 +273,8 @@ func TestTextReaderSkippingErrors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		recs = append(recs, rec)
+		cp := rec
+		recs = append(recs, &cp)
 	}
 	if len(recs) != 2 || totalSkipped != 2 {
 		t.Errorf("got %d records, %d skipped; want 2, 2", len(recs), totalSkipped)
@@ -290,7 +293,7 @@ func TestTextReaderHeaderlessAndComments(t *testing.T) {
 }
 
 func TestBinaryReaderBadMagic(t *testing.T) {
-	_, err := NewBinaryReader(strings.NewReader("THIS IS NOT A LOG FILE AT ALL")).Read()
+	err := NewBinaryReader(strings.NewReader("THIS IS NOT A LOG FILE AT ALL")).Read(&Record{})
 	if !errors.Is(err, ErrBadMagic) {
 		t.Errorf("want ErrBadMagic, got %v", err)
 	}
@@ -307,14 +310,14 @@ func TestBinaryReaderTruncated(t *testing.T) {
 	}
 	full := buf.Bytes()
 	cut := full[:len(full)-3]
-	_, err := NewBinaryReader(bytes.NewReader(cut)).Read()
+	err := NewBinaryReader(bytes.NewReader(cut)).Read(&Record{})
 	if !errors.Is(err, ErrTruncated) {
 		t.Errorf("want ErrTruncated, got %v", err)
 	}
 }
 
 func TestBinaryReaderEmptyStream(t *testing.T) {
-	_, err := NewBinaryReader(bytes.NewReader(nil)).Read()
+	err := NewBinaryReader(bytes.NewReader(nil)).Read(&Record{})
 	if err != io.EOF {
 		t.Errorf("want io.EOF for empty stream, got %v", err)
 	}
